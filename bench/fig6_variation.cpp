@@ -1,0 +1,162 @@
+// Figure 6: variation density of a non-generating processor in the
+// one-processor-generator model, for delta in {1, 2, 4}, f in {1.1, 1.2},
+// processor counts {2..10, 15, 20, 25, 30, 35} and up to 150 balancing
+// steps.
+//
+// The paper computes these curves with an O(p^2 t^3) recursion over
+// computation graphs; we use the exact O(t) moment recursion ([D8] in
+// DESIGN.md) and cross-check selected points against a Monte-Carlo run of
+// the real integer algorithm.
+//
+// Paper expectation: the variation density is small (< ~1), converges
+// quickly in both t and n, decreases with delta and increases with f.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "support/plot.hpp"
+#include "theory/variation.hpp"
+
+using namespace dlb;
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  opts.add_int("steps", 150, "balancing steps (x-axis of Figure 6)")
+      .add_int("mc_runs", 300, "Monte-Carlo runs for the cross-check")
+      .add_int("seed", 1993, "master seed");
+  if (!opts.parse(argc, argv)) return 1;
+  const auto steps = static_cast<std::uint32_t>(opts.get_int("steps"));
+  const auto mc_runs = static_cast<std::uint32_t>(opts.get_int("mc_runs"));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+
+  bench::print_header(
+      "Figure 6 — variation density",
+      "VD is small, converges quickly in t and n; lower for larger delta, "
+      "higher for larger f");
+
+  const std::uint32_t ns[] = {2,  3,  4,  5,  6,  7,  8,
+                              9,  10, 15, 20, 25, 30, 35};
+
+  for (double f : {1.1, 1.2}) {
+    for (std::uint32_t delta : {1u, 2u, 4u}) {
+      TextTable table({"n", "VD@10", "VD@50", "VD@100", "VD@150",
+                       "ratio@150"});
+      for (std::uint32_t n : ns) {
+        if (delta >= n) continue;
+        VariationParams p;
+        p.n = n;
+        p.delta = delta;
+        p.f = f;
+        VariationRecursion rec(p);
+        double vd10 = 0.0;
+        double vd50 = 0.0;
+        double vd100 = 0.0;
+        for (std::uint32_t t = 1; t <= steps; ++t) {
+          rec.step();
+          if (t == 10) vd10 = rec.vd_other();
+          if (t == 50) vd50 = rec.vd_other();
+          if (t == 100) vd100 = rec.vd_other();
+        }
+        table.row()
+            .cell(static_cast<std::size_t>(n))
+            .cell(vd10, 4)
+            .cell(vd50, 4)
+            .cell(vd100, 4)
+            .cell(rec.vd_other(), 4)
+            .cell(rec.ratio(), 4);
+      }
+      std::cout << "-- delta=" << delta << " f=" << f
+                << " (exact recursion) --\n";
+      table.print(std::cout);
+      std::cout << '\n';
+    }
+  }
+
+  // The Figure 6 curves themselves (n = 20), as ASCII plots.
+  std::cout << "-- Figure 6 curves, n=20: VD vs balancing steps --\n";
+  {
+    std::vector<PlotSeries> curves;
+    const char glyphs[] = {'1', '2', '4', 'a', 'b', 'c'};
+    std::size_t g = 0;
+    for (double f : {1.1, 1.2}) {
+      for (std::uint32_t delta : {1u, 2u, 4u}) {
+        VariationParams p;
+        p.n = 20;
+        p.delta = delta;
+        p.f = f;
+        VariationRecursion rec(p);
+        PlotSeries series;
+        series.label =
+            "d=" + std::to_string(delta) + ",f=" + format_double(f, 1);
+        series.glyph = glyphs[g++ % sizeof(glyphs)];
+        series.values.push_back(rec.vd_other());
+        for (std::uint32_t t = 1; t <= steps; ++t) {
+          rec.step();
+          series.values.push_back(rec.vd_other());
+        }
+        curves.push_back(std::move(series));
+      }
+    }
+    PlotOptions plot_opts;
+    plot_opts.y_label = "variation density";
+    render_plot(std::cout, curves, plot_opts);
+    std::cout << '\n';
+  }
+
+  // Monte-Carlo cross-check of the real integer algorithm at a few points.
+  std::cout << "-- Monte-Carlo cross-check (real algorithm, " << mc_runs
+            << " runs, 40 balancing steps) --\n";
+  TextTable mc_table({"n", "delta", "f", "VD exact", "VD MC", "rel err"});
+  struct Point {
+    std::uint32_t n;
+    std::uint32_t delta;
+    double f;
+  };
+  for (const Point& pt : {Point{10, 1, 1.1}, Point{20, 1, 1.2},
+                          Point{20, 2, 1.1}, Point{35, 4, 1.2}}) {
+    VariationParams p;
+    p.n = pt.n;
+    p.delta = pt.delta;
+    p.f = pt.f;
+    VariationRecursion rec(p);
+    rec.advance(40);
+    const auto mc = estimate_variation_mc(p, 40, mc_runs, seed, 2000);
+    const double rel =
+        rec.vd_other() > 0
+            ? (mc.vd_other - rec.vd_other()) / rec.vd_other()
+            : 0.0;
+    mc_table.row()
+        .cell(static_cast<std::size_t>(pt.n))
+        .cell(static_cast<std::size_t>(pt.delta))
+        .cell(pt.f, 1)
+        .cell(rec.vd_other(), 4)
+        .cell(mc.vd_other, 4)
+        .cell(rel, 3);
+  }
+  mc_table.print(std::cout);
+
+  // Relaxed delta > 1 algorithm (the variant the paper's recursion
+  // evaluates for delta > 1).
+  std::cout << "\n-- relaxed delta>1 algorithm (delta sequential pairwise "
+               "balances) --\n";
+  TextTable relaxed({"delta", "f", "VD@150 exact", "VD@150 relaxed"});
+  for (std::uint32_t delta : {2u, 4u}) {
+    for (double f : {1.1, 1.2}) {
+      VariationParams p;
+      p.n = 20;
+      p.delta = delta;
+      p.f = f;
+      VariationRecursion exact(p);
+      p.relaxed_pairwise = true;
+      VariationRecursion rel(p);
+      exact.advance(150);
+      rel.advance(150);
+      relaxed.row()
+          .cell(static_cast<std::size_t>(delta))
+          .cell(f, 1)
+          .cell(exact.vd_other(), 4)
+          .cell(rel.vd_other(), 4);
+    }
+  }
+  relaxed.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Lemmas 5/6 (§6): expected number of balancing operations needed to
+// shrink processor i's class-i load from x to x - c, compared with the
+// lower bound, the closed-form upper bound (Lemma 5) and the improved
+// iterative upper bound (Lemma 6).
+//
+// Paper expectation: "the bounds are very close to reality", the count is
+// nearly independent of delta and n, very sensitive to f (more operations
+// for smaller f), and depends on c/x rather than on x alone.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/one_processor.hpp"
+#include "support/stats.hpp"
+#include "theory/bounds.hpp"
+
+using namespace dlb;
+
+namespace {
+
+double measure_ops(std::uint32_t n, std::uint32_t delta, double f,
+                   std::int64_t x, std::int64_t c, std::uint32_t runs,
+                   Rng& seeder) {
+  ModelParams mp{static_cast<double>(n), static_cast<double>(delta), f};
+  const double fix = fixpoint(mp);
+  RunningMoments ops;
+  for (std::uint32_t r = 0; r < runs; ++r) {
+    OneProcessorModel::Params op;
+    op.n = n;
+    op.delta = delta;
+    op.f = f;
+    OneProcessorModel model(op, seeder.next());
+    model.set_load(0, x);
+    for (std::uint32_t i = 1; i < n; ++i)
+      model.set_load(
+          i, static_cast<std::int64_t>(static_cast<double>(x) / fix));
+    model.set_trigger_baseline(x);
+    ops.add(static_cast<double>(
+        model.consume_total(static_cast<std::uint64_t>(c))));
+  }
+  return ops.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  opts.add_int("runs", 80, "runs per configuration")
+      .add_int("seed", 1993, "master seed");
+  if (!opts.parse(argc, argv)) return 1;
+  const auto runs = static_cast<std::uint32_t>(opts.get_int("runs"));
+  Rng seeder(static_cast<std::uint64_t>(opts.get_int("seed")));
+
+  bench::print_header(
+      "Lemmas 5/6 — cost of simulating a workload decrease",
+      "bounds close to measurement; sensitive to f, insensitive to n, "
+      "delta, and to x at fixed c/x");
+
+  std::cout << "-- f sweep (n=32, delta=1, x=3000, c=1200) --\n";
+  {
+    TextTable table({"f", "lower (L5)", "measured", "upper (L6)",
+                     "upper (L5)", "L5 upper valid"});
+    for (double f : {1.1, 1.2, 1.3, 1.5, 1.8}) {
+      ModelParams mp{32, 1, f};
+      const auto l5 = lemma5_bounds(3000, 1200, mp);
+      const double l6 = lemma6_upper(3000, 1200, mp);
+      const double measured = measure_ops(32, 1, f, 3000, 1200, runs, seeder);
+      table.row()
+          .cell(f, 1)
+          .cell(l5.lower, 1)
+          .cell(measured, 1)
+          .cell(l6, 1)
+          .cell(l5.upper_valid ? l5.upper : 0.0, 1)
+          .cell(l5.upper_valid ? "yes" : "no");
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "-- delta sweep (n=32, f=1.3): count nearly flat --\n";
+  {
+    TextTable table({"delta", "lower (L5)", "measured", "upper (L6)"});
+    for (std::uint32_t delta : {1u, 2u, 4u, 8u}) {
+      ModelParams mp{32, static_cast<double>(delta), 1.3};
+      const auto l5 = lemma5_bounds(3000, 1200, mp);
+      const double l6 = lemma6_upper(3000, 1200, mp);
+      const double measured =
+          measure_ops(32, delta, 1.3, 3000, 1200, runs, seeder);
+      table.row()
+          .cell(static_cast<std::size_t>(delta))
+          .cell(l5.lower, 1)
+          .cell(measured, 1)
+          .cell(l6, 1);
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "-- n sweep (delta=1, f=1.3): count nearly flat --\n";
+  {
+    TextTable table({"n", "lower (L5)", "measured", "upper (L6)"});
+    for (std::uint32_t n : {8u, 16u, 32u, 64u, 128u}) {
+      ModelParams mp{static_cast<double>(n), 1, 1.3};
+      const auto l5 = lemma5_bounds(3000, 1200, mp);
+      const double l6 = lemma6_upper(3000, 1200, mp);
+      const double measured =
+          measure_ops(n, 1, 1.3, 3000, 1200, runs, seeder);
+      table.row()
+          .cell(static_cast<std::size_t>(n))
+          .cell(l5.lower, 1)
+          .cell(measured, 1)
+          .cell(l6, 1);
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "-- scale sweep at fixed c/x = 0.4 (n=32, delta=1, f=1.3) --\n";
+  {
+    TextTable table({"x", "c", "lower (L5)", "measured", "upper (L6)"});
+    for (std::int64_t x : {500, 2000, 8000, 32000}) {
+      const std::int64_t c = (x * 2) / 5;
+      ModelParams mp{32, 1, 1.3};
+      const auto l5 = lemma5_bounds(static_cast<double>(x),
+                                    static_cast<double>(c), mp);
+      const double l6 = lemma6_upper(static_cast<double>(x),
+                                     static_cast<double>(c), mp);
+      const double measured = measure_ops(32, 1, 1.3, x, c, runs, seeder);
+      table.row()
+          .cell(static_cast<long long>(x))
+          .cell(static_cast<long long>(c))
+          .cell(l5.lower, 1)
+          .cell(measured, 1)
+          .cell(l6, 1);
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

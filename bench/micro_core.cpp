@@ -1,0 +1,116 @@
+// Microbenchmarks (google-benchmark): throughput of the core primitives —
+// the snake redistribution kernel, a full balancing operation, a global
+// simulation step, and the PRNG primitives they lean on.
+#include <benchmark/benchmark.h>
+
+#include "core/snake.hpp"
+#include "core/system.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace dlb;
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngSampleDistinct(benchmark::State& state) {
+  Rng rng(2);
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto k = static_cast<std::uint32_t>(state.range(1));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(rng.sample_distinct(n, k, 0));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * k);
+}
+BENCHMARK(BM_RngSampleDistinct)->Args({64, 1})->Args({64, 4})->Args({1024, 4});
+
+void BM_SnakeRedistribute(benchmark::State& state) {
+  const auto participants = static_cast<std::size_t>(state.range(0));
+  const auto classes = static_cast<std::size_t>(state.range(1));
+  Rng rng(3);
+  std::vector<std::vector<std::int64_t>> counts(
+      participants, std::vector<std::int64_t>(classes));
+  for (auto& row : counts)
+    for (auto& cell : row) cell = static_cast<std::int64_t>(rng.below(100));
+  for (auto _ : state) {
+    auto work = counts;
+    SnakeOptions opts;
+    opts.start =
+        static_cast<std::size_t>(state.iterations()) % participants;
+    benchmark::DoNotOptimize(snake_redistribute(work, opts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(participants * classes));
+}
+BENCHMARK(BM_SnakeRedistribute)
+    ->Args({2, 64})
+    ->Args({5, 64})
+    ->Args({5, 1024})
+    ->Args({9, 1024});
+
+void BM_BalanceOperation(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto delta = static_cast<std::uint32_t>(state.range(1));
+  BalancerConfig cfg;
+  cfg.f = 1e9;  // no automatic triggers: we time force_balance alone
+  cfg.delta = delta;
+  System sys(n, cfg, 4);
+  Rng rng(5);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    const std::uint64_t packets = rng.below(64);
+    for (std::uint64_t i = 0; i < packets; ++i) sys.generate(p);
+  }
+  std::uint32_t initiator = 0;
+  for (auto _ : state) {
+    sys.force_balance(initiator);
+    initiator = (initiator + 1) % n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BalanceOperation)
+    ->Args({64, 1})
+    ->Args({64, 4})
+    ->Args({256, 4})
+    ->Args({1024, 4});
+
+void BM_SystemStep(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  BalancerConfig cfg;
+  cfg.f = 1.1;
+  cfg.delta = 2;
+  System sys(n, cfg, 6);
+  const Workload wl = Workload::uniform(n, 1u << 30, 0.6, 0.5);
+  std::vector<WorkEvent> events(n);
+  Rng rng(7);
+  std::uint32_t t = 0;
+  for (auto _ : state) {
+    for (std::uint32_t p = 0; p < n; ++p) events[p] = wl.sample(p, t, rng);
+    sys.step(t, events);
+    ++t;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_SystemStep)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_OneProducerRun(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 8;
+  for (auto _ : state) {
+    BalancerConfig cfg;
+    cfg.f = 1.1;
+    cfg.delta = 2;
+    System sys(n, cfg, seed++);
+    sys.run(Workload::one_producer(n, 500));
+    benchmark::DoNotOptimize(sys.total_load());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          500);
+}
+BENCHMARK(BM_OneProducerRun)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

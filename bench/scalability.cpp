@@ -1,0 +1,104 @@
+// Scalability: the paper's claim that the balancing quality is
+// independent of the network size ("achieves very good performance even
+// on networks containing up to 1024 processors"; Theorems 2/4 are
+// n-free).
+//
+// We sweep n from 16 to 1024 and measure, on the §7 workload scaled to
+// each size, (a) the cross-processor coefficient of variation at the end
+// of the run, (b) the producer/rest ratio in the one-producer model vs
+// the n-free bound δ/(δ+1−f), and (c) wall-clock per simulated step (the
+// simulator's own scalability).
+//
+// Expectation: (a) and (b) flat or improving in n, always under the
+// bound; (c) grows ~linearly in n (O(n·δ) ledger work per operation).
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/system.hpp"
+#include "metrics/imbalance.hpp"
+#include "support/stats.hpp"
+#include "theory/operators.hpp"
+
+using namespace dlb;
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  opts.add_int("steps", 300, "global time steps")
+      .add_int("runs", 5, "runs per size")
+      .add_int("max_n", 1024, "largest network size")
+      .add_int("seed", 1993, "master seed");
+  if (!opts.parse(argc, argv)) return 1;
+  const auto steps = static_cast<std::uint32_t>(opts.get_int("steps"));
+  const auto runs = static_cast<std::uint32_t>(opts.get_int("runs"));
+  const auto max_n = static_cast<std::uint32_t>(opts.get_int("max_n"));
+  Rng master(static_cast<std::uint64_t>(opts.get_int("seed")));
+
+  bench::print_header(
+      "Scalability — balance quality vs network size (Thms 2/4 are n-free)",
+      "CoV and producer ratio flat in n; bound d/(d+1-f) holds at 1024");
+
+  const double f = 1.1;
+  const std::uint32_t delta = 2;
+  const double bound = fixpoint_limit(delta, f);
+
+  TextTable table({"n", "final CoV (paper wl)", "producer ratio",
+                   "FIX(n,d,f)", "bound d/(d+1-f)", "us/step"});
+  for (std::uint32_t n = 16; n <= max_n; n *= 4) {
+    RunningMoments cov;
+    RunningMoments ratio;
+    double us_per_step = 0.0;
+    for (std::uint32_t r = 0; r < runs; ++r) {
+      // (a) §7 workload quality.
+      {
+        BalancerConfig cfg;
+        cfg.f = f;
+        cfg.delta = delta;
+        System sys(n, cfg, master.next());
+        Rng wl_rng = master.split();
+        const Workload wl = Workload::paper_benchmark(
+            n, steps, WorkloadParams{}, wl_rng);
+        const auto start = std::chrono::steady_clock::now();
+        sys.run(wl);
+        const auto stop = std::chrono::steady_clock::now();
+        us_per_step +=
+            std::chrono::duration<double, std::micro>(stop - start)
+                .count() /
+            static_cast<double>(steps) / static_cast<double>(runs);
+        cov.add(measure_imbalance(sys.loads()).cov);
+      }
+      // (b) one-producer ratio vs the n-free bound.  The horizon scales
+      // with n so every processor ends with ~40 packets — at O(1)
+      // packets per processor the ratio would measure integer
+      // quantization, not the algorithm.
+      {
+        BalancerConfig cfg;
+        cfg.f = f;
+        cfg.delta = delta;
+        System sys(n, cfg, master.next());
+        sys.run(Workload::one_producer(n, std::max(steps * 4, 40 * n)));
+        RunningMoments others;
+        for (std::uint32_t i = 1; i < n; ++i)
+          others.add(static_cast<double>(sys.load(i)));
+        if (others.mean() > 0)
+          ratio.add(static_cast<double>(sys.load(0)) / others.mean());
+      }
+    }
+    table.row()
+        .cell(static_cast<std::size_t>(n))
+        .cell(cov.mean(), 3)
+        .cell(ratio.mean(), 3)
+        .cell(fixpoint(ModelParams{static_cast<double>(n),
+                                   static_cast<double>(delta), f}),
+              3)
+        .cell(bound, 3)
+        .cell(us_per_step, 1);
+  }
+  table.print(std::cout);
+  std::cout << "\n(The ratio is sampled mid-growth-cycle, so compare it "
+               "against f*FIX rather than FIX itself; it must stay below "
+               "f*bound = "
+            << format_double(f * bound, 3) << ".)\n";
+  return 0;
+}

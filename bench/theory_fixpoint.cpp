@@ -1,0 +1,111 @@
+// Theorems 1-3: convergence of the ratio operators and the fixed point
+// FIX(n, delta, f), cross-checked against the simulated one-processor
+// model.
+//
+// Paper expectation: G^t(1) increases monotonically to FIX(n, delta, f)
+// <= delta/(delta+1-f); C^t(1) decreases to FIX(n, delta, 1/f); the
+// simulated post-balance ratio of the real (integer) algorithm matches.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/one_processor.hpp"
+#include "support/stats.hpp"
+#include "theory/operators.hpp"
+
+using namespace dlb;
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  opts.add_int("runs", 400, "Monte-Carlo runs for the simulation column")
+      .add_int("seed", 1993, "master seed");
+  if (!opts.parse(argc, argv)) return 1;
+  const auto runs = static_cast<std::uint32_t>(opts.get_int("runs"));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+
+  bench::print_header(
+      "Theorems 1-3 — fixed point of the ratio operators",
+      "G^t(1) -> FIX(n,d,f) <= d/(d+1-f); C^t(1) -> FIX(n,d,1/f); "
+      "simulation matches");
+
+  // Theorem 1: convergence trace for a representative configuration.
+  {
+    ModelParams p{64, 2, 1.5};
+    std::cout << "-- G^t(1) convergence, n=64 delta=2 f=1.5 --\n";
+    TextTable table({"t", "G^t(1)", "FIX", "gap"});
+    const double fix = fixpoint(p);
+    for (std::uint32_t t : {1u, 2u, 5u, 10u, 20u, 50u, 100u}) {
+      const double g = iterate_G(1.0, t, p);
+      table.row()
+          .cell(static_cast<std::size_t>(t))
+          .cell(g, 6)
+          .cell(fix, 6)
+          .cell(fix - g, 6);
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // Theorem 2: FIX vs n, approaching delta/(delta+1-f).
+  {
+    std::cout << "-- FIX(n, delta, f) vs n (Theorem 2 limit) --\n";
+    TextTable table({"delta", "f", "n=8", "n=64", "n=1024", "n=10^6",
+                     "limit d/(d+1-f)"});
+    struct Cfg {
+      double delta;
+      double f;
+    };
+    for (const Cfg& c : {Cfg{1, 1.1}, Cfg{1, 1.8}, Cfg{2, 1.5},
+                         Cfg{4, 1.1}, Cfg{4, 1.8}}) {
+      auto& row = table.row()
+                      .cell(static_cast<std::size_t>(c.delta))
+                      .cell(c.f, 1);
+      for (double n : {8.0, 64.0, 1024.0, 1e6})
+        row.cell(fixpoint(ModelParams{n, c.delta, c.f}), 5);
+      row.cell(fixpoint_limit(c.delta, c.f), 5);
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // Theorem 3 sandwich + simulation cross-check (post-balance ratio).
+  {
+    std::cout << "-- simulated post-balance ratio vs FIX (" << runs
+              << " runs, 60 balancing steps, integer algorithm) --\n";
+    TextTable table({"n", "delta", "f", "FIX", "simulated", "rel err",
+                     "bound d/(d+1-f)"});
+    struct Cfg {
+      std::uint32_t n;
+      std::uint32_t delta;
+      double f;
+    };
+    Rng seeder(seed);
+    for (const Cfg& c : {Cfg{16, 1, 1.1}, Cfg{16, 1, 1.5}, Cfg{64, 2, 1.5},
+                         Cfg{64, 4, 1.8}, Cfg{35, 4, 1.2}}) {
+      ModelParams mp{static_cast<double>(c.n),
+                     static_cast<double>(c.delta), c.f};
+      RunningMoments ratio;
+      for (std::uint32_t r = 0; r < runs; ++r) {
+        OneProcessorModel::Params op;
+        op.n = c.n;
+        op.delta = c.delta;
+        op.f = c.f;
+        OneProcessorModel model(op, seeder.next());
+        for (std::uint32_t i = 0; i < c.n; ++i) model.set_load(i, 1000);
+        model.set_trigger_baseline(1000);
+        model.run_grow(60);
+        ratio.add(model.ratio_to_average());
+      }
+      const double fix = fixpoint(mp);
+      table.row()
+          .cell(static_cast<std::size_t>(c.n))
+          .cell(static_cast<std::size_t>(c.delta))
+          .cell(c.f, 1)
+          .cell(fix, 4)
+          .cell(ratio.mean(), 4)
+          .cell((ratio.mean() - fix) / fix, 3)
+          .cell(fixpoint_limit(c.delta, c.f), 4);
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

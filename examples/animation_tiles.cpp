@@ -1,0 +1,99 @@
+// Walkthrough-animation rendering on a simulated parallel machine — the
+// graphics application of the paper's reference [11] (Menzel & Ohlemeyer,
+// massively parallel walkthrough animation).
+//
+// A camera sweeps through a scene; each frame, the processors that own
+// the on-screen region receive a burst of tile-rendering packets while
+// the rest idle (the `wave` workload).  Without balancing, the busy
+// region's processors queue up work while the others starve; with the
+// paper's algorithm the packets spread and frame latency drops.
+//
+//   $ ./build/examples/animation_tiles
+#include <algorithm>
+#include <iostream>
+
+#include "core/system.hpp"
+#include "metrics/imbalance.hpp"
+#include "metrics/recorder.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace dlb;
+
+  const std::uint32_t processors = 32;
+  const std::uint32_t frames = 600;
+
+  std::cout << "Walkthrough animation: a moving hot region of tile work "
+               "on "
+            << processors << " processors\n\n";
+
+  // The wave workload: the generating ("on-screen") processor advances
+  // every 15 steps; everyone else consumes rendered tiles.
+  const Workload camera_sweep = Workload::wave(processors, frames, 15);
+
+  TextTable table({"configuration", "max queue ever", "avg queue @end",
+                   "CoV @end", "balance ops", "consume failures"});
+
+  struct Cfg {
+    const char* name;
+    bool balance;
+    double f;
+    std::uint32_t delta;
+  };
+  for (const Cfg& cfg :
+       {Cfg{"no balancing", false, 0, 0}, Cfg{"dlb f=1.8 d=1", true, 1.8, 1},
+        Cfg{"dlb f=1.1 d=1", true, 1.1, 1},
+        Cfg{"dlb f=1.1 d=4", true, 1.1, 4}}) {
+    std::int64_t max_queue = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t ops = 0;
+    ImbalanceReport final_report;
+
+    if (cfg.balance) {
+      BalancerConfig bc;
+      bc.f = cfg.f;
+      bc.delta = cfg.delta;
+      System sys(processors, bc, 5);
+      LoadSeriesRecorder recorder(frames);
+      sys.attach_recorder(&recorder);
+      sys.run(camera_sweep);
+      sys.check_invariants();
+      for (std::uint32_t t = 0; t < frames; ++t)
+        max_queue = std::max(
+            max_queue, static_cast<std::int64_t>(recorder.series().max(t)));
+      final_report = measure_imbalance(sys.loads());
+      ops = sys.balance_operations();
+    } else {
+      // Null strategy: queue work where it is generated.
+      std::vector<std::int64_t> loads(processors, 0);
+      Rng rng(5);
+      for (std::uint32_t t = 0; t < frames; ++t) {
+        for (std::uint32_t p = 0; p < processors; ++p) {
+          const WorkEvent ev = camera_sweep.sample(p, t, rng);
+          if (ev.generate) loads[p] += 1;
+          if (ev.consume) {
+            if (loads[p] > 0)
+              loads[p] -= 1;
+            else
+              ++failures;
+          }
+          max_queue = std::max(max_queue, loads[p]);
+        }
+      }
+      final_report = measure_imbalance(loads);
+    }
+
+    table.row()
+        .cell(cfg.name)
+        .cell(static_cast<long long>(max_queue))
+        .cell(final_report.avg_load, 1)
+        .cell(final_report.cov, 3)
+        .cell(static_cast<unsigned long long>(ops))
+        .cell(static_cast<unsigned long long>(failures));
+  }
+  table.print(std::cout);
+  std::cout << "\nBalancing flattens the moving hotspot: the worst queue "
+               "depth (frame latency) drops and idle processors pick up "
+               "tiles.\n";
+  return 0;
+}

@@ -1,0 +1,233 @@
+// Distributed best-first branch & bound for the symmetric TSP — the
+// application family the paper's algorithm was built for (its companion
+// papers [7, 8] parallelize B&B on transputer networks with exactly this
+// balancing principle).
+//
+// Each of P simulated workers owns a priority queue of open search nodes
+// (packets).  Work is generated dynamically (node expansion) and consumed
+// unpredictably (pruning against the incumbent) — the paper's setting.
+// Whenever a worker's queue has grown or shrunk by the factor f since its
+// last balancing operation, it equalizes queue sizes (±1) with delta
+// random partners, migrating real search nodes.
+//
+//   $ ./build/examples/branch_and_bound
+//
+// The run compares: no balancing (all work stays where it was generated)
+// vs the paper's strategy — total makespan (parallel steps) and worker
+// utilization.
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <queue>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using dlb::Rng;
+
+constexpr int kCities = 13;
+
+struct Tsp {
+  int dist[kCities][kCities] = {};
+
+  static Tsp random(Rng& rng) {
+    Tsp tsp;
+    for (int i = 0; i < kCities; ++i) {
+      for (int j = i + 1; j < kCities; ++j) {
+        const int d = static_cast<int>(rng.below(90)) + 10;
+        tsp.dist[i][j] = d;
+        tsp.dist[j][i] = d;
+      }
+    }
+    return tsp;
+  }
+
+  // Cheapest edge leaving `city` toward any city in `allowed` (bitmask).
+  int cheapest_out(int city, unsigned allowed) const {
+    int best = 1 << 20;
+    for (int j = 0; j < kCities; ++j)
+      if ((allowed >> j) & 1u) best = std::min(best, dist[city][j]);
+    return best;
+  }
+};
+
+struct Node {
+  unsigned visited = 1;   // bitmask, city 0 is the fixed start
+  std::uint8_t last = 0;  // current end of the partial tour
+  int cost = 0;
+  int bound = 0;          // admissible lower bound on any completion
+
+  bool operator<(const Node& other) const {
+    return bound > other.bound;  // min-heap via std::priority_queue
+  }
+};
+
+int lower_bound(const Tsp& tsp, const Node& node) {
+  // cost so far + cheapest continuation out of every remaining city
+  // (including the current end), closing back to city 0.
+  const unsigned all = (1u << kCities) - 1;
+  const unsigned remaining = all & ~node.visited;
+  if (remaining == 0) return node.cost + tsp.dist[node.last][0];
+  int bound = node.cost + tsp.cheapest_out(node.last, remaining);
+  for (int c = 0; c < kCities; ++c) {
+    if (!((remaining >> c) & 1u)) continue;
+    const unsigned targets = (remaining & ~(1u << c)) | 1u;  // others or home
+    bound += tsp.cheapest_out(c, targets);
+  }
+  return bound;
+}
+
+struct Worker {
+  std::priority_queue<Node> open;
+  std::int64_t l_old = 0;
+  std::uint64_t expanded = 0;
+  std::uint64_t idle_steps = 0;
+};
+
+struct RunResult {
+  int optimum = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t expanded = 0;
+  std::uint64_t idle = 0;
+  std::uint64_t balance_ops = 0;
+  std::uint64_t nodes_moved = 0;
+};
+
+RunResult run(const Tsp& tsp, std::uint32_t workers, bool balance,
+              double f, std::uint32_t delta, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Worker> pool(workers);
+  int incumbent = 1 << 20;
+
+  Node root;
+  root.bound = lower_bound(tsp, root);
+  pool[0].open.push(root);
+
+  RunResult result;
+  auto total_open = [&] {
+    std::size_t total = 0;
+    for (const Worker& w : pool) total += w.open.size();
+    return total;
+  };
+
+  auto maybe_balance = [&](std::uint32_t p) {
+    if (!balance) return;
+    Worker& w = pool[p];
+    const auto size = static_cast<std::int64_t>(w.open.size());
+    const bool grew = size > w.l_old &&
+                      static_cast<double>(size) >=
+                          f * static_cast<double>(w.l_old);
+    const bool shrank = size < w.l_old && w.l_old >= 1 &&
+                        static_cast<double>(size) <=
+                            static_cast<double>(w.l_old) / f;
+    if (!grew && !shrank) return;
+    // Equalize with delta random partners: repeatedly move the best node
+    // of the richest participant to the poorest (spreading promising
+    // subtrees, as the best-first parallelizations of [8] do).
+    auto participants = rng.sample_distinct(workers, delta, p);
+    participants.push_back(p);
+    while (true) {
+      std::uint32_t rich = participants[0];
+      std::uint32_t poor = participants[0];
+      for (std::uint32_t q : participants) {
+        if (pool[q].open.size() > pool[rich].open.size()) rich = q;
+        if (pool[q].open.size() < pool[poor].open.size()) poor = q;
+      }
+      if (pool[rich].open.size() <= pool[poor].open.size() + 1) break;
+      pool[poor].open.push(pool[rich].open.top());
+      pool[rich].open.pop();
+      ++result.nodes_moved;
+    }
+    for (std::uint32_t q : participants)
+      pool[q].l_old = static_cast<std::int64_t>(pool[q].open.size());
+    ++result.balance_ops;
+  };
+
+  while (total_open() > 0) {
+    ++result.steps;
+    for (std::uint32_t p = 0; p < workers; ++p) {
+      Worker& w = pool[p];
+      if (w.open.empty()) {
+        ++w.idle_steps;
+        continue;
+      }
+      const Node node = w.open.top();
+      w.open.pop();
+      if (node.bound >= incumbent) {
+        // Pruned: a consumption without generation.
+        maybe_balance(p);
+        continue;
+      }
+      ++w.expanded;
+      for (int c = 1; c < kCities; ++c) {
+        if ((node.visited >> c) & 1u) continue;
+        Node child;
+        child.visited = node.visited | (1u << c);
+        child.last = static_cast<std::uint8_t>(c);
+        child.cost = node.cost + tsp.dist[node.last][c];
+        if (child.visited == (1u << kCities) - 1) {
+          const int tour = child.cost + tsp.dist[c][0];
+          incumbent = std::min(incumbent, tour);
+          continue;
+        }
+        child.bound = lower_bound(tsp, child);
+        if (child.bound < incumbent) w.open.push(child);
+      }
+      maybe_balance(p);
+    }
+  }
+
+  result.optimum = incumbent;
+  for (const Worker& w : pool) {
+    result.expanded += w.expanded;
+    result.idle += w.idle_steps;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using dlb::TextTable;
+  Rng seed_rng(2026);
+  const Tsp tsp = Tsp::random(seed_rng);
+  const std::uint32_t workers = 8;
+
+  std::cout << "Distributed best-first branch & bound, " << kCities
+            << "-city TSP, " << workers << " workers\n\n";
+
+  TextTable table({"strategy", "optimum", "parallel steps",
+                   "nodes expanded", "idle worker-steps", "utilization",
+                   "balance ops", "nodes migrated"});
+  struct Cfg {
+    const char* name;
+    bool balance;
+    double f;
+    std::uint32_t delta;
+  };
+  for (const Cfg& cfg :
+       {Cfg{"no balancing", false, 0, 0}, Cfg{"dlb f=1.5 d=1", true, 1.5, 1},
+        Cfg{"dlb f=1.2 d=2", true, 1.2, 2},
+        Cfg{"dlb f=1.1 d=4", true, 1.1, 4}}) {
+    const RunResult r = run(tsp, workers, cfg.balance, cfg.f, cfg.delta, 99);
+    const double busy = static_cast<double>(r.steps) * workers -
+                        static_cast<double>(r.idle);
+    table.row()
+        .cell(cfg.name)
+        .cell(static_cast<long long>(r.optimum))
+        .cell(static_cast<unsigned long long>(r.steps))
+        .cell(static_cast<unsigned long long>(r.expanded))
+        .cell(static_cast<unsigned long long>(r.idle))
+        .cell(busy / (static_cast<double>(r.steps) * workers), 3)
+        .cell(static_cast<unsigned long long>(r.balance_ops))
+        .cell(static_cast<unsigned long long>(r.nodes_moved));
+  }
+  table.print(std::cout);
+  std::cout << "\nAll strategies prove the same optimum; the balancer "
+               "turns one seeded queue into near-full machine "
+               "utilization.\n";
+  return 0;
+}

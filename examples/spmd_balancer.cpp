@@ -1,0 +1,178 @@
+// The balancing algorithm in SPMD message-passing style — the shape of
+// the paper's transputer implementations [7, 8], written against the
+// bundled mini message-passing interface (src/mp).
+//
+// Bulk-synchronous variant: each global step every rank applies its
+// local demand, then the machine runs one *deterministic replicated*
+// balancing round — every rank allgathers (trigger?, load) pairs, runs
+// the same seeded RNG to draw partners for each triggered initiator, and
+// computes identical assignments; only the actual packet transfers use
+// point-to-point messages.  Replicated deterministic decisions are a
+// classic SPMD trick: no coordinator and no races, at the cost of a
+// collective per step.
+//
+//   $ ./build/examples/spmd_balancer
+#include <algorithm>
+#include <iostream>
+#include <mutex>
+
+#include "mp/communicator.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "workload/trace.hpp"
+
+int main() {
+  using namespace dlb;
+
+  const int n = 8;
+  const std::uint32_t steps = 400;
+  const double f = 1.2;
+  const std::uint32_t delta = 2;
+
+  // Shared, read-only demand.
+  Rng wl_rng(31);
+  const Workload wl =
+      Workload::paper_benchmark(n, steps, WorkloadParams{}, wl_rng);
+  Rng trace_rng(32);
+  const Trace trace = Trace::record(wl, trace_rng);
+
+  World world(n);
+  std::mutex report_mutex;
+  std::int64_t final_min = 0;
+  std::int64_t final_max = 0;
+  std::int64_t final_total = 0;
+  std::int64_t total_ops = 0;
+  std::int64_t total_moved = 0;
+
+  world.launch([&](Comm& comm) {
+    const auto me = static_cast<std::uint32_t>(comm.rank());
+    std::int64_t load = 0;
+    std::int64_t l_old = 0;
+    std::int64_t generated = 0;
+    std::int64_t consumed = 0;
+    std::int64_t ops = 0;
+    std::int64_t moved = 0;
+    // Every rank runs the SAME decision RNG: decisions are replicated,
+    // so no coordination messages are needed to agree on partners.
+    Rng decisions(4711);
+
+    for (std::uint32_t t = 0; t < steps; ++t) {
+      const WorkEvent ev = trace.at(me, t);
+      if (ev.generate) {
+        ++load;
+        ++generated;
+      }
+      if (ev.consume && load > 0) {
+        --load;
+        ++consumed;
+      }
+
+      // Replicated balancing round.
+      const bool grew = load > l_old &&
+                        static_cast<double>(load) >=
+                            f * static_cast<double>(l_old);
+      const bool shrank = load < l_old && l_old >= 1 &&
+                          static_cast<double>(load) <=
+                              static_cast<double>(l_old) / f;
+      const auto triggers = comm.allgather(grew || shrank ? 1 : 0);
+      auto loads = comm.allgather(load);
+
+      for (int initiator = 0; initiator < n; ++initiator) {
+        if (!triggers[static_cast<std::size_t>(initiator)]) continue;
+        // All ranks draw the same partners from the replicated RNG.
+        auto partners = decisions.sample_distinct(
+            static_cast<std::uint32_t>(n), delta,
+            static_cast<std::uint32_t>(initiator));
+        std::vector<std::uint32_t> group{
+            static_cast<std::uint32_t>(initiator)};
+        group.insert(group.end(), partners.begin(), partners.end());
+        std::int64_t pool = 0;
+        for (std::uint32_t g : group) pool += loads[g];
+        const auto m = static_cast<std::int64_t>(group.size());
+        const std::int64_t base = pool / m;
+        std::int64_t rem = pool % m;
+        // Deal shares deterministically (rotation from the replicated
+        // RNG keeps the remainder fair).
+        const std::size_t start = static_cast<std::size_t>(
+            decisions.below(group.size()));
+        std::vector<std::int64_t> share(group.size(), base);
+        for (std::int64_t k = 0; k < rem; ++k)
+          share[(start + static_cast<std::size_t>(k)) % group.size()] += 1;
+        // Point-to-point transfers: surplus members ship packets to
+        // deficit members (every rank computes the same flow plan, but
+        // only the endpoints act on it).
+        std::size_t give = 0;
+        std::size_t take = 0;
+        std::vector<std::int64_t> delta_v(group.size());
+        for (std::size_t i = 0; i < group.size(); ++i)
+          delta_v[i] = share[i] - loads[group[i]];
+        while (true) {
+          while (give < group.size() && delta_v[give] >= 0) ++give;
+          while (take < group.size() && delta_v[take] <= 0) ++take;
+          if (give >= group.size() || take >= group.size()) break;
+          const std::int64_t amount =
+              std::min(-delta_v[give], delta_v[take]);
+          if (group[give] == me)
+            comm.send(static_cast<int>(group[take]),
+                      static_cast<int>(t), {amount});
+          if (group[take] == me) {
+            const MpMessage msg =
+                comm.recv(static_cast<int>(group[give]),
+                          static_cast<int>(t));
+            moved += msg.payload[0];
+          }
+          delta_v[give] += amount;
+          delta_v[take] -= amount;
+        }
+        // Commit the replicated assignment; participants also reset
+        // their trigger baseline (§4: an operation counts as delta+1
+        // independent operations).
+        for (std::size_t i = 0; i < group.size(); ++i) {
+          loads[group[i]] = share[i];
+          if (group[i] == me) {
+            load = share[i];
+            l_old = share[i];
+          }
+        }
+        if (static_cast<std::uint32_t>(initiator) == me) ++ops;
+      }
+    }
+
+    // Machine-wide report via collectives.
+    const std::int64_t total = comm.allreduce_sum(load);
+    const std::int64_t lo = comm.allreduce_min(load);
+    const std::int64_t hi = comm.allreduce_max(load);
+    const std::int64_t all_ops = comm.allreduce_sum(ops);
+    const std::int64_t all_moved = comm.allreduce_sum(moved);
+    const std::int64_t all_gen = comm.allreduce_sum(generated);
+    const std::int64_t all_con = comm.allreduce_sum(consumed);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(report_mutex);
+      final_min = lo;
+      final_max = hi;
+      final_total = total;
+      total_ops = all_ops;
+      total_moved = all_moved;
+      if (total != all_gen - all_con)
+        std::cerr << "CONSERVATION VIOLATED\n";
+    }
+  });
+
+  TextTable table({"metric", "value"});
+  table.row().cell("ranks").cell(static_cast<long long>(n));
+  table.row().cell("final total load").cell(
+      static_cast<long long>(final_total));
+  table.row().cell("final min load").cell(
+      static_cast<long long>(final_min));
+  table.row().cell("final max load").cell(
+      static_cast<long long>(final_max));
+  table.row().cell("balancing rounds initiated").cell(
+      static_cast<long long>(total_ops));
+  table.row().cell("packets shipped (p2p)").cell(
+      static_cast<long long>(total_moved));
+  table.print(std::cout);
+  std::cout << "\nReplicated-decision SPMD balancing: collectives carry "
+               "the control plane, point-to-point messages carry the "
+               "packets.\n";
+  return 0;
+}

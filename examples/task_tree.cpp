@@ -1,0 +1,168 @@
+// OR-parallel task-tree search — the concurrent-logic-programming
+// workload of the paper's reference [4] (distributed Flat Concurrent
+// Prolog): a search tree unfolds dynamically, every node costing one
+// unit of work and spawning a random number of children *on the
+// processor that executes it*.  Whether the machine stays busy depends
+// entirely on the balancer moving tasks away from the spawning sites.
+//
+// Packets in the System ARE the pending tasks: a processor executes a
+// task by consuming a packet (which only succeeds where a packet
+// resides) and spawns children by generating packets locally.  We
+// compare effectively-no-balancing with the paper's algorithm at
+// several (f, delta) points, both with global random partners and with
+// partners restricted to a hypercube neighborhood.
+//
+//   $ ./build/examples/task_tree
+#include <algorithm>
+#include <iostream>
+
+#include "core/item_system.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace dlb;
+
+/// A real task object carried by the balancer (ItemSystem payload): the
+/// goal's depth in the search tree.
+struct Goal {
+  std::uint32_t depth = 0;
+};
+
+struct TreeRun {
+  std::uint64_t executed = 0;
+  std::uint64_t steps = 0;
+  double utilization = 0.0;  // busy processor-steps / total
+  std::uint64_t balance_ops = 0;
+  std::uint64_t hops = 0;
+  std::uint32_t max_depth = 0;
+};
+
+int spawn_count(Rng& rng, std::uint64_t executed, std::uint64_t max_tasks) {
+  // The search fans out deterministically near the root (real search
+  // trees are bushy at shallow depth), then branches randomly with mean
+  // 1.1 until the budget truncates it ("solution found").
+  if (executed >= max_tasks) return 0;
+  if (executed < 64) return 2;
+  const double u = rng.uniform01();
+  return u < 0.25 ? 0 : (u < 0.65 ? 1 : 2);
+}
+
+// Null policy: tasks run only where they were spawned.
+TreeRun run_tree_unbalanced(std::uint32_t n, std::uint64_t seed,
+                            std::uint64_t max_tasks) {
+  Rng spawn_rng(seed ^ 0x17ee);
+  std::vector<std::uint64_t> pending(n, 0);
+  pending[0] = 1;
+  TreeRun out;
+  std::uint64_t busy = 0;
+  std::uint64_t total = 1;
+  while (total > 0 && out.executed < max_tasks) {
+    ++out.steps;
+    for (std::uint32_t p = 0; p < n; ++p) {
+      if (pending[p] == 0) continue;
+      pending[p] -= 1;
+      --total;
+      ++busy;
+      ++out.executed;
+      const int children = spawn_count(spawn_rng, out.executed, max_tasks);
+      pending[p] += static_cast<std::uint64_t>(children);
+      total += static_cast<std::uint64_t>(children);
+    }
+  }
+  out.utilization = out.steps == 0
+                        ? 0.0
+                        : static_cast<double>(busy) /
+                              (static_cast<double>(out.steps) * n);
+  return out;
+}
+
+TreeRun run_tree(const Topology& topo, BalancerConfig cfg, bool local,
+                 std::uint64_t seed, std::uint64_t max_tasks) {
+  const std::uint32_t n = topo.size();
+  // Goals are real payload objects; ItemSystem keeps them in lockstep
+  // with the balancer's packets.
+  ItemSystem<Goal> items(n, cfg, seed, &topo);
+  if (local) items.restrict_partners_to_neighborhood(1);
+  Rng spawn_rng(seed ^ 0x17ee);
+  items.produce(0, Goal{0});  // the root goal enters at processor 0
+
+  TreeRun out;
+  std::uint64_t busy = 0;
+  while (items.total_items() > 0 && out.executed < max_tasks) {
+    ++out.steps;
+    for (std::uint32_t p = 0; p < n; ++p) {
+      if (items.queue_size(p) == 0) continue;  // starved this step
+      const auto goal = items.consume(p);
+      if (!goal.has_value()) continue;
+      ++busy;
+      ++out.executed;
+      out.max_depth = std::max(out.max_depth, goal->depth);
+      const int children = spawn_count(spawn_rng, out.executed, max_tasks);
+      for (int c = 0; c < children; ++c)
+        items.produce(p, Goal{goal->depth + 1});
+    }
+  }
+  items.check();
+  out.utilization = out.steps == 0
+                        ? 0.0
+                        : static_cast<double>(busy) /
+                              (static_cast<double>(out.steps) * n);
+  out.balance_ops = items.system().balance_operations();
+  out.hops = items.system().costs().totals().packet_hops;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const auto topo = Topology::hypercube(4);  // 16 nodes
+  const std::uint64_t budget = 20000;
+
+  std::cout << "OR-parallel task tree on a 16-node hypercube "
+               "(reference [4] workload), task budget "
+            << budget << "\n\n";
+
+  TextTable table({"strategy", "parallel steps", "tasks executed",
+                   "utilization", "max depth", "balance ops",
+                   "packet hops"});
+  struct Cfg {
+    const char* name;
+    double f;
+    std::uint32_t delta;
+    bool local;
+  };
+  {
+    const TreeRun r = run_tree_unbalanced(topo.size(), 424242, budget);
+    table.row()
+        .cell("no balancing")
+        .cell(static_cast<unsigned long long>(r.steps))
+        .cell(static_cast<unsigned long long>(r.executed))
+        .cell(r.utilization, 3)
+        .cell("n/a")
+        .cell(static_cast<unsigned long long>(r.balance_ops))
+        .cell(static_cast<unsigned long long>(r.hops));
+  }
+  for (const Cfg& cfg : {Cfg{"dlb f=1.5 d=1 global", 1.5, 1, false},
+                         Cfg{"dlb f=1.2 d=3 global", 1.2, 3, false},
+                         Cfg{"dlb f=1.2 d=3 neighbors", 1.2, 3, true}}) {
+    BalancerConfig bc;
+    bc.f = cfg.f;
+    bc.delta = cfg.delta;
+    const TreeRun r = run_tree(topo, bc, cfg.local, 424242, budget);
+    table.row()
+        .cell(cfg.name)
+        .cell(static_cast<unsigned long long>(r.steps))
+        .cell(static_cast<unsigned long long>(r.executed))
+        .cell(r.utilization, 3)
+        .cell(static_cast<std::size_t>(r.max_depth))
+        .cell(static_cast<unsigned long long>(r.balance_ops))
+        .cell(static_cast<unsigned long long>(r.hops));
+  }
+  table.print(std::cout);
+  std::cout << "\nWithout balancing the tree lives and dies on processor "
+               "0; with it the same budget finishes in a fraction of the "
+               "steps.  Neighborhood partners cut the hop bill at a small "
+               "cost in speed.\n";
+  return 0;
+}

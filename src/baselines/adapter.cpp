@@ -1,0 +1,44 @@
+#include "baselines/adapter.hpp"
+
+namespace dlb {
+
+DlbAdapter::DlbAdapter(std::uint32_t processors, BalancerConfig config,
+                       std::uint64_t seed)
+    : system_(std::make_unique<System>(processors, config, seed)) {}
+
+std::string DlbAdapter::name() const {
+  return "dlb(" + system_->config().describe() + ")";
+}
+
+void DlbAdapter::generate(std::uint32_t p) {
+  system_->generate(p);
+  sync_costs();
+}
+
+bool DlbAdapter::consume(std::uint32_t p) {
+  const bool ok = system_->consume(p);
+  if (!ok) count_failure();
+  sync_costs();
+  return ok;
+}
+
+std::vector<std::int64_t> DlbAdapter::loads() const {
+  return system_->loads();
+}
+
+void DlbAdapter::sync_costs() {
+  // Comparisons against label-free baselines use the *net* flow: the
+  // physical migration implied by total-load changes.  The gross
+  // class-labeled traffic remains available via system().costs().
+  const CostTotals& totals = system_->costs().totals();
+  if (totals.packets_moved_net > moved_baseline_) {
+    count_moved(totals.packets_moved_net - moved_baseline_);
+    moved_baseline_ = totals.packets_moved_net;
+  }
+  if (totals.messages > messages_baseline_) {
+    count_message(totals.messages - messages_baseline_);
+    messages_baseline_ = totals.messages;
+  }
+}
+
+}  // namespace dlb

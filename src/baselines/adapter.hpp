@@ -1,0 +1,33 @@
+// Adapter exposing the paper's algorithm (core/System) through the
+// LoadBalancer comparison interface, so the comparison benches can drive
+// every strategy — including ours — through one code path.
+#pragma once
+
+#include <memory>
+
+#include "baselines/balancer.hpp"
+#include "core/system.hpp"
+
+namespace dlb {
+
+class DlbAdapter final : public LoadBalancer {
+ public:
+  DlbAdapter(std::uint32_t processors, BalancerConfig config,
+             std::uint64_t seed);
+
+  std::string name() const override;
+  void generate(std::uint32_t p) override;
+  bool consume(std::uint32_t p) override;
+  std::vector<std::int64_t> loads() const override;
+
+  System& system() { return *system_; }
+  const System& system() const { return *system_; }
+
+ private:
+  std::unique_ptr<System> system_;
+  std::uint64_t moved_baseline_ = 0;
+  std::uint64_t messages_baseline_ = 0;
+  void sync_costs();
+};
+
+}  // namespace dlb

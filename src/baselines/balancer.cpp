@@ -1,0 +1,26 @@
+#include "baselines/balancer.hpp"
+
+namespace dlb {
+
+std::int64_t LoadBalancer::total_load() const {
+  std::int64_t total = 0;
+  for (std::int64_t l : loads()) total += l;
+  return total;
+}
+
+void run_trace(
+    LoadBalancer& balancer, const Trace& trace,
+    const std::function<void(std::uint32_t, const std::vector<std::int64_t>&)>&
+        on_step) {
+  for (std::uint32_t t = 0; t < trace.horizon(); ++t) {
+    for (std::uint32_t p = 0; p < trace.processors(); ++p) {
+      const WorkEvent ev = trace.at(p, t);
+      if (ev.generate) balancer.generate(p);
+      if (ev.consume) balancer.consume(p);
+    }
+    balancer.end_step(t);
+    if (on_step) on_step(t, balancer.loads());
+  }
+}
+
+}  // namespace dlb

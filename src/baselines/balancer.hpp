@@ -1,0 +1,65 @@
+// Common interface for load balancing strategies under comparison.
+//
+// The paper motivates its algorithm against simpler schemes: §5's
+// strawman (ship everything to a random processor — perfect expected
+// balance, useless variance) and the Rudolph–Slivkin-Allalouf–Upfal
+// SPAA'91 scheme [20] whose analysis the paper corrects.  We add the two
+// classic practical competitors from the work-stealing / diffusion
+// families.  Every strategy implements the same demand-driven interface
+// and is driven by the *same* recorded Trace, so measured differences are
+// attributable to policy alone.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/trace.hpp"
+
+namespace dlb {
+
+class LoadBalancer {
+ public:
+  virtual ~LoadBalancer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// The application generated one packet on processor p.
+  virtual void generate(std::uint32_t p) = 0;
+
+  /// The application wants to consume one packet on processor p; returns
+  /// false if the strategy could not provide one.
+  virtual bool consume(std::uint32_t p) = 0;
+
+  /// End-of-step hook for periodic strategies (diffusion, scatter, RSU).
+  virtual void end_step(std::uint32_t t) { (void)t; }
+
+  virtual std::vector<std::int64_t> loads() const = 0;
+  virtual std::int64_t total_load() const;
+
+  /// Cost counters every strategy maintains.
+  std::uint64_t messages() const { return messages_; }
+  std::uint64_t packets_moved() const { return packets_moved_; }
+  std::uint64_t consume_failures() const { return consume_failures_; }
+
+ protected:
+  void count_message(std::uint64_t n = 1) { messages_ += n; }
+  void count_moved(std::uint64_t n) { packets_moved_ += n; }
+  void count_failure() { ++consume_failures_; }
+
+ private:
+  std::uint64_t messages_ = 0;
+  std::uint64_t packets_moved_ = 0;
+  std::uint64_t consume_failures_ = 0;
+};
+
+/// Replays `trace` against `balancer`; `on_step` (optional) observes the
+/// load vector after every global step.
+void run_trace(
+    LoadBalancer& balancer, const Trace& trace,
+    const std::function<void(std::uint32_t, const std::vector<std::int64_t>&)>&
+        on_step = {});
+
+}  // namespace dlb

@@ -1,0 +1,51 @@
+#include "baselines/diffusion.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+Diffusion::Diffusion(const Topology& topology, Params params)
+    : topology_(topology),
+      loads_(topology.size(), 0) {
+  std::size_t max_degree = 0;
+  for (ProcId u = 0; u < topology_.size(); ++u)
+    max_degree = std::max(max_degree, topology_.degree(u));
+  DLB_REQUIRE(max_degree >= 1, "diffusion needs a connected topology");
+  alpha_ = params.alpha > 0.0
+               ? params.alpha
+               : 1.0 / (static_cast<double>(max_degree) + 1.0);
+  DLB_REQUIRE(alpha_ > 0.0 && alpha_ <= 1.0, "alpha out of range");
+}
+
+void Diffusion::generate(std::uint32_t p) { loads_.at(p) += 1; }
+
+bool Diffusion::consume(std::uint32_t p) {
+  if (loads_.at(p) == 0) {
+    count_failure();
+    return false;
+  }
+  loads_[p] -= 1;
+  return true;
+}
+
+void Diffusion::end_step(std::uint32_t t) {
+  (void)t;
+  const std::vector<std::int64_t> snapshot = loads_;
+  for (ProcId u = 0; u < topology_.size(); ++u) {
+    for (ProcId v : topology_.neighbors(u)) {
+      if (v <= u) continue;  // each undirected edge once
+      const std::int64_t diff = snapshot[u] - snapshot[v];
+      const auto flow = static_cast<std::int64_t>(
+          std::trunc(alpha_ * static_cast<double>(diff)));
+      if (flow == 0) continue;
+      loads_[u] -= flow;
+      loads_[v] += flow;
+      count_message();
+      count_moved(static_cast<std::uint64_t>(std::llabs(flow)));
+    }
+  }
+}
+
+}  // namespace dlb

@@ -1,0 +1,44 @@
+// First-order diffusion on an interconnection topology (Cybenko 1989
+// style) — the classic nearest-neighbor averaging family the paper's
+// introduction contrasts with (gradient-model and diffusive schemes,
+// references [6, 9]).
+//
+// Each global step, every edge (u, v) exchanges alpha·(l_u − l_v) packets
+// (rounded toward zero) from the heavier to the lighter side, using the
+// pre-step snapshot so the sweep is simultaneous and conservative.
+// Diffusion only reacts at topology speed: on a large-diameter network
+// load spreads in O(diameter) steps, which is the contrast with the
+// paper's distance-free random-partner operations.
+#pragma once
+
+#include "baselines/balancer.hpp"
+#include "net/topology.hpp"
+
+namespace dlb {
+
+class Diffusion final : public LoadBalancer {
+ public:
+  struct Params {
+    /// Exchange rate per edge; stability requires alpha <= 1/(max_degree+1).
+    /// 0 means "choose 1/(max_degree+1) automatically".
+    double alpha = 0.0;
+  };
+
+  /// `topology` must outlive the balancer.
+  Diffusion(const Topology& topology, Params params);
+
+  std::string name() const override { return "diffusion"; }
+  void generate(std::uint32_t p) override;
+  bool consume(std::uint32_t p) override;
+  void end_step(std::uint32_t t) override;
+  std::vector<std::int64_t> loads() const override { return loads_; }
+
+  double alpha() const { return alpha_; }
+
+ private:
+  const Topology& topology_;
+  std::vector<std::int64_t> loads_;
+  double alpha_;
+};
+
+}  // namespace dlb

@@ -1,0 +1,53 @@
+#include "baselines/dimension_exchange.hpp"
+
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+DimensionExchange::DimensionExchange(unsigned dimension, Params params)
+    : dimension_(dimension),
+      params_(params),
+      loads_(std::size_t{1} << dimension, 0) {
+  DLB_REQUIRE(dimension >= 1 && dimension <= 20,
+              "dimension exchange needs 1 <= d <= 20");
+}
+
+void DimensionExchange::generate(std::uint32_t p) { loads_.at(p) += 1; }
+
+bool DimensionExchange::consume(std::uint32_t p) {
+  if (loads_.at(p) == 0) {
+    count_failure();
+    return false;
+  }
+  loads_[p] -= 1;
+  return true;
+}
+
+void DimensionExchange::exchange_dimension(unsigned k) {
+  const auto bit = std::uint32_t{1} << k;
+  for (std::uint32_t p = 0; p < loads_.size(); ++p) {
+    const std::uint32_t q = p ^ bit;
+    if (q < p) continue;  // each pair once
+    const std::int64_t pool = loads_[p] + loads_[q];
+    const std::int64_t diff = loads_[p] - loads_[q];
+    if (diff == 0) continue;
+    // The lower-indexed partner keeps the odd packet.
+    const std::int64_t lo = pool / 2;
+    loads_[p] = pool - lo;
+    loads_[q] = lo;
+    count_message(2);
+    count_moved(static_cast<std::uint64_t>(std::llabs(diff) / 2));
+  }
+}
+
+void DimensionExchange::end_step(std::uint32_t t) {
+  if (params_.one_dimension_per_step) {
+    exchange_dimension(t % dimension_);
+  } else {
+    for (unsigned k = 0; k < dimension_; ++k) exchange_dimension(k);
+  }
+}
+
+}  // namespace dlb

@@ -1,0 +1,45 @@
+// Dimension exchange (Cybenko 1989) — the classic hypercube-structured
+// balancing scheme: in round k, every processor equalizes (±1) with its
+// neighbor across hypercube dimension k; after d rounds (one "sweep")
+// the load is globally balanced if nothing changed meanwhile.
+//
+// Included as the strongest *structured* competitor: unlike diffusion it
+// converges in d = log2(n) rounds rather than O(diameter²) steps, but it
+// requires a hypercube and balances on a fixed schedule rather than
+// demand-driven like the paper's algorithm — the comparison shows what
+// the random-partner scheme buys on irregular demand.
+#pragma once
+
+#include "baselines/balancer.hpp"
+#include "support/rng.hpp"
+
+namespace dlb {
+
+class DimensionExchange final : public LoadBalancer {
+ public:
+  struct Params {
+    /// Exchange with one dimension per end_step call (the asynchronous
+    /// schedule); a full sweep takes `dimension` steps.
+    bool one_dimension_per_step = true;
+  };
+
+  /// n = 2^dimension processors.
+  DimensionExchange(unsigned dimension, Params params);
+
+  std::string name() const override { return "dimension-exchange"; }
+  void generate(std::uint32_t p) override;
+  bool consume(std::uint32_t p) override;
+  void end_step(std::uint32_t t) override;
+  std::vector<std::int64_t> loads() const override { return loads_; }
+
+  unsigned dimension() const { return dimension_; }
+
+ private:
+  void exchange_dimension(unsigned k);
+
+  unsigned dimension_;
+  Params params_;
+  std::vector<std::int64_t> loads_;
+};
+
+}  // namespace dlb

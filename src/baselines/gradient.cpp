@@ -1,0 +1,84 @@
+#include "baselines/gradient.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+GradientModel::GradientModel(const Topology& topology, Params params)
+    : topology_(topology),
+      params_(params),
+      loads_(topology.size(), 0),
+      unreachable_(topology.diameter() + 1) {
+  DLB_REQUIRE(params_.low_watermark >= 0, "low watermark must be >= 0");
+  DLB_REQUIRE(params_.high_watermark > params_.low_watermark,
+              "high watermark must exceed the low watermark");
+  DLB_REQUIRE(params_.push_per_step >= 1, "must push at least one packet");
+  proximity_.assign(topology_.size(), unreachable_);
+}
+
+void GradientModel::generate(std::uint32_t p) { loads_.at(p) += 1; }
+
+bool GradientModel::consume(std::uint32_t p) {
+  if (loads_.at(p) == 0) {
+    count_failure();
+    return false;
+  }
+  loads_[p] -= 1;
+  return true;
+}
+
+unsigned GradientModel::proximity(std::uint32_t p) const {
+  DLB_REQUIRE(p < proximity_.size(), "processor id out of range");
+  return proximity_[p];
+}
+
+void GradientModel::update_proximities() {
+  // One relaxation sweep per step from the previous estimates: pressure
+  // information propagates at one hop per time step, as in the original
+  // asynchronous scheme.
+  const std::vector<unsigned> previous = proximity_;
+  for (ProcId u = 0; u < topology_.size(); ++u) {
+    if (loads_[u] <= params_.low_watermark) {
+      proximity_[u] = 0;
+      continue;
+    }
+    unsigned best = unreachable_;
+    for (ProcId v : topology_.neighbors(u))
+      best = std::min(best, previous[v]);
+    proximity_[u] =
+        best >= unreachable_ ? unreachable_ : best + 1;
+  }
+}
+
+void GradientModel::end_step(std::uint32_t t) {
+  (void)t;
+  update_proximities();
+  // Overloaded processors push down the gradient (simultaneous sweep on
+  // the pre-step snapshot).
+  const std::vector<std::int64_t> snapshot = loads_;
+  for (ProcId u = 0; u < topology_.size(); ++u) {
+    if (snapshot[u] < params_.high_watermark) continue;
+    // Find the neighbor with minimal proximity; require strict descent
+    // so packets cannot oscillate on a plateau.
+    ProcId target = u;
+    unsigned best = proximity_[u];
+    for (ProcId v : topology_.neighbors(u)) {
+      if (proximity_[v] < best) {
+        best = proximity_[v];
+        target = v;
+      }
+    }
+    if (target == u) continue;
+    const std::int64_t amount =
+        std::min(params_.push_per_step, loads_[u]);
+    if (amount <= 0) continue;
+    loads_[u] -= amount;
+    loads_[target] += amount;
+    count_message();
+    count_moved(static_cast<std::uint64_t>(amount));
+  }
+}
+
+}  // namespace dlb

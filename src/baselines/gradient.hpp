@@ -1,0 +1,52 @@
+// The Gradient Model (Lin & Keller 1987) — the paper's reference [6] and
+// the classic topology-driven alternative its introduction contrasts
+// with.
+//
+// Each processor classifies itself as light (load <= low watermark) or
+// not and maintains a *proximity*: its estimated hop distance to the
+// nearest light processor, computed from neighbors' proximities
+// (information propagates one hop per step, as in the original
+// asynchronous scheme).  Heavily loaded processors (load >= high
+// watermark) push one packet per step toward the neighbor with the
+// smallest proximity — work flows down the pressure gradient until it
+// reaches a light processor.
+#pragma once
+
+#include "baselines/balancer.hpp"
+#include "net/topology.hpp"
+
+namespace dlb {
+
+class GradientModel final : public LoadBalancer {
+ public:
+  struct Params {
+    std::int64_t low_watermark = 1;    // "light" below/equal this load
+    std::int64_t high_watermark = 3;   // pushes when at/above this load
+    /// Packets pushed per step by an overloaded processor.
+    std::int64_t push_per_step = 1;
+  };
+
+  /// `topology` must outlive the balancer.
+  GradientModel(const Topology& topology, Params params);
+
+  std::string name() const override { return "gradient-model-87"; }
+  void generate(std::uint32_t p) override;
+  bool consume(std::uint32_t p) override;
+  void end_step(std::uint32_t t) override;
+  std::vector<std::int64_t> loads() const override { return loads_; }
+
+  /// Current proximity estimate of processor p (diameter+1 = "no light
+  /// processor known").
+  unsigned proximity(std::uint32_t p) const;
+
+ private:
+  void update_proximities();
+
+  const Topology& topology_;
+  Params params_;
+  std::vector<std::int64_t> loads_;
+  std::vector<unsigned> proximity_;
+  unsigned unreachable_;
+};
+
+}  // namespace dlb

@@ -1,0 +1,67 @@
+#include "baselines/rsu.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+RudolphUpfal::RudolphUpfal(std::uint32_t processors, Params params,
+                           std::uint64_t seed)
+    : loads_(processors, 0), params_(params), rng_(seed) {
+  DLB_REQUIRE(processors >= 2, "RSU needs at least two processors");
+  DLB_REQUIRE(params_.threshold >= 1, "threshold must be >= 1");
+}
+
+void RudolphUpfal::generate(std::uint32_t p) {
+  loads_.at(p) += 1;
+  maybe_probe(p);
+}
+
+bool RudolphUpfal::consume(std::uint32_t p) {
+  if (loads_.at(p) == 0) {
+    // An empty processor still probes (probability 1), which is how the
+    // scheme acquires work for starved processors.
+    maybe_probe(p);
+    if (loads_[p] == 0) {
+      count_failure();
+      return false;
+    }
+  }
+  loads_[p] -= 1;
+  maybe_probe(p);
+  return true;
+}
+
+void RudolphUpfal::end_step(std::uint32_t t) {
+  (void)t;
+  for (std::uint32_t p = 0; p < loads_.size(); ++p) maybe_probe(p);
+}
+
+void RudolphUpfal::maybe_probe(std::uint32_t p) {
+  const std::int64_t l = loads_[p];
+  const double probability = l <= 1 ? 1.0 : 1.0 / static_cast<double>(l);
+  if (!rng_.bernoulli(probability)) return;
+  auto q = static_cast<std::uint32_t>(rng_.below(loads_.size() - 1));
+  if (q >= p) ++q;  // uniform over the other processors
+  count_message(2);  // probe + load report
+  const std::int64_t diff = loads_[p] - loads_[q];
+  if (std::llabs(diff) <= params_.threshold) return;
+  const std::int64_t pool = loads_[p] + loads_[q];
+  const std::int64_t lo = pool / 2;
+  const std::int64_t hi = pool - lo;
+  const std::uint64_t moved =
+      static_cast<std::uint64_t>(std::llabs(diff) / 2);
+  // The heavier side keeps the odd packet.
+  if (loads_[p] > loads_[q]) {
+    loads_[p] = hi;
+    loads_[q] = lo;
+  } else {
+    loads_[p] = lo;
+    loads_[q] = hi;
+  }
+  count_moved(moved);
+}
+
+}  // namespace dlb

@@ -1,0 +1,44 @@
+// The Rudolph–Slivkin-Allalouf–Upfal scheme (SPAA'91), reference [20].
+//
+// The paper under reproduction positions itself against this algorithm:
+// [20] was the only prior theoretical result for fully dynamic load
+// balancing, and its proof contains incorrect assumptions (Mehlhorn's
+// counterexample, reference [10]).  The scheme itself: after each local
+// operation a processor flips a coin with probability min(1, 1/l) (l its
+// current load) and, on success, compares load with one uniformly random
+// partner; if the difference exceeds a threshold the two equalize.  Light
+// processors thus probe often, heavy ones rarely.
+#pragma once
+
+#include "baselines/balancer.hpp"
+#include "support/rng.hpp"
+
+namespace dlb {
+
+class RudolphUpfal final : public LoadBalancer {
+ public:
+  struct Params {
+    /// Equalize when |l_p − l_q| > threshold.
+    std::int64_t threshold = 1;
+  };
+
+  RudolphUpfal(std::uint32_t processors, Params params, std::uint64_t seed);
+
+  std::string name() const override { return "rudolph-upfal-91"; }
+  void generate(std::uint32_t p) override;
+  bool consume(std::uint32_t p) override;
+  /// [20] has every processor flip its balancing coin after each time
+  /// step, whether or not it performed a local operation; without this,
+  /// idle heavy processors would never shed load.
+  void end_step(std::uint32_t t) override;
+  std::vector<std::int64_t> loads() const override { return loads_; }
+
+ private:
+  void maybe_probe(std::uint32_t p);
+
+  std::vector<std::int64_t> loads_;
+  Params params_;
+  Rng rng_;
+};
+
+}  // namespace dlb

@@ -1,0 +1,56 @@
+#include "baselines/simple.hpp"
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+NoBalancing::NoBalancing(std::uint32_t processors) : loads_(processors, 0) {
+  DLB_REQUIRE(processors >= 1, "need at least one processor");
+}
+
+void NoBalancing::generate(std::uint32_t p) { loads_.at(p) += 1; }
+
+bool NoBalancing::consume(std::uint32_t p) {
+  if (loads_.at(p) == 0) {
+    count_failure();
+    return false;
+  }
+  loads_[p] -= 1;
+  return true;
+}
+
+RandomScatter::RandomScatter(std::uint32_t processors, std::uint64_t seed)
+    : loads_(processors, 0), rng_(seed) {
+  DLB_REQUIRE(processors >= 2, "scatter needs at least two processors");
+}
+
+void RandomScatter::generate(std::uint32_t p) { loads_.at(p) += 1; }
+
+bool RandomScatter::consume(std::uint32_t p) {
+  if (loads_.at(p) == 0) {
+    count_failure();
+    return false;
+  }
+  loads_[p] -= 1;
+  return true;
+}
+
+void RandomScatter::end_step(std::uint32_t t) {
+  (void)t;
+  // Each processor ships its entire queue to one random processor.  The
+  // moves are computed from the pre-step snapshot so processors scatter
+  // simultaneously, as in the paper's description.
+  const std::vector<std::int64_t> snapshot = loads_;
+  for (std::uint32_t p = 0; p < snapshot.size(); ++p) {
+    if (snapshot[p] == 0) continue;
+    const auto target = static_cast<std::uint32_t>(
+        rng_.below(snapshot.size()));
+    if (target == p) continue;
+    loads_[p] -= snapshot[p];
+    loads_[target] += snapshot[p];
+    count_message();
+    count_moved(static_cast<std::uint64_t>(snapshot[p]));
+  }
+}
+
+}  // namespace dlb

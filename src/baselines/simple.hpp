@@ -1,0 +1,44 @@
+// Trivial reference strategies.
+//
+// NoBalancing is the null policy (what the application would experience
+// without any balancer).  RandomScatter is §5's cautionary example: every
+// processor ships its whole queue to one uniformly random processor per
+// step, which makes all *expected* loads equal while the variance is
+// enormous — the paper uses it to argue that expectation bounds alone do
+// not certify a balancing algorithm.
+#pragma once
+
+#include "baselines/balancer.hpp"
+#include "support/rng.hpp"
+
+namespace dlb {
+
+class NoBalancing final : public LoadBalancer {
+ public:
+  explicit NoBalancing(std::uint32_t processors);
+
+  std::string name() const override { return "none"; }
+  void generate(std::uint32_t p) override;
+  bool consume(std::uint32_t p) override;
+  std::vector<std::int64_t> loads() const override { return loads_; }
+
+ private:
+  std::vector<std::int64_t> loads_;
+};
+
+class RandomScatter final : public LoadBalancer {
+ public:
+  RandomScatter(std::uint32_t processors, std::uint64_t seed);
+
+  std::string name() const override { return "random-scatter"; }
+  void generate(std::uint32_t p) override;
+  bool consume(std::uint32_t p) override;
+  void end_step(std::uint32_t t) override;
+  std::vector<std::int64_t> loads() const override { return loads_; }
+
+ private:
+  std::vector<std::int64_t> loads_;
+  Rng rng_;
+};
+
+}  // namespace dlb

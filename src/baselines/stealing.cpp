@@ -1,0 +1,40 @@
+#include "baselines/stealing.hpp"
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+WorkStealing::WorkStealing(std::uint32_t processors, Params params,
+                           std::uint64_t seed)
+    : loads_(processors, 0), params_(params), rng_(seed) {
+  DLB_REQUIRE(processors >= 2, "stealing needs at least two processors");
+  DLB_REQUIRE(params_.max_probes >= 1, "need at least one probe");
+}
+
+void WorkStealing::generate(std::uint32_t p) { loads_.at(p) += 1; }
+
+bool WorkStealing::consume(std::uint32_t p) {
+  if (loads_.at(p) == 0) {
+    for (std::uint32_t probe = 0; probe < params_.max_probes; ++probe) {
+      auto victim = static_cast<std::uint32_t>(
+          rng_.below(loads_.size() - 1));
+      if (victim >= p) ++victim;
+      count_message(2);  // steal request + reply
+      if (loads_[victim] == 0) continue;
+      const std::int64_t stolen = (loads_[victim] + 1) / 2;
+      loads_[victim] -= stolen;
+      loads_[p] += stolen;
+      count_moved(static_cast<std::uint64_t>(stolen));
+      ++steals_;
+      break;
+    }
+    if (loads_[p] == 0) {
+      count_failure();
+      return false;
+    }
+  }
+  loads_[p] -= 1;
+  return true;
+}
+
+}  // namespace dlb

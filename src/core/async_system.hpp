@@ -1,0 +1,149 @@
+// Asynchronous discrete-event simulation of the balancing algorithm with
+// explicit message latencies.
+//
+// §2 of the paper assumes a balancing operation completes in constant
+// time independent of distance and data volume.  The synchronous System
+// implements that model; AsyncSystem removes the assumption: a balancing
+// operation is a three-message transaction (Invite -> Accept/Refuse ->
+// Assign) whose messages travel for `hop_latency x distance(u, v)` time
+// units on a given topology, while application demand keeps arriving.
+// This quantifies how much of the paper's guarantee survives when the
+// O(1) abstraction is false — the degradation benches
+// (bench/ablation_latency) sweep the hop latency — and exercises the
+// refusal-based deadlock-freedom argument under a precise event order.
+//
+// Protocol states per processor: Idle, Initiating (sent invites, awaits
+// all replies; refuses incoming invites), Locked (accepted an invite,
+// awaits the assignment; refuses everything else).  The initiator
+// equalizes over the loads *reported in the Accept messages*; a locked
+// partner defers its application demand until released, so reported
+// loads stay exact and packets are conserved.
+//
+// Determinism: events are ordered by (time, sequence number) and all
+// randomness flows from one seeded generator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "support/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace dlb {
+
+struct AsyncConfig {
+  double f = 1.1;
+  std::uint32_t delta = 1;
+  /// Message latency per topology hop, in units of one application time
+  /// step.  0 models the paper's instantaneous operations.
+  double hop_latency = 0.0;
+  /// Locality: when > 0, partners are drawn from the topology ball of
+  /// this radius around the initiator instead of the whole network —
+  /// with latency enabled this is the natural pairing (short messages).
+  unsigned partner_radius = 0;
+  std::uint64_t seed = 1;
+};
+
+struct AsyncStats {
+  std::uint64_t balance_ops = 0;     // completed transactions
+  std::uint64_t aborted_ops = 0;     // all partners refused
+  std::uint64_t refusals = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t packets_moved = 0;
+  std::uint64_t consume_failures = 0;
+  std::uint64_t deferred_events = 0;  // app events delayed by a lock
+  std::uint64_t generated = 0;
+  std::uint64_t consumed = 0;
+};
+
+class AsyncSystem {
+ public:
+  /// `topology` provides distances for message latency; must outlive the
+  /// system.
+  AsyncSystem(const Topology& topology, AsyncConfig config);
+
+  /// Replays the trace: processor p's step-t demand enters the event
+  /// queue at time t.  Runs until all events (including in-flight
+  /// transactions) have drained.  May be called once per instance.
+  void run(const Trace& trace);
+
+  const std::vector<std::int64_t>& loads() const { return loads_; }
+  const AsyncStats& stats() const { return stats_; }
+  /// Simulated time when the last event executed.
+  double end_time() const { return now_; }
+
+  /// Per-integer-time-step load snapshots (index t = loads after all
+  /// events at time <= t executed); filled by run().
+  const std::vector<std::vector<std::int64_t>>& snapshots() const {
+    return snapshots_;
+  }
+
+ private:
+  enum class MsgType : std::uint8_t { Invite, Accept, Refuse, Assign };
+  enum class Mode : std::uint8_t { Idle, Initiating, Locked };
+
+  struct Message {
+    MsgType type;
+    ProcId from;
+    ProcId to;
+    std::uint64_t txn;
+    std::int64_t payload;  // Accept: reported load; Assign: new load
+  };
+
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    // Either an application event (app == true) or a message delivery.
+    bool app;
+    ProcId proc;       // app target
+    std::uint32_t t;   // app step
+    Message msg;       // valid when !app
+  };
+
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct Proc {
+    Mode mode = Mode::Idle;
+    std::int64_t l_old = 0;
+    // Initiator bookkeeping.
+    std::uint64_t txn = 0;
+    std::uint32_t pending = 0;
+    std::vector<ProcId> accepted;
+    std::vector<std::int64_t> reported;
+    // Deferred application events while Locked.
+    std::vector<std::pair<std::uint32_t, WorkEvent>> deferred;
+  };
+
+  void schedule_message(const Message& msg);
+  void execute_app(ProcId p, std::uint32_t t, WorkEvent ev);
+  void deliver(const Message& msg);
+  void handle_invite(const Message& msg);
+  void handle_reply(const Message& msg);
+  void handle_assign(const Message& msg);
+  void maybe_initiate(ProcId p);
+  void finish_transaction(ProcId p);
+  void release(ProcId p);
+
+  const Topology& topology_;
+  AsyncConfig config_;
+  Rng rng_;
+  std::vector<std::int64_t> loads_;
+  std::vector<Proc> procs_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t txn_counter_ = 0;
+  AsyncStats stats_;
+  std::vector<std::vector<std::int64_t>> snapshots_;
+  bool used_ = false;
+};
+
+}  // namespace dlb

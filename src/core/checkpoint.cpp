@@ -1,0 +1,113 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+namespace {
+constexpr const char* kMagic = "dlb-checkpoint";
+constexpr int kVersion = 1;
+}  // namespace
+
+void save_checkpoint(const System& system, std::ostream& os) {
+  os << kMagic << ' ' << kVersion << '\n';
+  const BalancerConfig& cfg = system.config_;
+  os << system.processors() << ' ' << cfg.delta << ' ' << cfg.borrow_cap
+     << ' ' << (cfg.analysis_mode ? 1 : 0) << '\n';
+  // Hex-encode the double so the round trip is exact.
+  os.precision(17);
+  os << std::hexfloat << cfg.f << std::defaultfloat << '\n';
+
+  const auto rng_state = system.rng_.state();
+  os << rng_state[0] << ' ' << rng_state[1] << ' ' << rng_state[2] << ' '
+     << rng_state[3] << '\n';
+
+  os << system.generated_ << ' ' << system.consumed_ << ' '
+     << system.balance_ops_ << '\n';
+  const CostTotals& totals = system.costs_.totals();
+  os << totals.balance_ops << ' ' << totals.messages << ' '
+     << totals.packets_moved << ' ' << totals.packets_moved_net << ' '
+     << totals.packet_hops << ' ' << totals.partner_links << '\n';
+  os << (system.partner_radius_.has_value()
+             ? static_cast<long long>(*system.partner_radius_)
+             : -1LL)
+     << '\n';
+
+  for (std::uint32_t p = 0; p < system.processors(); ++p) {
+    const ProcessorState& st = system.procs_[p];
+    os << st.l_old << ' ' << st.local_time << '\n';
+    for (std::uint32_t j = 0; j < system.processors(); ++j) {
+      if (j) os << ' ';
+      os << st.ledger.d(j);
+    }
+    os << '\n';
+    for (std::uint32_t j = 0; j < system.processors(); ++j) {
+      if (j) os << ' ';
+      os << st.ledger.b(j);
+    }
+    os << '\n';
+  }
+}
+
+System load_checkpoint(std::istream& is, const Topology* topology) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  DLB_REQUIRE(is.good() && magic == kMagic, "not a dlb checkpoint");
+  DLB_REQUIRE(version == kVersion, "unsupported checkpoint version");
+
+  std::uint32_t processors = 0;
+  BalancerConfig cfg;
+  int analysis = 0;
+  is >> processors >> cfg.delta >> cfg.borrow_cap >> analysis;
+  cfg.analysis_mode = analysis != 0;
+  // operator>> cannot parse hexfloat portably; go through strtod.
+  std::string f_text;
+  is >> f_text;
+  char* end = nullptr;
+  cfg.f = std::strtod(f_text.c_str(), &end);
+  DLB_REQUIRE(end != f_text.c_str() && *end == '\0',
+              "checkpoint f value malformed");
+  DLB_REQUIRE(is.good(), "checkpoint header malformed");
+
+  System system(processors, cfg, /*seed=*/0, topology);
+
+  std::array<std::uint64_t, 4> rng_state{};
+  is >> rng_state[0] >> rng_state[1] >> rng_state[2] >> rng_state[3];
+  system.rng_ = Rng::from_state(rng_state);
+
+  is >> system.generated_ >> system.consumed_ >> system.balance_ops_;
+  CostTotals totals;
+  is >> totals.balance_ops >> totals.messages >> totals.packets_moved >>
+      totals.packets_moved_net >> totals.packet_hops >>
+      totals.partner_links;
+  system.costs_.restore(totals);
+  long long radius = -1;
+  is >> radius;
+  DLB_REQUIRE(is.good(), "checkpoint counters malformed");
+  if (radius >= 0) {
+    DLB_REQUIRE(topology != nullptr,
+                "checkpoint uses neighborhood partners; topology required");
+    system.partner_radius_ = static_cast<unsigned>(radius);
+  }
+
+  for (std::uint32_t p = 0; p < processors; ++p) {
+    ProcessorState& st = system.procs_[p];
+    is >> st.l_old >> st.local_time;
+    std::vector<std::int64_t> d(processors);
+    std::vector<std::int64_t> b(processors);
+    for (auto& v : d) is >> v;
+    for (auto& v : b) is >> v;
+    DLB_REQUIRE(is.good(), "checkpoint ledger malformed");
+    st.ledger.replace(std::move(d), std::move(b));
+  }
+  system.check_invariants();
+  return system;
+}
+
+}  // namespace dlb

@@ -1,0 +1,29 @@
+// Checkpoint / restore for the sequential simulator.
+//
+// Long experiments (the 1024-processor scalability sweeps, multi-million
+// step soak runs) need resumability, and regression fixtures need a way
+// to pin down a mid-run state.  The checkpoint captures *everything* that
+// determines future behaviour — configuration, PRNG state, every ledger,
+// trigger baselines, local clocks, statistics and cost counters — so a
+// restored System continues bit-identically to an uninterrupted one
+// (tested in tests/core/checkpoint_test.cpp).
+//
+// Format: versioned line-oriented text ("dlb-checkpoint 1"), endianness-
+// and locale-independent.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/system.hpp"
+
+namespace dlb {
+
+/// Writes the complete state of `system` to `os`.
+void save_checkpoint(const System& system, std::ostream& os);
+
+/// Reconstructs a System from a checkpoint.  `topology` must be the same
+/// network the saved system used (pass nullptr if none was used); it is
+/// NOT serialized because Topology is shared, immutable context.
+System load_checkpoint(std::istream& is, const Topology* topology = nullptr);
+
+}  // namespace dlb

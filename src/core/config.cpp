@@ -1,0 +1,27 @@
+#include "core/config.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+void BalancerConfig::validate(std::uint32_t n, bool strict_theory) const {
+  DLB_REQUIRE(n >= 2, "the algorithm needs at least two processors");
+  DLB_REQUIRE(f >= 1.0, "trigger factor f must be >= 1");
+  DLB_REQUIRE(delta >= 1, "partner count delta must be >= 1");
+  DLB_REQUIRE(delta < n, "delta must be smaller than the network size");
+  if (strict_theory) {
+    DLB_REQUIRE(f < static_cast<double>(delta) + 1.0,
+                "theory requires 1 <= f < delta + 1");
+  }
+}
+
+std::string BalancerConfig::describe() const {
+  std::ostringstream os;
+  os << "f=" << f << " delta=" << delta << " C=" << borrow_cap
+     << (analysis_mode ? " (analysis-mode)" : "");
+  return os.str();
+}
+
+}  // namespace dlb

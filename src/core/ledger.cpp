@@ -1,0 +1,93 @@
+#include "core/ledger.hpp"
+
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+Ledger::Ledger(std::uint32_t classes) : d_(classes, 0), b_(classes, 0) {
+  DLB_REQUIRE(classes >= 1, "ledger needs at least one load class");
+}
+
+void Ledger::add_real(std::uint32_t j, std::int64_t count) {
+  DLB_REQUIRE(j < classes(), "load class out of range");
+  DLB_REQUIRE(count >= 0, "cannot add a negative packet count");
+  d_[j] += count;
+  real_ += count;
+}
+
+void Ledger::remove_real(std::uint32_t j, std::int64_t count) {
+  DLB_REQUIRE(j < classes(), "load class out of range");
+  DLB_REQUIRE(count >= 0, "cannot remove a negative packet count");
+  DLB_REQUIRE(d_[j] >= count, "not enough real packets of this class");
+  d_[j] -= count;
+  real_ -= count;
+}
+
+void Ledger::borrow(std::uint32_t j) {
+  DLB_REQUIRE(j < classes(), "load class out of range");
+  DLB_REQUIRE(d_[j] > 0, "borrow needs a real packet of the class");
+  DLB_REQUIRE(b_[j] == 0, "at most one marker per class (paper, §4)");
+  d_[j] -= 1;
+  real_ -= 1;
+  b_[j] += 1;
+  borrowed_ += 1;
+}
+
+void Ledger::clear_marker(std::uint32_t j) {
+  DLB_REQUIRE(j < classes(), "load class out of range");
+  DLB_REQUIRE(b_[j] > 0, "no marker of this class to clear");
+  b_[j] -= 1;
+  borrowed_ -= 1;
+}
+
+void Ledger::repay_with_generation(std::uint32_t j) {
+  DLB_REQUIRE(j < classes(), "load class out of range");
+  DLB_REQUIRE(b_[j] > 0, "no outstanding debt of this class");
+  b_[j] -= 1;
+  borrowed_ -= 1;
+  d_[j] += 1;
+  real_ += 1;
+}
+
+void Ledger::replace(std::vector<std::int64_t> d_new,
+                     std::vector<std::int64_t> b_new) {
+  DLB_REQUIRE(d_new.size() == d_.size() && b_new.size() == b_.size(),
+              "replacement vectors must match the class count");
+  std::int64_t real = 0;
+  std::int64_t borrowed = 0;
+  for (std::size_t j = 0; j < d_new.size(); ++j) {
+    DLB_REQUIRE(d_new[j] >= 0, "negative real count in replacement");
+    DLB_REQUIRE(b_new[j] >= 0, "negative marker count in replacement");
+    real += d_new[j];
+    borrowed += b_new[j];
+  }
+  d_ = std::move(d_new);
+  b_ = std::move(b_new);
+  real_ = real;
+  borrowed_ = borrowed;
+}
+
+std::uint32_t Ledger::first_marked_class() const {
+  for (std::uint32_t j = 0; j < classes(); ++j)
+    if (b_[j] > 0) return j;
+  return classes();
+}
+
+void Ledger::check(std::uint32_t borrow_cap) const {
+  std::int64_t real = 0;
+  std::int64_t borrowed = 0;
+  for (std::size_t j = 0; j < d_.size(); ++j) {
+    DLB_ENSURE(d_[j] >= 0, "negative real count");
+    DLB_ENSURE(b_[j] >= 0, "negative marker count");
+    real += d_[j];
+    borrowed += b_[j];
+  }
+  DLB_ENSURE(real == real_, "cached real load out of sync (L1)");
+  DLB_ENSURE(borrowed == borrowed_, "cached borrow total out of sync");
+  DLB_ENSURE(borrowed_ <= static_cast<std::int64_t>(borrow_cap),
+             "borrow cap exceeded (L2)");
+}
+
+}  // namespace dlb

@@ -1,0 +1,82 @@
+// Per-processor packet ledger: the d_{i,j} / b_{i,j} bookkeeping of §4.
+//
+// Every load packet carries the identity of the processor that generated
+// it (its *load class*).  Processor i's ledger records
+//   d[j] — real packets of class j currently held by i, and
+//   b[j] — packets of class j that i has consumed on credit ("borrowed"),
+//          i.e. virtual markers that keep class j's total invariant.
+// The reduction of the n-processor model to n independent one-processor
+// models (and hence Theorem 4) rests on two ledger invariants that this
+// class maintains and can verify:
+//   (L1) real load of i  ==  sum_j d[j]        (tracked incrementally)
+//   (L2) sum_j b[j] <= C  and  b[j] in {0,1}   (the borrow cap)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dlb {
+
+class Ledger {
+ public:
+  /// Creates an empty ledger over `classes` load classes (= network size).
+  explicit Ledger(std::uint32_t classes);
+
+  std::uint32_t classes() const {
+    return static_cast<std::uint32_t>(d_.size());
+  }
+
+  std::int64_t d(std::uint32_t j) const { return d_[j]; }
+  std::int64_t b(std::uint32_t j) const { return b_[j]; }
+
+  /// Real load: sum_j d[j] (O(1), maintained incrementally).
+  std::int64_t real_load() const { return real_; }
+  /// Total borrow markers: sum_j b[j] (O(1)).
+  std::int64_t borrowed_total() const { return borrowed_; }
+  /// Virtual load: real + borrowed — the quantity the §3/§4 analysis
+  /// bounds.
+  std::int64_t virtual_load() const { return real_ + borrowed_; }
+
+  /// Adds `count` real packets of class j.
+  void add_real(std::uint32_t j, std::int64_t count);
+  /// Removes `count` real packets of class j (must be available).
+  void remove_real(std::uint32_t j, std::int64_t count);
+
+  /// Converts one real class-j packet into a borrow marker: the packet is
+  /// consumed, class j's virtual total is preserved.  Requires d[j] > 0
+  /// and b[j] == 0.
+  void borrow(std::uint32_t j);
+
+  /// Clears one borrow marker of class j (debt settled).
+  void clear_marker(std::uint32_t j);
+
+  /// Converts one borrow marker of class j back into a real packet
+  /// (the appendix's generate path: a newly generated packet is booked
+  /// against an outstanding debt).  Requires b[j] > 0.
+  void repay_with_generation(std::uint32_t j);
+
+  /// Wholesale replacement used by the balancing operation's snake
+  /// redistribution.  Vectors must have size classes(); entries must be
+  /// non-negative and new b entries in {0,1}... b entries may exceed 1
+  /// transiently only if the previous state had them (never, by L2), so
+  /// {0,1} is enforced.
+  void replace(std::vector<std::int64_t> d_new,
+               std::vector<std::int64_t> b_new);
+
+  /// Smallest class index with b[j] > 0, or classes() if none.
+  std::uint32_t first_marked_class() const;
+
+  /// Verifies L1/L2 and non-negativity; throws contract_error on failure.
+  void check(std::uint32_t borrow_cap) const;
+
+  const std::vector<std::int64_t>& d_vector() const { return d_; }
+  const std::vector<std::int64_t>& b_vector() const { return b_; }
+
+ private:
+  std::vector<std::int64_t> d_;
+  std::vector<std::int64_t> b_;
+  std::int64_t real_ = 0;
+  std::int64_t borrowed_ = 0;
+};
+
+}  // namespace dlb

@@ -1,0 +1,75 @@
+// The one-processor-generator(-consumer) model of §3 (Figure 1).
+//
+// Only processor 0 generates (or consumes) load; all packets belong to one
+// class, so the full d/b ledger machinery collapses to a plain load
+// vector.  This driver is the measurement object for:
+//   * Theorems 1-3 — the ratio E(l_0,t) / E(l_i,t) after t balancing
+//     operations, converging to FIX(n, delta, f);
+//   * Figure 6   — the variation density of l_i for a non-generating
+//     processor (Monte-Carlo cross-check of the exact recursion);
+//   * Lemmas 5/6 — the number of balancing operations needed to shrink
+//     processor 0's load from x to x − c.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace dlb {
+
+class OneProcessorModel {
+ public:
+  struct Params {
+    std::uint32_t n = 16;      // network size
+    std::uint32_t delta = 1;   // partners per balancing operation
+    double f = 1.1;            // trigger factor
+    /// Figure 6's "relaxed" delta > 1 algorithm: instead of one
+    /// (delta+1)-way equalization, perform delta consecutive pairwise
+    /// equalizations with independently drawn candidates.
+    bool relaxed_pairwise = false;
+  };
+
+  OneProcessorModel(const Params& params, std::uint64_t seed);
+
+  /// Generates packets on processor 0 one per step until the factor-f
+  /// growth trigger fires, then performs one balancing operation
+  /// (relaxed: delta pairwise operations counted as one).  Returns the
+  /// number of packets generated during the round.
+  std::uint64_t grow_round();
+
+  /// Runs `rounds` grow rounds.
+  void run_grow(std::uint32_t rounds);
+
+  /// Consumes packets from processor 0 one per step; when the factor-f
+  /// shrink trigger fires, a balancing operation refills processor 0 from
+  /// the network.  Stops once `target` packets have been consumed in
+  /// total (or the whole system is empty).  Returns the number of
+  /// balancing operations performed.
+  std::uint64_t consume_total(std::uint64_t target);
+
+  std::int64_t load(std::uint32_t i) const;
+  const std::vector<std::int64_t>& loads() const { return loads_; }
+  std::uint64_t balance_operations() const { return balance_ops_; }
+  std::int64_t total_load() const;
+
+  /// l_0 divided by the mean load of processors 1..n-1 (the quantity
+  /// Theorems 1-3 bound); 0 when the others are empty.
+  double ratio_to_average() const;
+
+  /// Direct injection for experiments that need a prepared state.
+  void set_load(std::uint32_t i, std::int64_t value);
+  void set_trigger_baseline(std::int64_t l_old) { l_old_ = l_old; }
+
+ private:
+  void balance();
+  void equalize(std::vector<std::uint32_t>& participants);
+
+  Params params_;
+  Rng rng_;
+  std::vector<std::int64_t> loads_;
+  std::int64_t l_old_ = 0;
+  std::uint64_t balance_ops_ = 0;
+};
+
+}  // namespace dlb

@@ -1,0 +1,393 @@
+#include "core/system.hpp"
+
+#include <algorithm>
+
+#include "core/snake.hpp"
+#include "support/check.hpp"
+
+namespace dlb {
+
+System::System(std::uint32_t processors, BalancerConfig config,
+               std::uint64_t seed, const Topology* topology)
+    : config_(config),
+      topology_(topology),
+      rng_(seed),
+      costs_(topology) {
+  config_.validate(processors);
+  if (topology_ != nullptr) {
+    DLB_REQUIRE(topology_->size() == processors,
+                "topology size must match the processor count");
+  }
+  procs_.reserve(processors);
+  for (std::uint32_t p = 0; p < processors; ++p)
+    procs_.emplace_back(processors);
+}
+
+void System::restrict_partners_to_neighborhood(unsigned radius) {
+  DLB_REQUIRE(topology_ != nullptr,
+              "neighborhood partner choice needs a topology");
+  DLB_REQUIRE(radius >= 1, "neighborhood radius must be at least 1");
+  partner_radius_ = radius;
+}
+
+const ProcessorState& System::processor(std::uint32_t p) const {
+  DLB_REQUIRE(p < processors(), "processor id out of range");
+  return procs_[p];
+}
+
+std::vector<std::int64_t> System::loads() const {
+  std::vector<std::int64_t> out(processors());
+  for (std::uint32_t p = 0; p < processors(); ++p)
+    out[p] = procs_[p].ledger.real_load();
+  return out;
+}
+
+std::int64_t System::load(std::uint32_t p) const {
+  DLB_REQUIRE(p < processors(), "processor id out of range");
+  return procs_[p].ledger.real_load();
+}
+
+std::int64_t System::total_load() const {
+  std::int64_t total = 0;
+  for (const auto& st : procs_) total += st.ledger.real_load();
+  return total;
+}
+
+void System::run(const Workload& workload) {
+  DLB_REQUIRE(workload.processors() == processors(),
+              "workload size must match the system");
+  std::vector<WorkEvent> events(processors());
+  for (std::uint32_t t = 0; t < workload.horizon(); ++t) {
+    for (std::uint32_t p = 0; p < processors(); ++p)
+      events[p] = workload.sample(p, t, rng_);
+    step(t, events);
+  }
+}
+
+void System::run(const Trace& trace) {
+  DLB_REQUIRE(trace.processors() == processors(),
+              "trace size must match the system");
+  std::vector<WorkEvent> events(processors());
+  for (std::uint32_t t = 0; t < trace.horizon(); ++t) {
+    for (std::uint32_t p = 0; p < processors(); ++p)
+      events[p] = trace.at(p, t);
+    step(t, events);
+  }
+}
+
+void System::step(std::uint32_t t, const std::vector<WorkEvent>& events) {
+  DLB_REQUIRE(events.size() == processors(),
+              "one event per processor required");
+  for (std::uint32_t p = 0; p < processors(); ++p) {
+    if (events[p].generate) generate(p);
+    if (events[p].consume) consume(p);
+  }
+  if (recorder_ != nullptr) recorder_->on_loads(t, loads());
+}
+
+void System::generate(std::uint32_t p) {
+  DLB_REQUIRE(p < processors(), "processor id out of range");
+  Ledger& ledger = procs_[p].ledger;
+  if (ledger.borrowed_total() > 0) {
+    // Appendix generate path: a new packet is booked against an
+    // outstanding debt (the marker becomes a real packet of its class).
+    std::vector<std::uint32_t> marked;
+    for (std::uint32_t j = 0; j < processors(); ++j)
+      if (ledger.b(j) > 0) marked.push_back(j);
+    const std::uint32_t j =
+        marked[static_cast<std::size_t>(rng_.below(marked.size()))];
+    ledger.repay_with_generation(j);
+  } else {
+    ledger.add_real(p, 1);
+  }
+  ++generated_;
+  maybe_balance(p);
+}
+
+bool System::consume(std::uint32_t p) {
+  DLB_REQUIRE(p < processors(), "processor id out of range");
+  Ledger& ledger = procs_[p].ledger;
+  if (ledger.real_load() == 0) return false;  // nothing to consume
+  if (ledger.d(p) >= 1) {
+    ledger.remove_real(p, 1);
+    ++consumed_;
+    maybe_balance(p);
+    return true;
+  }
+  return consume_via_borrow(p);
+}
+
+bool System::consume_via_borrow(std::uint32_t p) {
+  Ledger& ledger = procs_[p].ledger;
+  auto pick_borrowable = [&]() -> std::uint32_t {
+    std::vector<std::uint32_t> candidates;
+    for (std::uint32_t j = 0; j < processors(); ++j)
+      if (ledger.d(j) > 0 && ledger.b(j) == 0) candidates.push_back(j);
+    if (candidates.empty()) return processors();
+    return candidates[static_cast<std::size_t>(rng_.below(candidates.size()))];
+  };
+
+  auto try_borrow = [&]() -> bool {
+    if (ledger.borrowed_total() >=
+        static_cast<std::int64_t>(config_.borrow_cap))
+      return false;
+    const std::uint32_t j = pick_borrowable();
+    if (j == processors()) return false;
+    ledger.borrow(j);
+    ++consumed_;
+    emit_borrow_event(BorrowEvent::TotalBorrow);
+    return true;
+  };
+
+  if (try_borrow()) return true;
+
+  // Capacity exhausted or every held class already carries a marker:
+  // settle outstanding debts, then retry once.  If there are no markers
+  // to settle nothing can free capacity (this can only happen with
+  // borrow_cap == 0).
+  if (ledger.borrowed_total() == 0) return false;
+  settle_debts(p);
+  return try_borrow();
+}
+
+void System::settle_debts(std::uint32_t p) {
+  Ledger& ledger = procs_[p].ledger;
+  std::vector<std::uint32_t> marked;
+  for (std::uint32_t j = 0; j < processors(); ++j)
+    if (ledger.b(j) > 0) marked.push_back(j);
+  DLB_ENSURE(!marked.empty(), "settle_debts without outstanding markers");
+  const std::uint32_t j =
+      marked[static_cast<std::size_t>(rng_.below(marked.size()))];
+  if (j == p) {
+    // A marker of p's own class can be settled locally: the deferred
+    // virtual decrease of class p is realized on the spot ([D6]).
+    ledger.clear_marker(j);
+    emit_borrow_event(BorrowEvent::DecreaseSim);
+    maybe_balance(p);
+    return;
+  }
+  if (procs_[j].ledger.d(j) > 0) {
+    remote_exchange(p, j);
+  } else {
+    resolve_empty_generator(p, j);
+  }
+}
+
+void System::remote_exchange(std::uint32_t p, std::uint32_t j) {
+  emit_borrow_event(BorrowEvent::RemoteBorrow);
+  Ledger& debtor = procs_[p].ledger;
+  Ledger& generator = procs_[j].ledger;
+  const std::int64_t x =
+      std::min(generator.d(j), debtor.borrowed_total());
+  DLB_ENSURE(x >= 1, "remote exchange with nothing to exchange");
+  // x real class-j packets migrate from their generator to p, replacing
+  // x of p's borrow markers (class j's markers first) — [D4].
+  generator.remove_real(j, x);
+  debtor.add_real(j, x);
+  costs_.record_migration(j, p, static_cast<std::uint64_t>(x));
+  costs_.record_net_migration(static_cast<std::uint64_t>(x));
+  if (recorder_ != nullptr)
+    recorder_->on_migration(j, p, static_cast<std::uint64_t>(x));
+  std::int64_t to_clear = x;
+  if (debtor.b(j) > 0) {
+    debtor.clear_marker(j);
+    --to_clear;
+  }
+  for (std::uint32_t k = 0; k < processors() && to_clear > 0; ++k) {
+    while (debtor.b(k) > 0 && to_clear > 0) {
+      debtor.clear_marker(k);
+      --to_clear;
+    }
+  }
+  DLB_ENSURE(to_clear == 0, "failed to clear the exchanged markers");
+  // j's self-generated load dropped by x: simulate the workload decrease
+  // (at most one balancing operation, as required by §4).
+  emit_borrow_event(BorrowEvent::DecreaseSim);
+  maybe_balance(j);
+}
+
+void System::resolve_empty_generator(std::uint32_t p, std::uint32_t j) {
+  emit_borrow_event(BorrowEvent::BorrowFail);
+  // [D5] The generator j holds none of its own packets.  It first runs a
+  // balancing operation with delta random partners, which pulls class-j
+  // packets (or markers) toward j.
+  balance(j, draw_partners(j));
+  if (procs_[j].ledger.d(j) > 0 && procs_[p].ledger.borrowed_total() > 0) {
+    remote_exchange(p, j);
+    return;
+  }
+  // Still empty: a balancing operation initiated by p spreads p's load
+  // and markers across a fresh random set, after which p can borrow
+  // again (§4: "in any case processor i is allowed to borrow some new
+  // load packets ... or has received some of his own load packets").
+  balance(p, draw_partners(p));
+}
+
+std::vector<ProcId> System::draw_partners(std::uint32_t initiator) {
+  const std::uint32_t n = processors();
+  if (!partner_radius_.has_value()) {
+    return rng_.sample_distinct(n, config_.delta, initiator);
+  }
+  // Locality ablation: partners from the topology ball around initiator.
+  std::vector<ProcId> ball;
+  for (ProcId v = 0; v < n; ++v) {
+    if (v == initiator) continue;
+    if (topology_->distance(initiator, v) <= *partner_radius_)
+      ball.push_back(v);
+  }
+  DLB_ENSURE(!ball.empty(), "neighborhood contains no candidates");
+  if (ball.size() <= config_.delta) return ball;
+  std::vector<ProcId> chosen;
+  chosen.reserve(config_.delta);
+  auto idx = rng_.sample_distinct(static_cast<std::uint32_t>(ball.size()),
+                                  config_.delta,
+                                  static_cast<std::uint32_t>(ball.size() + 1));
+  for (std::uint32_t k : idx) chosen.push_back(ball[k]);
+  return chosen;
+}
+
+void System::maybe_balance(std::uint32_t p) {
+  const ProcessorState& st = procs_[p];
+  const auto d_self = static_cast<double>(st.ledger.d(p));
+  const auto old = static_cast<double>(st.l_old);
+  // [D1] factor-f drift triggers with strict-change guards so f == 1 (or
+  // an unchanged load) cannot retrigger immediately after a balance.
+  const bool grew =
+      st.ledger.d(p) > st.l_old && d_self >= config_.f * old &&
+      st.ledger.d(p) >= 1;
+  const bool shrank = st.ledger.d(p) < st.l_old && st.l_old >= 1 &&
+                      d_self <= old / config_.f;
+  if (!grew && !shrank) return;
+  balance(p, draw_partners(p));
+}
+
+void System::balance(std::uint32_t initiator,
+                     const std::vector<ProcId>& partners) {
+  const std::uint32_t n = processors();
+  std::vector<ProcId> participants;
+  participants.reserve(partners.size() + 1);
+  participants.push_back(initiator);
+  for (ProcId q : partners) {
+    DLB_REQUIRE(q < n && q != initiator, "invalid balancing partner");
+    participants.push_back(q);
+  }
+  const std::size_t m = participants.size();
+
+  // Gather the participants' ledgers into the scratch matrices.
+  scratch_d_.assign(m, {});
+  scratch_b_.assign(m, {});
+  for (std::size_t r = 0; r < m; ++r) {
+    scratch_d_[r] = procs_[participants[r]].ledger.d_vector();
+    scratch_b_[r] = procs_[participants[r]].ledger.b_vector();
+  }
+  const std::vector<std::vector<std::int64_t>> before_d = scratch_d_;
+
+  // [D7] analysis mode: a non-initiating participant's own class is dealt
+  // only among the other participants.
+  std::vector<std::size_t> excluded;
+  SnakeOptions opts;
+  opts.start = static_cast<std::size_t>(rng_.below(m));
+  if (config_.analysis_mode) {
+    excluded.assign(n, static_cast<std::size_t>(-1));
+    for (std::size_t r = 0; r < m; ++r) {
+      if (participants[r] != initiator)
+        excluded[participants[r]] = r;
+    }
+    opts.excluded_participant_per_class = &excluded;
+  }
+  SnakeOptions marker_opts = opts;
+  marker_opts.start = snake_redistribute(scratch_d_, opts);
+  snake_redistribute(scratch_b_, marker_opts);
+
+  // Hop-accurate migration accounting: per class, greedily match surplus
+  // participants to deficit participants.
+  std::uint64_t moves = 0;
+  std::vector<std::int64_t> delta(m);
+  for (std::uint32_t j = 0; j < n; ++j) {
+    std::size_t give = 0;
+    std::size_t take = 0;
+    for (std::size_t r = 0; r < m; ++r)
+      delta[r] = scratch_d_[r][j] - before_d[r][j];
+    while (true) {
+      while (give < m && delta[give] >= 0) ++give;
+      while (take < m && delta[take] <= 0) ++take;
+      if (give >= m || take >= m) break;
+      const std::int64_t amount = std::min(-delta[give], delta[take]);
+      costs_.record_migration(participants[give], participants[take],
+                              static_cast<std::uint64_t>(amount));
+      if (recorder_ != nullptr)
+        recorder_->on_migration(participants[give], participants[take],
+                                static_cast<std::uint64_t>(amount));
+      moves += static_cast<std::uint64_t>(amount);
+      delta[give] += amount;
+      delta[take] -= amount;
+    }
+  }
+
+  // Net physical flow: positive row-total changes (what a label-free
+  // implementation would actually ship).
+  std::uint64_t net_moves = 0;
+  for (std::size_t r = 0; r < m; ++r) {
+    std::int64_t before_total = 0;
+    std::int64_t after_total = 0;
+    for (std::uint32_t j = 0; j < n; ++j) {
+      before_total += before_d[r][j];
+      after_total += scratch_d_[r][j];
+    }
+    if (after_total > before_total)
+      net_moves += static_cast<std::uint64_t>(after_total - before_total);
+  }
+  costs_.record_net_migration(net_moves);
+
+  // Write back; every participant's local clock ticks and its trigger
+  // baseline resets (§4: an operation counts as delta+1 independent
+  // operations initiated by each participant).
+  for (std::size_t r = 0; r < m; ++r) {
+    ProcessorState& st = procs_[participants[r]];
+    st.ledger.replace(std::move(scratch_d_[r]), std::move(scratch_b_[r]));
+    st.l_old = st.ledger.d(participants[r]);
+    ++st.local_time;
+  }
+
+  ++balance_ops_;
+  costs_.record_operation(initiator, partners.size());
+  if (recorder_ != nullptr)
+    recorder_->on_balance_op(initiator, partners.size(), moves);
+
+  // [D6] markers of a participant's own class are settled on the spot.
+  for (std::size_t r = 0; r < m; ++r) cancel_self_markers(participants[r]);
+}
+
+void System::cancel_self_markers(std::uint32_t p) {
+  Ledger& ledger = procs_[p].ledger;
+  if (ledger.b(p) == 0) return;
+  while (ledger.b(p) > 0) ledger.clear_marker(p);
+  emit_borrow_event(BorrowEvent::DecreaseSim);
+  maybe_balance(p);
+}
+
+void System::force_balance(std::uint32_t p) {
+  DLB_REQUIRE(p < processors(), "processor id out of range");
+  balance(p, draw_partners(p));
+}
+
+void System::emit_borrow_event(BorrowEvent event) {
+  if (recorder_ != nullptr) recorder_->on_borrow_event(event);
+}
+
+void System::check_invariants() const {
+  std::int64_t total = 0;
+  for (std::uint32_t p = 0; p < processors(); ++p) {
+    procs_[p].ledger.check(config_.borrow_cap);
+    for (std::uint32_t j = 0; j < processors(); ++j) {
+      DLB_ENSURE(procs_[p].ledger.b(j) <= 1,
+                 "more than one marker per class");
+    }
+    total += procs_[p].ledger.real_load();
+  }
+  DLB_ENSURE(total == static_cast<std::int64_t>(generated_) -
+                          static_cast<std::int64_t>(consumed_),
+             "packet conservation violated");
+}
+
+}  // namespace dlb

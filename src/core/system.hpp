@@ -1,0 +1,160 @@
+// The n-processor-generator-consumer system (§4 + appendix).
+//
+// A sequential, deterministic simulator of n processors running the load
+// balancing algorithm.  Time advances in global steps; in each step every
+// processor draws a WorkEvent from the workload (or trace), applies it,
+// and checks its factor-f trigger.  Balancing operations execute
+// atomically within a step, matching the paper's model that an operation
+// completes in constant time (§2, [D10] in DESIGN.md).
+//
+// All randomness flows through one seeded generator, so a (seed, workload)
+// pair fully determines a run — the property the 100-run experiment
+// harnesses and the record/replay tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/ledger.hpp"
+#include "metrics/recorder.hpp"
+#include "net/cost_model.hpp"
+#include "net/topology.hpp"
+#include "support/rng.hpp"
+#include "workload/trace.hpp"
+#include "workload/workload.hpp"
+
+namespace dlb {
+
+/// State of one simulated processor.
+struct ProcessorState {
+  explicit ProcessorState(std::uint32_t classes) : ledger(classes) {}
+
+  Ledger ledger;
+  /// l_{i,old}: the self-generated load d[i] at the last balancing
+  /// operation this processor was involved in.
+  std::int64_t l_old = 0;
+  /// Local clock: number of balancing operations this processor was
+  /// involved in (the t' of Theorem 4).
+  std::uint64_t local_time = 0;
+};
+
+class System {
+ public:
+  /// `topology` is optional and only used for hop-cost accounting and,
+  /// when `local_partners` is set, for neighborhood-restricted partner
+  /// choice; it must outlive the System.
+  System(std::uint32_t processors, BalancerConfig config, std::uint64_t seed,
+         const Topology* topology = nullptr);
+
+  std::uint32_t processors() const {
+    return static_cast<std::uint32_t>(procs_.size());
+  }
+  const BalancerConfig& config() const { return config_; }
+
+  /// Observer for figures/tables; may be null.  Not owned.
+  void attach_recorder(Recorder* recorder) { recorder_ = recorder; }
+
+  /// Locality ablation: draw the delta partners from the initiator's
+  /// topology neighborhood (ball of radius `radius`) instead of the whole
+  /// network.  Requires a topology with enough reachable processors.
+  void restrict_partners_to_neighborhood(unsigned radius);
+
+  // ---- Driving the simulation -----------------------------------------
+
+  /// Runs the workload over its full horizon, sampling events with this
+  /// system's generator.
+  void run(const Workload& workload);
+
+  /// Replays a pre-recorded trace (identical demand across algorithms).
+  void run(const Trace& trace);
+
+  /// Applies one global step given each processor's event.
+  void step(std::uint32_t t, const std::vector<WorkEvent>& events);
+
+  // ---- Direct manipulation (tests, examples, one-processor models) ----
+
+  /// Processor `p` generates one packet (the x = +1 branch).
+  void generate(std::uint32_t p);
+
+  /// Processor `p` attempts to consume one packet (the x = -1 branch).
+  /// Returns false when no packet could be consumed (l_p == 0 or the
+  /// borrow protocol could not free one).
+  bool consume(std::uint32_t p);
+
+  /// Unconditionally runs a balancing operation initiated by `p` with
+  /// delta random partners (exposed for the §3 one-processor drivers).
+  void force_balance(std::uint32_t p);
+
+  // ---- Inspection ------------------------------------------------------
+
+  const ProcessorState& processor(std::uint32_t p) const;
+  std::vector<std::int64_t> loads() const;
+  std::int64_t load(std::uint32_t p) const;
+  std::int64_t total_load() const;
+  std::uint64_t total_generated() const { return generated_; }
+  std::uint64_t total_consumed() const { return consumed_; }
+  std::uint64_t balance_operations() const { return balance_ops_; }
+  const CostLedger& costs() const { return costs_; }
+  Rng& rng() { return rng_; }
+
+  /// Verifies every ledger invariant plus global packet conservation
+  /// (sum of loads == generated − consumed).  Throws contract_error.
+  void check_invariants() const;
+
+  /// Neighborhood restriction radius, if any (checkpointing support).
+  std::optional<unsigned> partner_radius() const { return partner_radius_; }
+
+ private:
+  friend void save_checkpoint(const System& system, std::ostream& os);
+  friend System load_checkpoint(std::istream& is, const Topology* topology);
+
+  // Trigger check for p ([D1]); initiates a balancing operation when the
+  // self-generated load has drifted by the factor f.
+  void maybe_balance(std::uint32_t p);
+
+  // Balancing operation over initiator + delta random partners.
+  void balance(std::uint32_t initiator, const std::vector<ProcId>& partners);
+
+  // Draws the delta partners for `initiator` (global or neighborhood).
+  std::vector<ProcId> draw_partners(std::uint32_t initiator);
+
+  // The appendix's consume branch when d[p][p] == 0: borrow or settle.
+  bool consume_via_borrow(std::uint32_t p);
+
+  // Settlement when p's borrow capacity is exhausted: pick a marked class
+  // j; remote-exchange against j's generator or run the §4 resolution.
+  void settle_debts(std::uint32_t p);
+
+  // Remote exchange [D4]: up to min(d[j][j], borrowed_total(p)) real
+  // class-j packets migrate j -> p, clearing that many markers on p;
+  // j then simulates the corresponding workload decrease.
+  void remote_exchange(std::uint32_t p, std::uint32_t j);
+
+  // [D5] resolution when class j's generator holds none of its own
+  // packets.
+  void resolve_empty_generator(std::uint32_t p, std::uint32_t j);
+
+  // [D6] a participant holding markers of its own class settles them
+  // immediately ("simulate a load decrease of b_ii").
+  void cancel_self_markers(std::uint32_t p);
+
+  void emit_borrow_event(BorrowEvent event);
+
+  BalancerConfig config_;
+  const Topology* topology_;
+  Rng rng_;
+  std::vector<ProcessorState> procs_;
+  Recorder* recorder_ = nullptr;
+  CostLedger costs_;
+  std::uint64_t generated_ = 0;
+  std::uint64_t consumed_ = 0;
+  std::uint64_t balance_ops_ = 0;
+  std::optional<unsigned> partner_radius_;
+  // Scratch buffers reused across balancing operations.
+  std::vector<std::vector<std::int64_t>> scratch_d_;
+  std::vector<std::vector<std::int64_t>> scratch_b_;
+};
+
+}  // namespace dlb

@@ -1,0 +1,26 @@
+#include "metrics/imbalance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/stats.hpp"
+
+namespace dlb {
+
+ImbalanceReport measure_imbalance(const std::vector<std::int64_t>& loads) {
+  DLB_REQUIRE(!loads.empty(), "imbalance of an empty load vector");
+  RunningMoments rm;
+  for (std::int64_t load : loads) rm.add(static_cast<double>(load));
+  ImbalanceReport report;
+  report.min_load = rm.min();
+  report.max_load = rm.max();
+  report.avg_load = rm.mean();
+  report.max_over_avg = rm.mean() > 0.0 ? rm.max() / rm.mean() : 0.0;
+  report.max_over_min = rm.max() / std::max(rm.min(), 1.0);
+  report.cov = rm.variation_density();
+  report.max_deviation = rm.max() - rm.mean();
+  return report;
+}
+
+}  // namespace dlb

@@ -1,0 +1,31 @@
+// Imbalance measures over a load vector.
+//
+// The paper's headline guarantee bounds the *ratio* between expected loads
+// of any two processors (Thm 4); the baseline comparison additionally uses
+// the classic max/avg imbalance factor and the coefficient of variation
+// across processors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dlb {
+
+struct ImbalanceReport {
+  double min_load = 0.0;
+  double max_load = 0.0;
+  double avg_load = 0.0;
+  /// max / avg (1.0 = perfectly balanced; 0 when avg == 0).
+  double max_over_avg = 0.0;
+  /// max / max(min, 1): the paper's pairwise ratio with an empty-processor
+  /// guard (a single empty processor would make the raw ratio infinite).
+  double max_over_min = 0.0;
+  /// Coefficient of variation across processors.
+  double cov = 0.0;
+  /// max − avg in packets.
+  double max_deviation = 0.0;
+};
+
+ImbalanceReport measure_imbalance(const std::vector<std::int64_t>& loads);
+
+}  // namespace dlb

@@ -1,0 +1,153 @@
+#include "mp/communicator.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+int Comm::size() const { return world_->size(); }
+
+void Comm::send(int dest, int tag, std::vector<std::int64_t> payload) {
+  DLB_REQUIRE(dest >= 0 && dest < world_->size(), "invalid destination");
+  MpMessage msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.payload = std::move(payload);
+  world_->post(dest, std::move(msg));
+}
+
+MpMessage Comm::recv(int source, int tag) {
+  return world_->wait_recv(rank_, source, tag);
+}
+
+std::optional<MpMessage> Comm::try_recv(int source, int tag) {
+  return world_->poll_recv(rank_, source, tag);
+}
+
+void Comm::barrier() { (void)world_->gather_all(rank_, 0); }
+
+std::int64_t Comm::broadcast(std::int64_t value, int root) {
+  DLB_REQUIRE(root >= 0 && root < world_->size(), "invalid root");
+  return world_->gather_all(rank_, value)[static_cast<std::size_t>(root)];
+}
+
+std::int64_t Comm::allreduce_sum(std::int64_t value) {
+  std::int64_t total = 0;
+  for (std::int64_t v : world_->gather_all(rank_, value)) total += v;
+  return total;
+}
+
+std::int64_t Comm::allreduce_min(std::int64_t value) {
+  const auto all = world_->gather_all(rank_, value);
+  return *std::min_element(all.begin(), all.end());
+}
+
+std::int64_t Comm::allreduce_max(std::int64_t value) {
+  const auto all = world_->gather_all(rank_, value);
+  return *std::max_element(all.begin(), all.end());
+}
+
+std::vector<std::int64_t> Comm::allgather(std::int64_t value) {
+  return world_->gather_all(rank_, value);
+}
+
+World::World(int size) : size_(size) {
+  DLB_REQUIRE(size >= 1, "world needs at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  collective_.slots.assign(static_cast<std::size_t>(size), 0);
+}
+
+void World::launch(const std::function<void(Comm&)>& body) {
+  DLB_REQUIRE(static_cast<bool>(body), "launch needs a body");
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([this, r, &body, &first_error, &error_mutex] {
+      Comm comm(*this, r);
+      try {
+        body(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void World::post(int dest, MpMessage message) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.messages.push_back(std::move(message));
+  }
+  box.cv.notify_all();
+}
+
+namespace {
+bool matches(const MpMessage& msg, int source, int tag) {
+  return (source < 0 || msg.source == source) &&
+         (tag < 0 || msg.tag == tag);
+}
+}  // namespace
+
+MpMessage World::wait_recv(int rank, int source, int tag) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  while (true) {
+    for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+      if (matches(*it, source, tag)) {
+        MpMessage out = std::move(*it);
+        box.messages.erase(it);
+        return out;
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+std::optional<MpMessage> World::poll_recv(int rank, int source, int tag) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+    if (matches(*it, source, tag)) {
+      MpMessage out = std::move(*it);
+      box.messages.erase(it);
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::int64_t> World::gather_all(int rank, std::int64_t value) {
+  CollectiveState& c = collective_;
+  std::unique_lock<std::mutex> lock(c.mutex);
+  // Entry gate: a new round may not start while the previous round's
+  // participants are still reading its snapshot.
+  c.cv.wait(lock, [&] { return c.departing == 0; });
+  const std::uint64_t generation = c.generation;
+  c.slots[static_cast<std::size_t>(rank)] = value;
+  ++c.arrived;
+  if (c.arrived == size_) {
+    c.snapshot = c.slots;
+    c.arrived = 0;
+    c.departing = size_;
+    ++c.generation;
+    c.cv.notify_all();
+  } else {
+    c.cv.wait(lock, [&] { return c.generation != generation; });
+  }
+  std::vector<std::int64_t> result = c.snapshot;
+  if (--c.departing == 0) c.cv.notify_all();
+  return result;
+}
+
+}  // namespace dlb

@@ -1,0 +1,122 @@
+// A miniature message-passing interface over threads.
+//
+// The paper's implementations ([7, 8]) ran on transputer networks
+// programmed in SPMD message-passing style.  No MPI is assumed to exist
+// in this environment, so this module provides the minimal substrate the
+// algorithm's distributed implementation needs: ranked processes,
+// tagged blocking/non-blocking point-to-point messages, and the
+// collectives used for measurement (barrier, broadcast, allreduce,
+// gather).  Everything runs in one OS process with one thread per rank;
+// the API mirrors the message-passing model so the SPMD balancer in
+// examples/spmd_balancer.cpp reads like its historical counterpart.
+//
+// Usage:
+//   World world(8);                     // 8 ranks
+//   world.launch([](Comm& comm) {       // SPMD: every rank runs this
+//     if (comm.rank() == 0) comm.send(1, /*tag=*/0, {42});
+//     if (comm.rank() == 1) auto msg = comm.recv(0, 0);
+//     comm.barrier();
+//     std::int64_t total = comm.allreduce_sum(comm.rank());
+//   });
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace dlb {
+
+/// A point-to-point message: a small vector of 64-bit words.
+struct MpMessage {
+  int source = -1;
+  int tag = 0;
+  std::vector<std::int64_t> payload;
+};
+
+class World;
+
+/// Per-rank communicator handle; valid only inside World::launch.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Sends `payload` to `dest` with `tag`; never blocks (buffered).
+  void send(int dest, int tag, std::vector<std::int64_t> payload);
+
+  /// Receives the oldest matching message; blocks until one arrives.
+  /// source == -1 matches any source; tag == -1 matches any tag.
+  MpMessage recv(int source = -1, int tag = -1);
+
+  /// Non-blocking probe-and-receive; nullopt when nothing matches.
+  std::optional<MpMessage> try_recv(int source = -1, int tag = -1);
+
+  /// Collective: all ranks must call; returns when everyone arrived.
+  void barrier();
+
+  /// Collective: rank `root`'s value is returned on every rank.
+  std::int64_t broadcast(std::int64_t value, int root);
+
+  /// Collectives over one int64 per rank.
+  std::int64_t allreduce_sum(std::int64_t value);
+  std::int64_t allreduce_min(std::int64_t value);
+  std::int64_t allreduce_max(std::int64_t value);
+
+  /// Collective: every rank receives the full vector of contributions,
+  /// indexed by rank.
+  std::vector<std::int64_t> allgather(std::int64_t value);
+
+ private:
+  friend class World;
+  Comm(World& world, int rank) : world_(&world), rank_(rank) {}
+  World* world_;
+  int rank_;
+};
+
+/// The SPMD "machine": owns the mailboxes and collective state.
+class World {
+ public:
+  explicit World(int size);
+
+  int size() const { return size_; }
+
+  /// Runs `body` on every rank concurrently (one thread per rank) and
+  /// joins.  Exceptions thrown by any rank are rethrown (the first one)
+  /// after all threads finish.  May be called repeatedly.
+  void launch(const std::function<void(Comm&)>& body);
+
+ private:
+  friend class Comm;
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<MpMessage> messages;
+  };
+
+  struct CollectiveState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    int arrived = 0;
+    int departing = 0;
+    std::uint64_t generation = 0;
+    std::vector<std::int64_t> slots;
+    std::vector<std::int64_t> snapshot;
+  };
+
+  void post(int dest, MpMessage message);
+  MpMessage wait_recv(int rank, int source, int tag);
+  std::optional<MpMessage> poll_recv(int rank, int source, int tag);
+  std::vector<std::int64_t> gather_all(int rank, std::int64_t value);
+
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  CollectiveState collective_;
+};
+
+}  // namespace dlb

@@ -1,0 +1,47 @@
+#include "net/cost_model.hpp"
+
+namespace dlb {
+
+CostTotals& CostTotals::operator+=(const CostTotals& other) {
+  balance_ops += other.balance_ops;
+  messages += other.messages;
+  packets_moved += other.packets_moved;
+  packets_moved_net += other.packets_moved_net;
+  packet_hops += other.packet_hops;
+  partner_links += other.partner_links;
+  return *this;
+}
+
+void CostLedger::record_operation(ProcId initiator, std::size_t partners) {
+  (void)initiator;
+  totals_.balance_ops += 1;
+  totals_.messages += 2 * static_cast<std::uint64_t>(partners);
+  totals_.partner_links += static_cast<std::uint64_t>(partners);
+}
+
+void CostLedger::record_migration(ProcId from, ProcId to,
+                                  std::uint64_t count) {
+  if (count == 0 || from == to) return;
+  totals_.packets_moved += count;
+  const std::uint64_t hops =
+      topology_ ? topology_->distance(from, to) : 1;
+  totals_.packet_hops += hops * count;
+}
+
+void CostLedger::record_net_migration(std::uint64_t count) {
+  totals_.packets_moved_net += count;
+}
+
+double CostLedger::packets_per_operation() const {
+  if (totals_.balance_ops == 0) return 0.0;
+  return static_cast<double>(totals_.packets_moved) /
+         static_cast<double>(totals_.balance_ops);
+}
+
+double CostLedger::hops_per_packet() const {
+  if (totals_.packets_moved == 0) return 0.0;
+  return static_cast<double>(totals_.packet_hops) /
+         static_cast<double>(totals_.packets_moved);
+}
+
+}  // namespace dlb

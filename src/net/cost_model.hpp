@@ -1,0 +1,65 @@
+// Communication-cost accounting for balancing operations.
+//
+// §2 of the paper assumes a balancing operation completes in constant
+// *time* independent of data volume; §6 nevertheless reasons about the
+// *costs* of the algorithm (number of balancing steps, migration
+// activity).  CostLedger separates those concerns: the simulator's timing
+// follows the paper's model while the ledger records what a real machine
+// would pay — operations, messages, migrated packets, and hop-weighted
+// packet transfers on a given topology.
+#pragma once
+
+#include <cstdint>
+
+#include "net/topology.hpp"
+
+namespace dlb {
+
+struct CostTotals {
+  std::uint64_t balance_ops = 0;      // balancing operations performed
+  std::uint64_t messages = 0;         // control messages (2 per partner)
+  std::uint64_t packets_moved = 0;    // class-labeled packets that changed
+                                      // processor (gross ledger traffic)
+  std::uint64_t packets_moved_net = 0;  // net load flow: the minimum
+                                        // physical migration implied by the
+                                        // row-total changes alone
+  std::uint64_t packet_hops = 0;      // packets_moved weighted by distance
+  std::uint64_t partner_links = 0;    // sum of delta over all operations
+
+  CostTotals& operator+=(const CostTotals& other);
+};
+
+class CostLedger {
+ public:
+  /// Topology used for hop weighting; must outlive the ledger.
+  explicit CostLedger(const Topology* topology = nullptr)
+      : topology_(topology) {}
+
+  /// Records one balancing operation initiated by `initiator` with the
+  /// given partner count.  Two control messages per partner: invitation
+  /// (with load report) + assignment.
+  void record_operation(ProcId initiator, std::size_t partners);
+
+  /// Records `count` class-labeled packets migrating from -> to (gross).
+  void record_migration(ProcId from, ProcId to, std::uint64_t count);
+
+  /// Records net load flow (physical migration implied by total-load
+  /// changes; always <= the gross class-level traffic of the same op).
+  void record_net_migration(std::uint64_t count);
+
+  const CostTotals& totals() const { return totals_; }
+  void reset() { totals_ = CostTotals{}; }
+  /// Restores previously saved totals (checkpointing).
+  void restore(const CostTotals& totals) { totals_ = totals; }
+
+  /// Mean packets moved per balancing operation (0 when no ops).
+  double packets_per_operation() const;
+  /// Mean hops per moved packet (0 when nothing moved).
+  double hops_per_packet() const;
+
+ private:
+  const Topology* topology_;
+  CostTotals totals_;
+};
+
+}  // namespace dlb

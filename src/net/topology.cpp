@@ -1,0 +1,262 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace dlb {
+
+namespace {
+constexpr unsigned kUnreached = std::numeric_limits<unsigned>::max();
+
+void add_edge(std::vector<std::vector<ProcId>>& adj, ProcId u, ProcId v) {
+  if (u == v) return;
+  auto& nu = adj[u];
+  if (std::find(nu.begin(), nu.end(), v) == nu.end()) {
+    nu.push_back(v);
+    adj[v].push_back(u);
+  }
+}
+}  // namespace
+
+const char* to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::Complete: return "complete";
+    case TopologyKind::Ring: return "ring";
+    case TopologyKind::Mesh2D: return "mesh2d";
+    case TopologyKind::Torus2D: return "torus2d";
+    case TopologyKind::Hypercube: return "hypercube";
+    case TopologyKind::DeBruijn: return "debruijn";
+    case TopologyKind::CCC: return "ccc";
+    case TopologyKind::Butterfly: return "butterfly";
+    case TopologyKind::BinaryTree: return "binary-tree";
+    case TopologyKind::RandomRegular: return "random-regular";
+  }
+  return "unknown";
+}
+
+Topology::Topology(TopologyKind kind,
+                   std::vector<std::vector<ProcId>> adjacency)
+    : kind_(kind), adjacency_(std::move(adjacency)) {
+  DLB_REQUIRE(!adjacency_.empty(), "topology needs at least one processor");
+  for (auto& nbrs : adjacency_) std::sort(nbrs.begin(), nbrs.end());
+  dist_cache_.resize(adjacency_.size());
+}
+
+Topology Topology::complete(ProcId n) {
+  DLB_REQUIRE(n >= 1, "complete topology needs n >= 1");
+  std::vector<std::vector<ProcId>> adj(n);
+  for (ProcId u = 0; u < n; ++u) {
+    adj[u].reserve(n - 1);
+    for (ProcId v = 0; v < n; ++v)
+      if (u != v) adj[u].push_back(v);
+  }
+  return Topology(TopologyKind::Complete, std::move(adj));
+}
+
+Topology Topology::ring(ProcId n) {
+  DLB_REQUIRE(n >= 2, "ring needs n >= 2");
+  std::vector<std::vector<ProcId>> adj(n);
+  for (ProcId u = 0; u < n; ++u) {
+    add_edge(adj, u, (u + 1) % n);
+  }
+  return Topology(TopologyKind::Ring, std::move(adj));
+}
+
+Topology Topology::mesh2d(ProcId rows, ProcId cols) {
+  DLB_REQUIRE(rows >= 1 && cols >= 1 && rows * cols >= 2,
+              "mesh needs at least two processors");
+  const ProcId n = rows * cols;
+  std::vector<std::vector<ProcId>> adj(n);
+  auto id = [cols](ProcId r, ProcId c) { return r * cols + c; };
+  for (ProcId r = 0; r < rows; ++r) {
+    for (ProcId c = 0; c < cols; ++c) {
+      if (r + 1 < rows) add_edge(adj, id(r, c), id(r + 1, c));
+      if (c + 1 < cols) add_edge(adj, id(r, c), id(r, c + 1));
+    }
+  }
+  return Topology(TopologyKind::Mesh2D, std::move(adj));
+}
+
+Topology Topology::torus2d(ProcId rows, ProcId cols) {
+  DLB_REQUIRE(rows >= 2 && cols >= 2, "torus needs rows, cols >= 2");
+  const ProcId n = rows * cols;
+  std::vector<std::vector<ProcId>> adj(n);
+  auto id = [cols](ProcId r, ProcId c) { return r * cols + c; };
+  for (ProcId r = 0; r < rows; ++r) {
+    for (ProcId c = 0; c < cols; ++c) {
+      add_edge(adj, id(r, c), id((r + 1) % rows, c));
+      add_edge(adj, id(r, c), id(r, (c + 1) % cols));
+    }
+  }
+  return Topology(TopologyKind::Torus2D, std::move(adj));
+}
+
+Topology Topology::hypercube(unsigned dimension) {
+  DLB_REQUIRE(dimension >= 1 && dimension <= 20,
+              "hypercube dimension out of range");
+  const ProcId n = ProcId{1} << dimension;
+  std::vector<std::vector<ProcId>> adj(n);
+  for (ProcId u = 0; u < n; ++u)
+    for (unsigned b = 0; b < dimension; ++b)
+      add_edge(adj, u, u ^ (ProcId{1} << b));
+  return Topology(TopologyKind::Hypercube, std::move(adj));
+}
+
+Topology Topology::de_bruijn(unsigned dimension) {
+  DLB_REQUIRE(dimension >= 1 && dimension <= 20,
+              "de Bruijn dimension out of range");
+  const ProcId n = ProcId{1} << dimension;
+  const ProcId mask = n - 1;
+  std::vector<std::vector<ProcId>> adj(n);
+  // Undirected version of the binary de Bruijn graph: u -> (2u | b) mod n.
+  for (ProcId u = 0; u < n; ++u) {
+    add_edge(adj, u, (u << 1) & mask);
+    add_edge(adj, u, ((u << 1) | 1) & mask);
+  }
+  return Topology(TopologyKind::DeBruijn, std::move(adj));
+}
+
+Topology Topology::cube_connected_cycles(unsigned dimension) {
+  DLB_REQUIRE(dimension >= 3 && dimension <= 16,
+              "CCC dimension out of range (needs >= 3 for proper cycles)");
+  const ProcId corners = ProcId{1} << dimension;
+  const ProcId n = dimension * corners;
+  std::vector<std::vector<ProcId>> adj(n);
+  auto id = [dimension](ProcId corner, unsigned pos) {
+    return corner * dimension + pos;
+  };
+  for (ProcId corner = 0; corner < corners; ++corner) {
+    for (unsigned pos = 0; pos < dimension; ++pos) {
+      // Cycle edges around the corner.
+      add_edge(adj, id(corner, pos), id(corner, (pos + 1) % dimension));
+      // Cube edge across dimension `pos`.
+      add_edge(adj, id(corner, pos), id(corner ^ (ProcId{1} << pos), pos));
+    }
+  }
+  return Topology(TopologyKind::CCC, std::move(adj));
+}
+
+Topology Topology::butterfly(unsigned dimension) {
+  DLB_REQUIRE(dimension >= 2 && dimension <= 16,
+              "butterfly dimension out of range");
+  const ProcId rows = ProcId{1} << dimension;
+  const ProcId n = dimension * rows;
+  std::vector<std::vector<ProcId>> adj(n);
+  auto id = [rows](unsigned level, ProcId row) { return level * rows + row; };
+  for (unsigned level = 0; level < dimension; ++level) {
+    const unsigned next = (level + 1) % dimension;
+    for (ProcId row = 0; row < rows; ++row) {
+      add_edge(adj, id(level, row), id(next, row));
+      add_edge(adj, id(level, row), id(next, row ^ (ProcId{1} << level)));
+    }
+  }
+  return Topology(TopologyKind::Butterfly, std::move(adj));
+}
+
+Topology Topology::binary_tree(unsigned depth) {
+  DLB_REQUIRE(depth >= 2 && depth <= 20, "tree depth out of range");
+  const ProcId n = (ProcId{1} << depth) - 1;
+  std::vector<std::vector<ProcId>> adj(n);
+  for (ProcId v = 1; v < n; ++v) add_edge(adj, v, (v - 1) / 2);
+  return Topology(TopologyKind::BinaryTree, std::move(adj));
+}
+
+Topology Topology::random_regular(ProcId n, unsigned degree,
+                                  std::uint64_t seed) {
+  DLB_REQUIRE(n >= 3, "random regular graph needs n >= 3");
+  DLB_REQUIRE(degree >= 2, "degree must be at least 2");
+  std::vector<std::vector<ProcId>> adj(n);
+  // Hamiltonian cycle guarantees connectivity (uses up degree 2).
+  for (ProcId u = 0; u < n; ++u) add_edge(adj, u, (u + 1) % n);
+  Rng rng(seed);
+  std::vector<ProcId> perm(n);
+  for (ProcId u = 0; u < n; ++u) perm[u] = u;
+  // Each extra matching adds (up to) one more neighbor per node; self and
+  // duplicate pairs are skipped, so the result is "approximately regular".
+  for (unsigned m = 2; m < degree; m += 2) {
+    rng.shuffle(perm);
+    for (ProcId i = 0; i + 1 < n; i += 2) add_edge(adj, perm[i], perm[i + 1]);
+  }
+  return Topology(TopologyKind::RandomRegular, std::move(adj));
+}
+
+Topology Topology::balanced_torus(ProcId n) {
+  DLB_REQUIRE(n >= 2, "balanced torus needs n >= 2");
+  ProcId rows = 1;
+  for (ProcId r = 2; r * r <= n; ++r) {
+    if (n % r == 0) rows = r;
+  }
+  if (rows < 2) return ring(n);  // prime n
+  return torus2d(rows, n / rows);
+}
+
+const std::vector<ProcId>& Topology::neighbors(ProcId u) const {
+  DLB_REQUIRE(u < size(), "processor id out of range");
+  return adjacency_[u];
+}
+
+std::size_t Topology::edge_count() const {
+  std::size_t twice = 0;
+  for (const auto& nbrs : adjacency_) twice += nbrs.size();
+  return twice / 2;
+}
+
+const std::vector<unsigned>& Topology::bfs_from(ProcId source) const {
+  auto& row = dist_cache_[source];
+  if (!row.empty()) return row;
+  row.assign(size(), kUnreached);
+  row[source] = 0;
+  std::deque<ProcId> queue{source};
+  while (!queue.empty()) {
+    const ProcId u = queue.front();
+    queue.pop_front();
+    for (ProcId v : adjacency_[u]) {
+      if (row[v] == kUnreached) {
+        row[v] = row[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return row;
+}
+
+unsigned Topology::distance(ProcId u, ProcId v) const {
+  DLB_REQUIRE(u < size() && v < size(), "processor id out of range");
+  if (u == v) return 0;
+  if (kind_ == TopologyKind::Complete) return 1;
+  const unsigned d = bfs_from(u)[v];
+  DLB_ENSURE(d != kUnreached, "topology is disconnected");
+  return d;
+}
+
+unsigned Topology::diameter() const {
+  unsigned best = 0;
+  for (ProcId u = 0; u < size(); ++u) {
+    const auto& row = bfs_from(u);
+    for (unsigned d : row) {
+      DLB_ENSURE(d != kUnreached, "topology is disconnected");
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+bool Topology::connected() const {
+  const auto& row = bfs_from(0);
+  return std::all_of(row.begin(), row.end(),
+                     [](unsigned d) { return d != kUnreached; });
+}
+
+std::string Topology::describe() const {
+  std::ostringstream os;
+  os << to_string(kind_) << "(n=" << size() << ", edges=" << edge_count()
+     << ')';
+  return os.str();
+}
+
+}  // namespace dlb

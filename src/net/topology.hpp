@@ -1,0 +1,98 @@
+// Interconnection topologies.
+//
+// The paper's algorithm picks balancing partners uniformly at random from
+// the *whole* network and assumes a balancing operation costs O(1)
+// regardless of distance (justified by wormhole routing, §2).  The
+// topology therefore does not affect the algorithm's decisions — but it
+// does affect the *communication cost* a real machine would pay, and the
+// paper's "further research" section points at locality-aware variants.
+// We model the classic distributed-memory interconnects of the era
+// (transputer-style grids, hypercubes, de Bruijn networks) so cost benches
+// can weight migrations by hop distance and the locality ablation can
+// restrict partner choice to neighborhoods.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlb {
+
+using ProcId = std::uint32_t;
+
+enum class TopologyKind {
+  Complete,       // every pair connected (the paper's implicit model)
+  Ring,           // cycle of n nodes
+  Mesh2D,         // rows x cols grid without wrap-around
+  Torus2D,        // rows x cols wrap-around grid
+  Hypercube,      // n = 2^d, neighbors differ in one bit
+  DeBruijn,       // binary de Bruijn graph on n = 2^d nodes
+  CCC,            // cube-connected cycles, n = d * 2^d
+  Butterfly,      // wrapped butterfly, n = d * 2^d
+  BinaryTree,     // complete binary tree with n = 2^d - 1 nodes
+  RandomRegular,  // random d-regular multigraph (pairing model, simplified)
+};
+
+const char* to_string(TopologyKind kind);
+
+/// Undirected interconnection network over processors {0, ..., n-1}.
+class Topology {
+ public:
+  static Topology complete(ProcId n);
+  static Topology ring(ProcId n);
+  static Topology mesh2d(ProcId rows, ProcId cols);
+  static Topology torus2d(ProcId rows, ProcId cols);
+  static Topology hypercube(unsigned dimension);
+  static Topology de_bruijn(unsigned dimension);
+  /// Cube-connected cycles of dimension d: each hypercube corner becomes
+  /// a d-cycle; node (corner, position) connects along its cycle and
+  /// across dimension `position`.  n = d * 2^d, degree 3.
+  static Topology cube_connected_cycles(unsigned dimension);
+  /// Wrapped butterfly of dimension d: node (level, row), levels mod d;
+  /// (l, r) connects to (l+1, r) and (l+1, r ^ 2^l).  n = d * 2^d,
+  /// degree 4.  The network of the paper's references [5, 19].
+  static Topology butterfly(unsigned dimension);
+  /// Complete binary tree with 2^depth - 1 nodes (root = 0).
+  static Topology binary_tree(unsigned depth);
+  /// Random d-regular-ish graph: d/2 superimposed random perfect matchings
+  /// plus a Hamiltonian cycle to guarantee connectivity.  Deterministic in
+  /// `seed`.
+  static Topology random_regular(ProcId n, unsigned degree,
+                                 std::uint64_t seed);
+
+  /// The most square torus with exactly n nodes (rows = the largest
+  /// divisor of n that is <= sqrt(n)); falls back to a ring when n is
+  /// prime (rows would be 1).  Convenience for "give me a 2-D-ish
+  /// network of this size".
+  static Topology balanced_torus(ProcId n);
+
+  TopologyKind kind() const { return kind_; }
+  ProcId size() const { return static_cast<ProcId>(adjacency_.size()); }
+  const std::vector<ProcId>& neighbors(ProcId u) const;
+  std::size_t degree(ProcId u) const { return neighbors(u).size(); }
+  std::size_t edge_count() const;
+
+  /// BFS hop distance between two processors.  For Complete this is O(1);
+  /// otherwise results are computed per-source and memoized, so repeated
+  /// cost accounting stays cheap.
+  unsigned distance(ProcId u, ProcId v) const;
+
+  /// Longest shortest path; computes all-pairs distances on first use.
+  unsigned diameter() const;
+
+  /// True if every processor can reach every other.
+  bool connected() const;
+
+  std::string describe() const;
+
+ private:
+  Topology(TopologyKind kind, std::vector<std::vector<ProcId>> adjacency);
+  const std::vector<unsigned>& bfs_from(ProcId source) const;
+
+  TopologyKind kind_;
+  std::vector<std::vector<ProcId>> adjacency_;
+  // distance cache, filled lazily per source row
+  mutable std::vector<std::vector<unsigned>> dist_cache_;
+};
+
+}  // namespace dlb

@@ -1,0 +1,66 @@
+// Blocking MPSC mailbox used by the threaded runtime.
+//
+// One mailbox per processor thread; any thread may send.  recv() blocks on
+// a condition variable; try_recv() polls.  close() wakes all blocked
+// receivers (used only for teardown on error paths — normal shutdown goes
+// through a Shutdown message so no event is ever lost).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace dlb {
+
+template <typename T>
+class Mailbox {
+ public:
+  void send(T message) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(message));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until a message arrives or the mailbox is closed; returns
+  /// nullopt only when closed and drained.
+  std::optional<T> recv() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T out = std::move(queue_.front());
+    queue_.pop_front();
+    return out;
+  }
+
+  std::optional<T> try_recv() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T out = std::move(queue_.front());
+    queue_.pop_front();
+    return out;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.empty();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace dlb

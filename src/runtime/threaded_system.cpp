@@ -1,0 +1,242 @@
+#include "runtime/threaded_system.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+class ThreadedSystem::Worker {
+ public:
+  Worker(std::uint32_t id, ThreadedSystem& owner, const Trace& trace,
+         std::uint64_t seed)
+      : id_(id), owner_(owner), trace_(trace), rng_(seed) {}
+
+  void operator()() {
+    for (std::uint32_t t = 0; t < trace_.horizon(); ++t) {
+      // Serve any pending invites before acting, so heavily loaded
+      // threads cannot starve their partners.
+      drain_mailbox();
+      const WorkEvent ev = trace_.at(id_, t);
+      if (ev.generate) {
+        ++load_;
+        ++stats_.generated;
+      }
+      if (ev.consume) {
+        if (load_ > 0) {
+          --load_;
+          ++stats_.consumed;
+        } else {
+          ++stats_.consume_failures;
+        }
+      }
+      maybe_balance();
+    }
+    // Finished our own demand: keep serving transactions from slower
+    // threads until everyone is done and the Shutdown message arrives.
+    owner_.done_count_.fetch_add(1, std::memory_order_acq_rel);
+    serve_until_shutdown();
+  }
+
+  std::int64_t final_load() const { return load_; }
+  const ThreadedStats& stats() const { return stats_; }
+
+ private:
+  using Message = ThreadedSystem::Message;
+
+  void send(std::uint32_t to, Message msg) {
+    msg.from = id_;
+    ++stats_.messages;
+    owner_.mailboxes_[to]->send(msg);
+  }
+
+  void drain_mailbox() {
+    while (auto msg = owner_.mailboxes_[id_]->try_recv()) handle_idle(*msg);
+  }
+
+  void serve_until_shutdown() {
+    while (true) {
+      auto msg = owner_.mailboxes_[id_]->recv();
+      if (!msg.has_value() || msg->type == Message::Type::Shutdown) return;
+      handle_idle(*msg);
+    }
+  }
+
+  // Handling for a thread that is not itself waiting inside a
+  // transaction: accept the invite and lock until the Assign arrives.
+  void handle_idle(const Message& msg) {
+    switch (msg.type) {
+      case Message::Type::Invite: {
+        const std::uint32_t initiator = msg.from;
+        const std::uint64_t txn = msg.txn;
+        send(initiator, Message{Message::Type::Accept, 0, txn, load_});
+        // Locked: answer only this transaction; refuse everything else.
+        while (true) {
+          auto next = owner_.mailboxes_[id_]->recv();
+          DLB_ENSURE(next.has_value(), "mailbox closed mid-transaction");
+          if (next->type == Message::Type::Assign && next->txn == txn) {
+            load_ = next->load;
+            l_old_ = load_;
+            return;
+          }
+          if (next->type == Message::Type::Invite) {
+            send(next->from,
+                 Message{Message::Type::Refuse, 0, next->txn, 0});
+            ++stats_.refusals;
+            continue;
+          }
+          DLB_ENSURE(next->type != Message::Type::Shutdown,
+                     "shutdown during a pending transaction");
+          // Stale Accept/Refuse from an earlier aborted exchange cannot
+          // occur: every transaction completes before the next begins.
+          DLB_ENSURE(false, "unexpected message while locked");
+        }
+      }
+      case Message::Type::Accept:
+      case Message::Type::Refuse:
+      case Message::Type::Assign:
+        DLB_ENSURE(false, "transaction reply without a transaction");
+        return;
+      case Message::Type::Shutdown:
+        return;
+    }
+  }
+
+  void maybe_balance() {
+    const bool grew = load_ > l_old_ &&
+                      static_cast<double>(load_) >=
+                          owner_.config_.f * static_cast<double>(l_old_);
+    const bool shrank = load_ < l_old_ && l_old_ >= 1 &&
+                        static_cast<double>(load_) <=
+                            static_cast<double>(l_old_) / owner_.config_.f;
+    if (!grew && !shrank) return;
+    initiate_balance();
+  }
+
+  void initiate_balance() {
+    const std::uint64_t txn = ++txn_counter_;
+    const auto partners = rng_.sample_distinct(
+        owner_.processors_, owner_.config_.delta, id_);
+    for (std::uint32_t q : partners)
+      send(q, Message{Message::Type::Invite, 0, txn, 0});
+
+    std::vector<std::uint32_t> accepted;
+    std::vector<std::int64_t> partner_loads;
+    std::size_t pending = partners.size();
+    while (pending > 0) {
+      auto msg = owner_.mailboxes_[id_]->recv();
+      DLB_ENSURE(msg.has_value(), "mailbox closed mid-transaction");
+      switch (msg->type) {
+        case Message::Type::Accept:
+          DLB_ENSURE(msg->txn == txn, "accept for a stale transaction");
+          accepted.push_back(msg->from);
+          partner_loads.push_back(msg->load);
+          --pending;
+          break;
+        case Message::Type::Refuse:
+          DLB_ENSURE(msg->txn == txn, "refuse for a stale transaction");
+          --pending;
+          break;
+        case Message::Type::Invite:
+          // We are busy initiating: refuse, which breaks wait cycles.
+          send(msg->from, Message{Message::Type::Refuse, 0, msg->txn, 0});
+          ++stats_.refusals;
+          break;
+        case Message::Type::Assign:
+        case Message::Type::Shutdown:
+          DLB_ENSURE(false, "unexpected message while initiating");
+      }
+    }
+
+    if (accepted.empty()) {
+      l_old_ = load_;
+      return;
+    }
+    std::int64_t pool = load_;
+    for (std::int64_t l : partner_loads) pool += l;
+    const auto m = static_cast<std::int64_t>(accepted.size()) + 1;
+    const std::int64_t base = pool / m;
+    std::int64_t remainder = pool % m;
+    // The initiator takes a remainder packet first, then partners in
+    // order; any deterministic rule keeps loads within +/-1.
+    load_ = base + (remainder > 0 ? 1 : 0);
+    if (remainder > 0) --remainder;
+    for (std::size_t k = 0; k < accepted.size(); ++k) {
+      const std::int64_t share =
+          base + (static_cast<std::int64_t>(k) <
+                          remainder
+                      ? 1
+                      : 0);
+      send(accepted[k], Message{Message::Type::Assign, 0, txn, share});
+    }
+    l_old_ = load_;
+    ++stats_.balance_ops;
+  }
+
+  std::uint32_t id_;
+  ThreadedSystem& owner_;
+  const Trace& trace_;
+  Rng rng_;
+  std::int64_t load_ = 0;
+  std::int64_t l_old_ = 0;
+  std::uint64_t txn_counter_ = 0;
+  ThreadedStats stats_;
+};
+
+ThreadedSystem::ThreadedSystem(std::uint32_t processors,
+                               ThreadedConfig config)
+    : processors_(processors), config_(config) {
+  DLB_REQUIRE(processors_ >= 2, "threaded system needs >= 2 processors");
+  DLB_REQUIRE(config_.delta >= 1 && config_.delta < processors_,
+              "delta out of range");
+  DLB_REQUIRE(config_.f > 1.0, "threaded runtime requires f > 1");
+  mailboxes_.reserve(processors_);
+  for (std::uint32_t p = 0; p < processors_; ++p)
+    mailboxes_.push_back(std::make_unique<Mailbox<Message>>());
+}
+
+ThreadedSystem::~ThreadedSystem() = default;
+
+void ThreadedSystem::run(const Trace& trace) {
+  DLB_REQUIRE(trace.processors() == processors_,
+              "trace size must match the system");
+  done_count_.store(0, std::memory_order_release);
+  Rng seeder(config_.seed);
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(processors_);
+  for (std::uint32_t p = 0; p < processors_; ++p)
+    workers.push_back(
+        std::make_unique<Worker>(p, *this, trace, seeder.next()));
+
+  std::vector<std::thread> threads;
+  threads.reserve(processors_);
+  for (auto& worker : workers)
+    threads.emplace_back([&worker] { (*worker)(); });
+
+  // Wait until every worker finished its trace column.  A worker only
+  // increments done_count_ after completing all transactions it
+  // initiated, so once the count reaches n there are no in-flight
+  // invites from finished workers; any still-queued invites are answered
+  // by the serve loops before Shutdown is processed (FIFO mailboxes).
+  while (done_count_.load(std::memory_order_acquire) < processors_)
+    std::this_thread::yield();
+  for (std::uint32_t p = 0; p < processors_; ++p)
+    mailboxes_[p]->send(Message{Message::Type::Shutdown, p, 0, 0});
+  for (auto& thread : threads) thread.join();
+
+  final_loads_.assign(processors_, 0);
+  stats_ = ThreadedStats{};
+  for (std::uint32_t p = 0; p < processors_; ++p) {
+    final_loads_[p] = workers[p]->final_load();
+    const ThreadedStats& ws = workers[p]->stats();
+    stats_.balance_ops += ws.balance_ops;
+    stats_.refusals += ws.refusals;
+    stats_.messages += ws.messages;
+    stats_.consume_failures += ws.consume_failures;
+    stats_.generated += ws.generated;
+    stats_.consumed += ws.consumed;
+  }
+}
+
+}  // namespace dlb

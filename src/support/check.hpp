@@ -1,0 +1,49 @@
+// Lightweight contract checking used throughout the library.
+//
+// The simulator is the measurement instrument for every experiment in the
+// paper reproduction, so internal invariants are checked in all build
+// types; a violated invariant would silently corrupt the data a bench
+// reports. Checks are cheap (integer comparisons) relative to the work
+// they guard.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dlb {
+
+/// Thrown when a DLB_REQUIRE / DLB_ENSURE contract is violated.
+class contract_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw contract_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace dlb
+
+/// Precondition: argument/state validation at API boundaries.
+#define DLB_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::dlb::detail::contract_fail("precondition", #cond, __FILE__,         \
+                                   __LINE__, (msg));                        \
+  } while (0)
+
+/// Postcondition / internal invariant.
+#define DLB_ENSURE(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::dlb::detail::contract_fail("invariant", #cond, __FILE__, __LINE__,  \
+                                   (msg));                                  \
+  } while (0)

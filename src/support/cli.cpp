@@ -1,0 +1,139 @@
+#include "support/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+CliOptions& CliOptions::add_int(const std::string& name, std::int64_t def,
+                                const std::string& help) {
+  DLB_REQUIRE(!options_.count(name), "duplicate option: " + name);
+  options_[name] = Option{Kind::Int, std::to_string(def), help};
+  order_.push_back(name);
+  return *this;
+}
+
+CliOptions& CliOptions::add_double(const std::string& name, double def,
+                                   const std::string& help) {
+  DLB_REQUIRE(!options_.count(name), "duplicate option: " + name);
+  options_[name] = Option{Kind::Double, std::to_string(def), help};
+  order_.push_back(name);
+  return *this;
+}
+
+CliOptions& CliOptions::add_string(const std::string& name,
+                                   const std::string& def,
+                                   const std::string& help) {
+  DLB_REQUIRE(!options_.count(name), "duplicate option: " + name);
+  options_[name] = Option{Kind::String, def, help};
+  order_.push_back(name);
+  return *this;
+}
+
+CliOptions& CliOptions::add_flag(const std::string& name,
+                                 const std::string& help) {
+  DLB_REQUIRE(!options_.count(name), "duplicate option: " + name);
+  options_[name] = Option{Kind::Flag, "0", help};
+  order_.push_back(name);
+  return *this;
+}
+
+bool CliOptions::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      print_usage(argv[0]);
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(name);
+    if (it == options_.end()) {
+      std::fprintf(stderr, "unknown option: --%s\n", name.c_str());
+      print_usage(argv[0]);
+      return false;
+    }
+    if (it->second.kind == Kind::Flag) {
+      it->second.value = has_value ? value : "1";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "option --%s needs a value\n", name.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    // Validate numeric options eagerly so typos fail at startup.
+    char* end = nullptr;
+    if (it->second.kind == Kind::Int) {
+      (void)std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        std::fprintf(stderr, "option --%s expects an integer, got '%s'\n",
+                     name.c_str(), value.c_str());
+        return false;
+      }
+    } else if (it->second.kind == Kind::Double) {
+      (void)std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        std::fprintf(stderr, "option --%s expects a number, got '%s'\n",
+                     name.c_str(), value.c_str());
+        return false;
+      }
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const CliOptions::Option& CliOptions::find(const std::string& name,
+                                           Kind kind) const {
+  auto it = options_.find(name);
+  DLB_REQUIRE(it != options_.end(), "undeclared option: " + name);
+  DLB_REQUIRE(it->second.kind == kind, "option kind mismatch: " + name);
+  return it->second;
+}
+
+std::int64_t CliOptions::get_int(const std::string& name) const {
+  return std::strtoll(find(name, Kind::Int).value.c_str(), nullptr, 10);
+}
+
+double CliOptions::get_double(const std::string& name) const {
+  return std::strtod(find(name, Kind::Double).value.c_str(), nullptr);
+}
+
+const std::string& CliOptions::get_string(const std::string& name) const {
+  return find(name, Kind::String).value;
+}
+
+bool CliOptions::get_flag(const std::string& name) const {
+  return find(name, Kind::Flag).value != "0";
+}
+
+void CliOptions::print_usage(const std::string& program) const {
+  std::fprintf(stderr, "usage: %s [--option=value ...]\n", program.c_str());
+  for (const auto& name : order_) {
+    const Option& o = options_.at(name);
+    const char* kind = o.kind == Kind::Int      ? "int"
+                       : o.kind == Kind::Double ? "float"
+                       : o.kind == Kind::String ? "string"
+                                                : "flag";
+    std::fprintf(stderr, "  --%-18s %-7s default=%-10s %s\n", name.c_str(),
+                 kind, o.value.c_str(), o.help.c_str());
+  }
+}
+
+}  // namespace dlb

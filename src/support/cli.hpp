@@ -1,0 +1,51 @@
+// Minimal command-line option parsing for benches and examples.
+//
+// Bench binaries accept overrides like --runs=100 --f=1.1 --delta=4 so a
+// user can re-run an experiment at different scales without recompiling.
+// Syntax: "--name=value" or "--name value"; bare "--help" prints usage.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dlb {
+
+class CliOptions {
+ public:
+  /// Declares an option with a default value and help text.  Declarations
+  /// must precede parse().
+  CliOptions& add_int(const std::string& name, std::int64_t def,
+                      const std::string& help);
+  CliOptions& add_double(const std::string& name, double def,
+                         const std::string& help);
+  CliOptions& add_string(const std::string& name, const std::string& def,
+                         const std::string& help);
+  CliOptions& add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv.  Returns false (after printing usage) when --help was
+  /// given or an unknown/ill-formed option was encountered.
+  bool parse(int argc, char** argv);
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  void print_usage(const std::string& program) const;
+
+ private:
+  enum class Kind { Int, Double, String, Flag };
+  struct Option {
+    Kind kind;
+    std::string value;  // canonical textual value
+    std::string help;
+  };
+  const Option& find(const std::string& name, Kind kind) const;
+
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace dlb

@@ -1,0 +1,87 @@
+#include "support/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+void render_plot(std::ostream& os, const std::vector<PlotSeries>& series,
+                 const PlotOptions& options) {
+  DLB_REQUIRE(options.width >= 8 && options.height >= 4,
+              "plot area too small");
+  double lo = options.y_min;
+  double hi = options.y_max;
+  std::size_t max_len = 0;
+  bool any = false;
+  if (lo == hi) {
+    lo = std::numeric_limits<double>::infinity();
+    hi = -lo;
+    for (const auto& s : series) {
+      for (double v : s.values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+  }
+  for (const auto& s : series) {
+    if (!s.values.empty()) any = true;
+    max_len = std::max(max_len, s.values.size());
+  }
+  DLB_REQUIRE(any, "nothing to plot");
+  if (hi <= lo) hi = lo + 1.0;  // flat data: give the range some height
+
+  // canvas[row][col]; row 0 is the top.
+  std::vector<std::string> canvas(options.height,
+                                  std::string(options.width, ' '));
+  for (const auto& s : series) {
+    if (s.values.empty()) continue;
+    for (std::size_t col = 0; col < options.width; ++col) {
+      const std::size_t idx =
+          s.values.size() == 1
+              ? 0
+              : col * (s.values.size() - 1) / (options.width - 1);
+      const double v = s.values[idx];
+      double frac = (v - lo) / (hi - lo);
+      frac = std::clamp(frac, 0.0, 1.0);
+      const auto row = static_cast<std::size_t>(std::llround(
+          (1.0 - frac) * static_cast<double>(options.height - 1)));
+      canvas[row][col] = s.glyph;
+    }
+  }
+
+  auto format_tick = [](double v) {
+    std::ostringstream tick;
+    tick << std::setprecision(4) << std::defaultfloat << v;
+    return tick.str();
+  };
+  const std::string top = format_tick(hi);
+  const std::string bottom = format_tick(lo);
+  const std::size_t margin = std::max(top.size(), bottom.size()) + 1;
+
+  if (!options.y_label.empty())
+    os << std::string(margin, ' ') << options.y_label << '\n';
+  for (std::size_t row = 0; row < options.height; ++row) {
+    std::string tick;
+    if (row == 0) tick = top;
+    if (row == options.height - 1) tick = bottom;
+    os << std::setw(static_cast<int>(margin)) << tick << '|' << canvas[row]
+       << '\n';
+  }
+  os << std::string(margin, ' ') << '+'
+     << std::string(options.width, '-') << ' ' << options.x_label << " ["
+     << 0 << ".." << (max_len ? max_len - 1 : 0) << "]\n";
+  os << std::string(margin, ' ');
+  for (const auto& s : series) {
+    if (s.values.empty()) continue;
+    os << ' ' << s.glyph << '=' << s.label;
+  }
+  os << '\n';
+}
+
+}  // namespace dlb

@@ -1,0 +1,36 @@
+// Terminal plotting: renders series as ASCII charts so the figure
+// benches can show the *shape* the paper plots (Figures 6-10) directly
+// in their stdout, next to the numeric tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dlb {
+
+/// One plotted series: a label, a glyph, and y-values over an implicit
+/// 0..n-1 x-axis.
+struct PlotSeries {
+  std::string label;
+  char glyph = '*';
+  std::vector<double> values;
+};
+
+struct PlotOptions {
+  std::size_t width = 72;   // columns of the plotting area
+  std::size_t height = 16;  // rows of the plotting area
+  /// Fix the y-range; when min == max the range is computed from data.
+  double y_min = 0.0;
+  double y_max = 0.0;
+  std::string x_label = "step";
+  std::string y_label;
+};
+
+/// Renders the series into `os`.  X is compressed/stretched to `width`
+/// by nearest-index sampling; later series overdraw earlier ones where
+/// they collide.  Empty series are skipped; throws if all are empty.
+void render_plot(std::ostream& os, const std::vector<PlotSeries>& series,
+                 const PlotOptions& options = {});
+
+}  // namespace dlb

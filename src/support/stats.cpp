@@ -1,0 +1,108 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+void RunningMoments::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningMoments::merge(const RunningMoments& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningMoments::reset() { *this = RunningMoments{}; }
+
+double RunningMoments::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningMoments::sample_variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningMoments::stddev() const { return std::sqrt(variance()); }
+
+double RunningMoments::variation_density() const {
+  const double m = mean();
+  if (m == 0.0) return 0.0;
+  return stddev() / m;
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  DLB_REQUIRE(!sorted.empty(), "percentile of an empty sample");
+  DLB_REQUIRE(q >= 0.0 && q <= 1.0, "percentile rank must be in [0,1]");
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+Summary summarize(std::vector<double> sample) {
+  Summary s;
+  s.n = sample.size();
+  if (sample.empty()) return s;
+  std::sort(sample.begin(), sample.end());
+  RunningMoments rm;
+  for (double x : sample) rm.add(x);
+  s.mean = rm.mean();
+  s.stddev = rm.stddev();
+  s.min = sample.front();
+  s.max = sample.back();
+  s.p25 = percentile_sorted(sample, 0.25);
+  s.median = percentile_sorted(sample, 0.50);
+  s.p75 = percentile_sorted(sample, 0.75);
+  return s;
+}
+
+SeriesAggregator::SeriesAggregator(std::size_t steps) : cells_(steps) {
+  DLB_REQUIRE(steps > 0, "SeriesAggregator needs at least one step");
+}
+
+void SeriesAggregator::add(std::size_t t, double value) {
+  DLB_REQUIRE(t < cells_.size(), "SeriesAggregator step out of range");
+  cells_[t].add(value);
+}
+
+double SeriesAggregator::mean(std::size_t t) const { return at(t).mean(); }
+double SeriesAggregator::min(std::size_t t) const { return at(t).min(); }
+double SeriesAggregator::max(std::size_t t) const { return at(t).max(); }
+double SeriesAggregator::stddev(std::size_t t) const { return at(t).stddev(); }
+
+const RunningMoments& SeriesAggregator::at(std::size_t t) const {
+  DLB_REQUIRE(t < cells_.size(), "SeriesAggregator step out of range");
+  return cells_[t];
+}
+
+void SeriesAggregator::merge(const SeriesAggregator& other) {
+  DLB_REQUIRE(cells_.size() == other.cells_.size(),
+              "cannot merge aggregators over different horizons");
+  for (std::size_t t = 0; t < cells_.size(); ++t)
+    cells_[t].merge(other.cells_[t]);
+}
+
+}  // namespace dlb

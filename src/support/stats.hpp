@@ -1,0 +1,93 @@
+// Streaming and batch statistics.
+//
+// Every figure in the paper aggregates 100 randomized runs into expected /
+// minimum / maximum curves, and §5 needs second moments (the "variation
+// density" VD = sqrt(E[X²] − E[X]²) / E[X]).  RunningMoments implements
+// Welford's numerically stable online algorithm with Chan's parallel merge
+// so per-run statistics can be combined across runs and across threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace dlb {
+
+/// Online mean / variance / extrema accumulator (Welford).
+class RunningMoments {
+ public:
+  void add(double x);
+
+  /// Chan et al. parallel combination: *this <- *this ∪ other.
+  void merge(const RunningMoments& other);
+
+  void reset();
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (divides by n).
+  double variance() const;
+  /// Sample variance (divides by n-1); 0 for fewer than two samples.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// The paper's variation density: stddev / mean (coefficient of
+  /// variation).  Returns 0 when the mean is 0.
+  double variation_density() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Five-number-style batch summary of a sample.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary of `sample` (copies and sorts; sample may be empty).
+Summary summarize(std::vector<double> sample);
+
+/// Linear-interpolated percentile of a *sorted* sample, q in [0, 1].
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+/// Per-time-step aggregation across repeated runs: for each step t keeps
+/// the running mean and the most extreme single-processor values ever
+/// observed — exactly the avg/min/max curves of Figures 7–10.
+class SeriesAggregator {
+ public:
+  explicit SeriesAggregator(std::size_t steps);
+
+  /// Record one observation for step t (t < steps()).
+  void add(std::size_t t, double value);
+
+  std::size_t steps() const { return cells_.size(); }
+  double mean(std::size_t t) const;
+  double min(std::size_t t) const;
+  double max(std::size_t t) const;
+  double stddev(std::size_t t) const;
+  const RunningMoments& at(std::size_t t) const;
+
+  /// Cell-wise merge of another aggregator over the same horizon
+  /// (Chan's combination; used by the parallel experiment runner).
+  void merge(const SeriesAggregator& other);
+
+ private:
+  std::vector<RunningMoments> cells_;
+};
+
+}  // namespace dlb

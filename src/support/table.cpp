@@ -1,0 +1,117 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  DLB_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+TextTable& TextTable::row() {
+  DLB_REQUIRE(cells_.empty() || cells_.back().size() == headers_.size(),
+              "previous row is incomplete");
+  cells_.emplace_back();
+  cells_.back().reserve(headers_.size());
+  return *this;
+}
+
+TextTable& TextTable::cell(const std::string& value) {
+  DLB_REQUIRE(!cells_.empty(), "call row() before cell()");
+  DLB_REQUIRE(cells_.back().size() < headers_.size(), "row already full");
+  cells_.back().push_back(value);
+  return *this;
+}
+
+TextTable& TextTable::cell(const char* value) {
+  return cell(std::string(value));
+}
+
+TextTable& TextTable::cell(double value, int precision) {
+  return cell(format_double(value, precision));
+}
+
+TextTable& TextTable::cell(long long value) {
+  return cell(std::to_string(value));
+}
+
+TextTable& TextTable::cell(unsigned long long value) {
+  return cell(std::to_string(value));
+}
+
+TextTable& TextTable::cell(int value) { return cell(std::to_string(value)); }
+
+TextTable& TextTable::cell(std::size_t value) {
+  return cell(std::to_string(value));
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  bool digit = false;
+  for (; i < s.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(s[i]))) {
+      digit = true;
+    } else if (s[i] != '.' && s[i] != 'e' && s[i] != 'E' && s[i] != '-' &&
+               s[i] != '+') {
+      return false;
+    }
+  }
+  return digit;
+}
+}  // namespace
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& r : cells_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < r.size() ? r[c] : std::string{};
+      os << "  ";
+      if (looks_numeric(v)) {
+        os << std::string(width[c] - v.size(), ' ') << v;
+      } else {
+        os << v << std::string(width[c] - v.size(), ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : cells_) emit_row(r);
+}
+
+void TextTable::write_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << ',';
+      os << r[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& r : cells_) emit(r);
+}
+
+}  // namespace dlb

@@ -1,0 +1,48 @@
+// Plain-text table rendering for the bench harnesses.
+//
+// Every bench binary regenerates one of the paper's tables or figure
+// series as rows on stdout; TextTable renders them with aligned columns
+// so the output is directly comparable to the paper, and write_csv emits
+// the same data machine-readably for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dlb {
+
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  TextTable& row();
+
+  TextTable& cell(const std::string& value);
+  TextTable& cell(const char* value);
+  TextTable& cell(double value, int precision = 3);
+  TextTable& cell(long long value);
+  TextTable& cell(unsigned long long value);
+  TextTable& cell(int value);
+  TextTable& cell(std::size_t value);
+
+  std::size_t rows() const { return cells_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+  /// Renders with a header rule; numeric-looking cells right-aligned.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated output, one line per row, header first.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Formats a double with fixed precision (helper shared with benches).
+std::string format_double(double value, int precision);
+
+}  // namespace dlb

@@ -1,0 +1,105 @@
+#include "theory/bounds.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+double theorem3_lower(const ModelParams& params) {
+  ModelParams inverse = params;
+  inverse.f = 1.0 / params.f;
+  return fixpoint(inverse);
+}
+
+double theorem3_upper(const ModelParams& params) { return fixpoint(params); }
+
+double theorem4_factor(double delta, double f) {
+  DLB_REQUIRE(f >= 1.0 && f < delta + 1.0,
+              "Theorem 4 requires 1 <= f < delta + 1");
+  return f * f * delta / (delta + 1.0 - f);
+}
+
+double theorem4_factor_finite(std::uint32_t local_time,
+                              const ModelParams& params) {
+  return params.f * params.f * iterate_G(1.0, local_time, params);
+}
+
+double U_const(const ModelParams& params) {
+  const double fix_inv = theorem3_lower(params);
+  DLB_REQUIRE(fix_inv > 0.0, "FIX(n, delta, 1/f) must be positive");
+  return 1.0 / (params.f * (params.delta + 1.0)) *
+         (1.0 + params.f * params.delta / fix_inv);
+}
+
+double D_const(const ModelParams& params) {
+  const double fix = fixpoint(params);
+  DLB_REQUIRE(fix > 0.0, "FIX(n, delta, f) must be positive");
+  return 1.0 / (params.f * (params.delta + 1.0)) *
+         (1.0 + params.delta * params.f / fix);
+}
+
+DecreaseBounds lemma5_bounds(double x, double c, const ModelParams& params) {
+  DLB_REQUIRE(x > c && c > 0.0, "lemma 5 needs x > c > 0");
+  DLB_REQUIRE(params.f > 1.0, "lemma 5 needs f > 1");
+  const double f = params.f;
+  const double u = U_const(params);
+  const double d = D_const(params);
+  DecreaseBounds out;
+
+  // Lower bound:
+  //   t >= max{0, floor( log( (f²(c−x)+x−1)/((f−1)(x+1)) · (U−1) + 1 )
+  //                      / log U )}.
+  {
+    const double ratio = (f * f * (c - x) + x - 1.0) / ((f - 1.0) * (x + 1.0));
+    const double arg = ratio * (u - 1.0) + 1.0;
+    if (arg > 0.0 && u > 0.0 && u != 1.0) {
+      out.lower = std::max(0.0, std::floor(std::log(arg) / std::log(u)));
+    } else {
+      out.lower = 0.0;
+    }
+  }
+
+  // Upper bound:
+  //   t <= ceil( log( (c+xf−x−f)/((x−1)f(1−1/f)) · (D−1) + 1 ) / log D ),
+  // valid only when 1/(1−D) >= (c+xf−x−f)/((x−1)f(1−1/f)).
+  {
+    const double ratio =
+        (c + x * f - x - f) / ((x - 1.0) * f * (1.0 - 1.0 / f));
+    out.upper_valid = d < 1.0 && (1.0 / (1.0 - d)) >= ratio;
+    const double arg = ratio * (d - 1.0) + 1.0;
+    if (out.upper_valid && arg > 0.0 && d > 0.0) {
+      out.upper = std::ceil(std::log(arg) / std::log(d));
+    }
+  }
+  return out;
+}
+
+double lemma6_upper(double x, double c, const ModelParams& params,
+                    std::uint32_t cap) {
+  DLB_REQUIRE(x > c && c > 0.0, "lemma 6 needs x > c > 0");
+  DLB_REQUIRE(params.f > 1.0, "lemma 6 needs f > 1");
+  const double f = params.f;
+  const double target = (c - 1.0) / ((x - 1.0) * f * (1.0 - 1.0 / f));
+  if (target <= 0.0) return 0.0;
+
+  // D_i = 1/(f(δ+1)) · (1 + δf / C^i(FIX(n, δ, f))): the ratio between
+  // processor 0 and its candidates *improves* (via operator C) with every
+  // decrease operation, so each step removes a larger fraction.
+  double fix_i = fixpoint(params);  // C^0(FIX)
+  double product = 1.0;
+  double sum = 0.0;
+  for (std::uint32_t i = 0; i < cap; ++i) {
+    const double d_i = 1.0 / (f * (params.delta + 1.0)) *
+                       (1.0 + params.delta * f / fix_i);
+    product *= d_i;
+    sum += product;
+    // sum now equals sum_{k=0}^{i} prod_{j=0}^{k} D_j; lemma's index t has
+    // the partial sum running to t-2, so t = i + 2.
+    if (sum >= target) return static_cast<double>(i) + 2.0;
+    fix_i = C_op(fix_i, params);
+  }
+  return static_cast<double>(cap);
+}
+
+}  // namespace dlb

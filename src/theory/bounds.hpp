@@ -1,0 +1,53 @@
+// Closed-form bounds of Theorems 3/4 and Lemmas 5/6.
+//
+// Theorem 3 sandwiches the one-processor producer-consumer ratio; Theorem
+// 4 bounds any pairwise expected-load ratio in the full n-processor model;
+// Lemmas 5 and 6 bound the number of balancing operations needed to shrink
+// a class load from x to x − c (the §6 cost analysis).
+#pragma once
+
+#include <cstdint>
+
+#include "theory/operators.hpp"
+
+namespace dlb {
+
+/// Theorem 3, lower envelope: FIX(n, δ, 1/f) (and its n→∞ limit
+/// δ/(δ+1−1/f) via fixpoint_limit(delta, 1/f)).
+double theorem3_lower(const ModelParams& params);
+/// Theorem 3, upper envelope: FIX(n, δ, f).
+double theorem3_upper(const ModelParams& params);
+
+/// Theorem 4 (2): E(l_i) <= f²·δ/(δ+1−f) · (E(l_j) + C).  This returns
+/// the multiplicative factor f²·δ/(δ+1−f); requires f < δ+1.
+double theorem4_factor(double delta, double f);
+
+/// Theorem 4 (1): the finite-time factor f²·G^{t'}(1).
+double theorem4_factor_finite(std::uint32_t local_time,
+                              const ModelParams& params);
+
+/// Lemma 5's constants:
+///   U = 1/(f(δ+1)) · (1 + fδ / FIX(n, δ, 1/f))
+///   D = 1/(f(δ+1)) · (1 + δf / FIX(n, δ, f))
+double U_const(const ModelParams& params);
+double D_const(const ModelParams& params);
+
+/// Lemma 5: bounds on the expected number of balancing operations to
+/// decrease the class-i load on processor i from x to x − c > 0.
+struct DecreaseBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+  /// Lemma 5's upper bound "only holds in case that
+  /// 1/(1−D) >= (c + xf − x − f) / ((x−1)·f·(1−1/f))".
+  bool upper_valid = false;
+};
+DecreaseBounds lemma5_bounds(double x, double c, const ModelParams& params);
+
+/// Lemma 6: improved upper bound — the smallest t with
+///   sum_{i=0}^{t-2} prod_{j=0}^{i} D_j  >=  (c−1) / ((x−1)·f·(1−1/f)),
+/// where D_i uses C^i(FIX(n, δ, f)) in place of FIX(n, δ, f).
+/// Returns ceil(t); `cap` bounds the search.
+double lemma6_upper(double x, double c, const ModelParams& params,
+                    std::uint32_t cap = 100000);
+
+}  // namespace dlb

@@ -1,0 +1,105 @@
+#include "theory/computation_graph.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+ComputationGraph::ComputationGraph(const CandidateSequence& candidates)
+    : candidates_(candidates), bow_source_(candidates.size(), 0) {
+  // last_seen[c] = last step (1-based) in which candidate c participated.
+  // A bow edge (j, i) exists iff candidate of step i was last used in
+  // step j and in no step between.
+  std::vector<std::size_t> last_seen;
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    const std::uint32_t c = candidates_[i];
+    DLB_REQUIRE(c >= 1, "candidates are 1-based");
+    if (c >= last_seen.size()) last_seen.resize(c + 1, 0);
+    bow_source_[i] = last_seen[c];
+    last_seen[c] = i + 1;
+  }
+}
+
+std::size_t ComputationGraph::bow_source(std::size_t step) const {
+  DLB_REQUIRE(step >= 1 && step <= steps(), "step out of range");
+  return bow_source_[step - 1];
+}
+
+double ComputationGraph::generator_load(double f, double initial) const {
+  // v_0 = initial; v_i = (f/2) v_{i-1} + (1/2) v_{bow(i)}.
+  std::vector<double> v(steps() + 1);
+  v[0] = initial;
+  for (std::size_t i = 1; i <= steps(); ++i) {
+    v[i] = 0.5 * f * v[i - 1] + 0.5 * v[bow_source_[i - 1]];
+  }
+  return v[steps()];
+}
+
+double ComputationGraph::candidate_load(std::uint32_t candidate, double f,
+                                        double initial) const {
+  DLB_REQUIRE(candidate >= 1, "candidates are 1-based");
+  std::vector<double> v(steps() + 1);
+  v[0] = initial;
+  std::size_t last = 0;  // last step this candidate participated in
+  for (std::size_t i = 1; i <= steps(); ++i) {
+    v[i] = 0.5 * f * v[i - 1] + 0.5 * v[bow_source_[i - 1]];
+    if (candidates_[i - 1] == candidate) last = i;
+  }
+  return v[last];
+}
+
+EnumeratedMoments enumerate_moments(std::uint32_t n, std::uint32_t steps,
+                                    double f) {
+  DLB_REQUIRE(n >= 2, "need at least one candidate");
+  DLB_REQUIRE(steps >= 1, "need at least one step");
+  const std::uint64_t base = n - 1;
+  double total_sequences = 1.0;
+  for (std::uint32_t i = 0; i < steps; ++i) {
+    total_sequences *= static_cast<double>(base);
+    DLB_REQUIRE(total_sequences <= 1e8,
+                "enumeration too large; reduce steps or n");
+  }
+  const auto count = static_cast<std::uint64_t>(total_sequences);
+
+  EnumeratedMoments out;
+  out.sequences = count;
+  CandidateSequence seq(steps, 1);
+  double sum_v = 0.0;
+  double sum_v2 = 0.0;
+  double sum_w = 0.0;
+  double sum_w2 = 0.0;
+  for (std::uint64_t index = 0; index < count; ++index) {
+    std::uint64_t rest = index;
+    for (std::uint32_t i = 0; i < steps; ++i) {
+      seq[i] = static_cast<std::uint32_t>(rest % base) + 1;
+      rest /= base;
+    }
+    const ComputationGraph graph(seq);
+    const double v = graph.generator_load(f);
+    // By symmetry every non-generator has the same marginal law; use
+    // candidate 1.
+    const double w = graph.candidate_load(1, f);
+    sum_v += v;
+    sum_v2 += v * v;
+    sum_w += w;
+    sum_w2 += w * w;
+  }
+  const double inv = 1.0 / static_cast<double>(count);
+  out.mean_generator = sum_v * inv;
+  out.second_generator = sum_v2 * inv;
+  out.mean_other = sum_w * inv;
+  out.second_other = sum_w2 * inv;
+  const double var_v =
+      std::max(0.0, out.second_generator -
+                        out.mean_generator * out.mean_generator);
+  const double var_w =
+      std::max(0.0, out.second_other - out.mean_other * out.mean_other);
+  out.vd_generator =
+      out.mean_generator > 0 ? std::sqrt(var_v) / out.mean_generator : 0.0;
+  out.vd_other =
+      out.mean_other > 0 ? std::sqrt(var_w) / out.mean_other : 0.0;
+  return out;
+}
+
+}  // namespace dlb

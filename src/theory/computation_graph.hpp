@@ -1,0 +1,82 @@
+// The §5 computation-graph formalism, implemented literally.
+//
+// The paper describes the one-processor-generator computation by a graph:
+// nodes 0..t are balancing steps; step i has a *forward* edge (i-1, i)
+// weighted f/2 and a *bow* edge (j, i) weighted 1/2, where j is the last
+// step in which step i's candidate processor participated (j = 0 if it
+// never did).  The generator's load after step t is the total weight of
+// all paths 0 -> t:
+//     v_t = (1/2) v_j + (f/2) v_{t-1}.
+// E(v_t^2) is then an average over all candidate sequences.
+//
+// This module provides:
+//   * CandidateSequence -> ComputationGraph construction (the paper's
+//     Figure 2 example is a unit test),
+//   * exact evaluation of v_t for a fixed graph,
+//   * exact E(v_t), E(v_t^2), and the variation density of v_t by full
+//     enumeration of all (n-1)^t candidate sequences (small t), and
+//   * the candidate-load view w_i(t) so the non-generator's VD (what
+//     Figure 6 plots) is enumerable too.
+//
+// It exists to cross-validate the O(t) moment recursion in
+// theory/variation.hpp against the paper's own formalism: both must give
+// identical results for every enumerable configuration (tested).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dlb {
+
+/// Candidate sequence: candidates[i] is the processor (1-based index into
+/// the non-generators, i.e. in {1, ..., n-1}) chosen at balancing step
+/// i+1.  Only delta = 1 is expressible as a plain sequence, matching §5
+/// (the paper's recursion handles delta > 1 only via the relaxed
+/// algorithm, which is again a sequence of pairwise steps).
+using CandidateSequence = std::vector<std::uint32_t>;
+
+/// The computation graph of a candidate sequence.
+class ComputationGraph {
+ public:
+  /// Builds the graph: bow_source[i] is the step j < i+1 whose value the
+  /// step-(i+1) candidate still carries (0 if the candidate is fresh).
+  explicit ComputationGraph(const CandidateSequence& candidates);
+
+  std::size_t steps() const { return bow_source_.size(); }
+
+  /// Source of the bow edge into node i (1-based step index, i >= 1).
+  std::size_t bow_source(std::size_t step) const;
+
+  /// Generator load v_t after all steps, for growth factor f and initial
+  /// balanced load v_0 = initial on every processor: evaluates the path
+  /// weights via the recurrence v_i = (f/2) v_{i-1} + (1/2) v_{bow(i)}.
+  double generator_load(double f, double initial = 1.0) const;
+
+  /// Load of non-generator processor `candidate` (1-based) after all
+  /// steps: the value it received at its last participation (or the
+  /// initial load if it never participated).
+  double candidate_load(std::uint32_t candidate, double f,
+                        double initial = 1.0) const;
+
+ private:
+  CandidateSequence candidates_;
+  std::vector<std::size_t> bow_source_;
+};
+
+/// Exact moments over ALL candidate sequences of length `steps` with
+/// `n - 1` candidates (full enumeration; cost (n-1)^steps — keep
+/// steps * log(n-1) small).
+struct EnumeratedMoments {
+  double mean_generator = 0.0;
+  double second_generator = 0.0;  // E(v_t^2)
+  double vd_generator = 0.0;
+  double mean_other = 0.0;        // E of a fixed non-generator's load
+  double second_other = 0.0;
+  double vd_other = 0.0;          // the Figure 6 quantity
+  std::uint64_t sequences = 0;
+};
+
+EnumeratedMoments enumerate_moments(std::uint32_t n, std::uint32_t steps,
+                                    double f);
+
+}  // namespace dlb

@@ -1,0 +1,76 @@
+#include "theory/operators.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+namespace {
+void check_params(const ModelParams& params) {
+  DLB_REQUIRE(params.n >= 2.0, "analysis needs n >= 2");
+  DLB_REQUIRE(params.delta >= 1.0 && params.delta < params.n,
+              "delta out of range");
+  DLB_REQUIRE(params.f > 0.0, "f must be positive");
+}
+}  // namespace
+
+double G_op(double k, const ModelParams& params) {
+  check_params(params);
+  const double n = params.n;
+  const double d = params.delta;
+  const double f = params.f;
+  return (k * f + d) * (n - 1.0) /
+         (d * k * f + d * (n - 2.0) + (n - 1.0));
+}
+
+double C_op(double k, const ModelParams& params) {
+  ModelParams inverse = params;
+  inverse.f = 1.0 / params.f;
+  return G_op(k, inverse);
+}
+
+double A_const(const ModelParams& params) {
+  check_params(params);
+  const double n = params.n;
+  const double d = params.delta;
+  const double f = params.f;
+  return (f - f * n + d * (n - 2.0) + (n - 1.0)) / (2.0 * d * f);
+}
+
+double fixpoint(const ModelParams& params) {
+  const double a = A_const(params);
+  return std::sqrt((params.n - 1.0) / params.f + a * a) - a;
+}
+
+double fixpoint_limit(double delta, double f) {
+  DLB_REQUIRE(f < delta + 1.0,
+              "the n->infinity limit requires f < delta + 1");
+  return delta / (delta + 1.0 - f);
+}
+
+double iterate_G(double k0, std::uint32_t t, const ModelParams& params) {
+  double k = k0;
+  for (std::uint32_t i = 0; i < t; ++i) k = G_op(k, params);
+  return k;
+}
+
+double iterate_C(double k0, std::uint32_t t, const ModelParams& params) {
+  double k = k0;
+  for (std::uint32_t i = 0; i < t; ++i) k = C_op(k, params);
+  return k;
+}
+
+std::uint32_t iterations_to_converge(double k0, double tol,
+                                     std::uint32_t cap,
+                                     const ModelParams& params) {
+  const double fix = fixpoint(params);
+  double k = k0;
+  for (std::uint32_t t = 0; t <= cap; ++t) {
+    if (std::fabs(k - fix) <= tol) return t;
+    k = G_op(k, params);
+  }
+  return cap;
+}
+
+}  // namespace dlb

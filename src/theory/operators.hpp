@@ -1,0 +1,51 @@
+// The analytic machinery of §3: the load-ratio operators G and C, the
+// fixed point FIX(n, delta, f), and its network-size-independent limit.
+//
+// If processor 0 is the only generator and E(l_0,t) = k · E(l_i,t) before
+// a balancing operation, then after the operation the ratio is G(k) for a
+// workload increase by factor f and C(k) for the corresponding decrease
+// (Lemma 1).  Banach's contraction theorem gives convergence of G^t to
+//   FIX(n, delta, f) = sqrt((n-1)/f + A^2) - A,
+//   A = (f - f·n + delta(n-2) + (n-1)) / (2·delta·f),
+// bounded by delta/(delta+1-f) independent of n (Theorems 1, 2).
+#pragma once
+
+#include <cstdint>
+
+namespace dlb {
+
+/// Parameters of the analysis; n is the network size.
+struct ModelParams {
+  double n = 16;
+  double delta = 1;
+  double f = 1.1;
+};
+
+/// The growth operator G(k) = (kf + δ)(n−1) / (δkf + δ(n−2) + (n−1)).
+double G_op(double k, const ModelParams& params);
+
+/// The decrease operator C(k) = G(k) with f replaced by 1/f.
+double C_op(double k, const ModelParams& params);
+
+/// A = (f − fn + δ(n−2) + (n−1)) / (2δf) (Lemma 2).
+double A_const(const ModelParams& params);
+
+/// FIX(n, δ, f) = sqrt((n−1)/f + A²) − A: the fixed point of G.
+double fixpoint(const ModelParams& params);
+
+/// lim_{n→∞} FIX(n, δ, f) = δ / (δ + 1 − f) (Theorem 2).
+/// Requires f < δ + 1.
+double fixpoint_limit(double delta, double f);
+
+/// G^t(k0): t applications of G.
+double iterate_G(double k0, std::uint32_t t, const ModelParams& params);
+
+/// C^t(k0): t applications of C.
+double iterate_C(double k0, std::uint32_t t, const ModelParams& params);
+
+/// Number of iterations until |G^t(k0) − FIX| <= tol (capped at `cap`).
+std::uint32_t iterations_to_converge(double k0, double tol,
+                                     std::uint32_t cap,
+                                     const ModelParams& params);
+
+}  // namespace dlb

@@ -1,0 +1,122 @@
+#include "theory/variation.hpp"
+
+#include <cmath>
+
+#include "core/one_processor.hpp"
+#include "support/check.hpp"
+#include "support/stats.hpp"
+
+namespace dlb {
+
+VariationRecursion::VariationRecursion(const VariationParams& params)
+    : params_(params) {
+  DLB_REQUIRE(params_.n >= 2, "variation recursion needs n >= 2");
+  DLB_REQUIRE(params_.delta >= 1 && params_.delta < params_.n,
+              "delta out of range");
+  DLB_REQUIRE(params_.f >= 1.0, "f must be >= 1");
+}
+
+void VariationRecursion::equalize_step(double g, std::uint32_t delta) {
+  const double n = params_.n;
+  const double d = delta;
+  const double D = d + 1.0;
+
+  // Growth g of the generator, then (δ+1)-way equalization with δ
+  // uniformly chosen distinct candidates; all participants end at
+  //   v' = (g·v + Σ w_c) / (δ+1).
+  const double a1 = (g * a_ + d * m_) / D;
+  const double b1 =
+      (g * g * b_ + 2.0 * g * d * q_ + d * s_ + d * (d - 1.0) * p_) /
+      (D * D);
+  // E[v'·w_j] for a non-candidate j.
+  const double cross = (g * q_ + d * p_) / D;
+
+  const double pc = d / (n - 1.0);  // P(a given other is a candidate)
+  const double m1 = pc * a1 + (1.0 - pc) * m_;
+  const double s1 = pc * b1 + (1.0 - pc) * s_;
+  const double q1 = pc * b1 + (1.0 - pc) * cross;
+
+  double p1 = p_;
+  if (params_.n >= 3) {
+    const double denom = (n - 1.0) * (n - 2.0);
+    const double p_both = d * (d - 1.0) / denom;
+    const double p_one = 2.0 * d * (n - 1.0 - d) / denom;
+    const double p_none = (n - 1.0 - d) * (n - 2.0 - d) / denom;
+    p1 = p_both * b1 + p_one * cross + p_none * p_;
+  }
+
+  // Renormalize so the generator's mean stays 1; all reported quantities
+  // are scale-invariant, and this keeps the state bounded for any t.
+  const double scale = a1;
+  DLB_ENSURE(scale > 0.0, "generator mean collapsed to zero");
+  a_ = 1.0;
+  m_ = m1 / scale;
+  b_ = b1 / (scale * scale);
+  s_ = s1 / (scale * scale);
+  q_ = q1 / (scale * scale);
+  p_ = p1 / (scale * scale);
+}
+
+void VariationRecursion::step() {
+  if (params_.relaxed_pairwise && params_.delta > 1) {
+    equalize_step(params_.f, 1);
+    for (std::uint32_t k = 1; k < params_.delta; ++k) equalize_step(1.0, 1);
+  } else {
+    equalize_step(params_.f, params_.delta);
+  }
+  ++t_;
+}
+
+void VariationRecursion::advance(std::uint32_t steps) {
+  for (std::uint32_t i = 0; i < steps; ++i) step();
+}
+
+double VariationRecursion::vd_other() const {
+  const double var = std::max(0.0, s_ - m_ * m_);
+  return m_ > 0.0 ? std::sqrt(var) / m_ : 0.0;
+}
+
+double VariationRecursion::vd_generator() const {
+  const double var = std::max(0.0, b_ - a_ * a_);
+  return a_ > 0.0 ? std::sqrt(var) / a_ : 0.0;
+}
+
+double VariationRecursion::ratio() const {
+  return m_ > 0.0 ? a_ / m_ : 0.0;
+}
+
+VariationEstimate estimate_variation_mc(const VariationParams& params,
+                                        std::uint32_t steps,
+                                        std::uint32_t runs,
+                                        std::uint64_t seed,
+                                        std::int64_t initial_load) {
+  DLB_REQUIRE(runs >= 2, "Monte-Carlo estimate needs at least two runs");
+  DLB_REQUIRE(initial_load >= 1, "initial load must be positive");
+  OneProcessorModel::Params mp;
+  mp.n = params.n;
+  mp.delta = params.delta;
+  mp.f = params.f;
+  mp.relaxed_pairwise = params.relaxed_pairwise;
+
+  Rng master(seed);
+  RunningMoments others;
+  RunningMoments generator;
+  for (std::uint32_t r = 0; r < runs; ++r) {
+    OneProcessorModel model(mp, master.next());
+    for (std::uint32_t i = 0; i < params.n; ++i)
+      model.set_load(i, initial_load);
+    model.set_trigger_baseline(initial_load);
+    model.run_grow(steps);
+    for (std::uint32_t i = 1; i < params.n; ++i)
+      others.add(static_cast<double>(model.load(i)));
+    generator.add(static_cast<double>(model.load(0)));
+  }
+  VariationEstimate est;
+  est.vd_other = others.variation_density();
+  est.mean_other = others.mean();
+  est.mean_generator = generator.mean();
+  est.ratio = others.mean() > 0.0 ? generator.mean() / others.mean() : 0.0;
+  return est;
+}
+
+}  // namespace dlb

@@ -1,0 +1,84 @@
+// Exact computation of the variation density (§5 / Figure 6).
+//
+// The paper computes VD(l_{i,t}) = sqrt(E l² − (E l)²) / E l for a
+// non-generating processor through an O(p²t³) recursion over "computation
+// graphs".  We obtain the same quantity exactly in O(t) per step ([D8] in
+// DESIGN.md): in the one-processor-generator model, processors 1..n-1 are
+// exchangeable and balancing candidates are chosen uniformly, so the
+// six-tuple of moments
+//   a = E v          (generator load)        b = E v²
+//   m = E w          (a random other)        s = E w²
+//   q = E v·w                                p = E w·w'  (distinct others)
+// is closed under the balancing update
+//   v' = (f·v + Σ_{c∈M} w_c) / (δ+1),  w_c' = v'  for the δ candidates.
+// A Monte-Carlo estimator over the actual integer algorithm cross-checks
+// the recursion (tests + bench/fig6_variation).
+#pragma once
+
+#include <cstdint>
+
+namespace dlb {
+
+struct VariationParams {
+  std::uint32_t n = 16;     // network size
+  std::uint32_t delta = 1;  // candidates per balancing step
+  double f = 1.1;           // growth factor between balancing steps
+  /// Figure 6's relaxed delta>1 algorithm: one balancing step = delta
+  /// consecutive *pairwise* equalizations (growth f applied once, before
+  /// the first pairwise operation).
+  bool relaxed_pairwise = false;
+};
+
+class VariationRecursion {
+ public:
+  explicit VariationRecursion(const VariationParams& params);
+
+  /// Advances by one balancing step.
+  void step();
+  /// Advances by `steps` balancing steps.
+  void advance(std::uint32_t steps);
+
+  std::uint32_t steps_done() const { return t_; }
+
+  /// Variation density of a non-generating processor (the Figure 6 curve).
+  double vd_other() const;
+  /// Variation density of the generator itself.
+  double vd_generator() const;
+  /// E(l_0) / E(l_i): converges to FIX(n, delta, f) — the Theorem 1 limit
+  /// recovered from the second-moment recursion (cross-check).
+  double ratio() const;
+
+  double mean_generator() const { return a_; }
+  double mean_other() const { return m_; }
+
+ private:
+  // One (δ+1)-way equalization preceded by growth g of the generator.
+  void equalize_step(double g, std::uint32_t delta);
+
+  VariationParams params_;
+  std::uint32_t t_ = 0;
+  // Moments, renormalized every step (divide first moments by a, second
+  // moments by a²) so values stay O(1) for any horizon; every reported
+  // quantity is scale-invariant.
+  double a_ = 1.0, b_ = 1.0;
+  double m_ = 1.0, s_ = 1.0;
+  double q_ = 1.0, p_ = 1.0;
+};
+
+/// Monte-Carlo estimate of the same quantities from the real integer
+/// algorithm (core/OneProcessorModel), pooling processors 1..n-1 across
+/// `runs` independent runs after `steps` balancing steps.  `initial_load`
+/// pre-loads every processor so integer rounding is negligible.
+struct VariationEstimate {
+  double vd_other = 0.0;
+  double mean_other = 0.0;
+  double mean_generator = 0.0;
+  double ratio = 0.0;
+};
+VariationEstimate estimate_variation_mc(const VariationParams& params,
+                                        std::uint32_t steps,
+                                        std::uint32_t runs,
+                                        std::uint64_t seed,
+                                        std::int64_t initial_load = 1000);
+
+}  // namespace dlb

@@ -1,0 +1,55 @@
+// Demand traces: record the resolved generate/consume decisions of a
+// workload once, replay them against any algorithm.
+//
+// The baseline-comparison benches must feed *identical* demand to every
+// algorithm under test — otherwise differences in imbalance could be an
+// artifact of different random demand rather than of balancing policy.
+// A Trace pins down, per (step, processor), exactly what the application
+// did; the simulators accept either a live Workload or a Trace.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace dlb {
+
+class Trace {
+ public:
+  Trace(std::uint32_t processors, std::uint32_t horizon);
+
+  /// Resolves all of `workload`'s randomness with `rng` into a trace.
+  static Trace record(const Workload& workload, Rng& rng);
+
+  std::uint32_t processors() const { return processors_; }
+  std::uint32_t horizon() const { return horizon_; }
+
+  WorkEvent at(std::uint32_t processor, std::uint32_t t) const;
+  void set(std::uint32_t processor, std::uint32_t t, WorkEvent ev);
+
+  /// Net demand = total generations − total consumption *attempts*.
+  std::int64_t net_demand() const;
+  std::uint64_t total_generations() const;
+  std::uint64_t total_consume_attempts() const;
+
+  /// Text round-trip (one line per step: 2 bits per processor), for
+  /// storing regression fixtures.
+  void save(std::ostream& os) const;
+  static Trace load(std::istream& is);
+
+  bool operator==(const Trace& other) const = default;
+
+ private:
+  std::size_t index(std::uint32_t processor, std::uint32_t t) const {
+    return static_cast<std::size_t>(t) * processors_ + processor;
+  }
+
+  std::uint32_t processors_;
+  std::uint32_t horizon_;
+  // 2 bits per cell packed as bytes: bit0 = generate, bit1 = consume.
+  std::vector<std::uint8_t> cells_;
+};
+
+}  // namespace dlb

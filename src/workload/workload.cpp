@@ -1,0 +1,209 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+Workload::Workload(std::uint32_t processors, std::uint32_t horizon,
+                   std::vector<std::vector<Phase>> phases, std::string name)
+    : processors_(processors),
+      horizon_(horizon),
+      phases_(std::move(phases)),
+      name_(std::move(name)),
+      cursor_(processors, 0) {
+  DLB_REQUIRE(processors_ >= 1, "workload needs at least one processor");
+  DLB_REQUIRE(horizon_ >= 1, "workload needs a positive horizon");
+  DLB_REQUIRE(phases_.size() == processors_,
+              "one phase list per processor required");
+  for (const auto& list : phases_) {
+    std::uint32_t prev_end = 0;
+    bool first = true;
+    for (const auto& ph : list) {
+      DLB_REQUIRE(ph.start <= ph.end, "phase must have start <= end");
+      DLB_REQUIRE(first || ph.start > prev_end,
+                  "phases of a processor must be disjoint and sorted");
+      DLB_REQUIRE(ph.generate_prob >= 0.0 && ph.generate_prob <= 1.0,
+                  "generate probability out of [0,1]");
+      DLB_REQUIRE(ph.consume_prob >= 0.0 && ph.consume_prob <= 1.0,
+                  "consume probability out of [0,1]");
+      prev_end = ph.end;
+      first = false;
+    }
+  }
+}
+
+const std::vector<Phase>& Workload::phases_of(std::uint32_t processor) const {
+  DLB_REQUIRE(processor < processors_, "processor id out of range");
+  return phases_[processor];
+}
+
+const Phase* Workload::find_phase(std::uint32_t processor,
+                                  std::uint32_t t) const {
+  DLB_REQUIRE(processor < processors_, "processor id out of range");
+  const auto& list = phases_[processor];
+  if (list.empty()) return nullptr;
+  std::size_t& cur = cursor_[processor];
+  if (cur >= list.size() || t < list[cur].start) cur = 0;
+  while (cur < list.size() && list[cur].end < t) ++cur;
+  if (cur < list.size() && list[cur].start <= t && t <= list[cur].end)
+    return &list[cur];
+  return nullptr;
+}
+
+double Workload::generate_prob(std::uint32_t processor,
+                               std::uint32_t t) const {
+  const Phase* ph = find_phase(processor, t);
+  return ph ? ph->generate_prob : 0.0;
+}
+
+double Workload::consume_prob(std::uint32_t processor,
+                              std::uint32_t t) const {
+  const Phase* ph = find_phase(processor, t);
+  return ph ? ph->consume_prob : 0.0;
+}
+
+WorkEvent Workload::sample(std::uint32_t processor, std::uint32_t t,
+                           Rng& rng) const {
+  const Phase* ph = find_phase(processor, t);
+  WorkEvent ev;
+  if (ph == nullptr) return ev;
+  ev.generate = rng.bernoulli(ph->generate_prob);
+  ev.consume = rng.bernoulli(ph->consume_prob);
+  return ev;
+}
+
+Workload Workload::paper_benchmark(std::uint32_t processors,
+                                   std::uint32_t horizon,
+                                   const WorkloadParams& params, Rng& rng) {
+  DLB_REQUIRE(params.len_low >= 1 && params.len_low <= params.len_high,
+              "phase length bounds inconsistent");
+  std::vector<std::vector<Phase>> phases(processors);
+  for (std::uint32_t p = 0; p < processors; ++p) {
+    std::uint32_t t = 0;
+    while (t < horizon) {
+      Phase ph;
+      ph.start = t;
+      const auto len = static_cast<std::uint32_t>(
+          rng.range(params.len_low, params.len_high));
+      ph.end = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+          horizon - 1, std::uint64_t{t} + len - 1));
+      ph.generate_prob = rng.uniform(params.g_low, params.g_high);
+      ph.consume_prob = rng.uniform(params.c_low, params.c_high);
+      phases[p].push_back(ph);
+      t = ph.end + 1;
+    }
+  }
+  return Workload(processors, horizon, std::move(phases), "paper-benchmark");
+}
+
+Workload Workload::one_producer(std::uint32_t processors,
+                                std::uint32_t horizon) {
+  std::vector<std::vector<Phase>> phases(processors);
+  phases[0].push_back(Phase{0, horizon - 1, 1.0, 0.0});
+  return Workload(processors, horizon, std::move(phases), "one-producer");
+}
+
+Workload Workload::one_producer_consumer(std::uint32_t processors,
+                                         std::uint32_t horizon, double g,
+                                         double c) {
+  std::vector<std::vector<Phase>> phases(processors);
+  phases[0].push_back(Phase{0, horizon - 1, g, c});
+  return Workload(processors, horizon, std::move(phases),
+                  "one-producer-consumer");
+}
+
+Workload Workload::uniform(std::uint32_t processors, std::uint32_t horizon,
+                           double g, double c) {
+  std::vector<std::vector<Phase>> phases(processors);
+  for (auto& list : phases) list.push_back(Phase{0, horizon - 1, g, c});
+  return Workload(processors, horizon, std::move(phases), "uniform");
+}
+
+Workload Workload::hotspot(std::uint32_t processors, std::uint32_t horizon,
+                           std::uint32_t hot, double hot_g, double cold_c) {
+  DLB_REQUIRE(hot >= 1 && hot <= processors, "hotspot count out of range");
+  std::vector<std::vector<Phase>> phases(processors);
+  for (std::uint32_t p = 0; p < processors; ++p) {
+    if (p < hot) {
+      phases[p].push_back(Phase{0, horizon - 1, hot_g, 0.0});
+    } else {
+      phases[p].push_back(Phase{0, horizon - 1, 0.0, cold_c});
+    }
+  }
+  return Workload(processors, horizon, std::move(phases), "hotspot");
+}
+
+Workload Workload::wave(std::uint32_t processors, std::uint32_t horizon,
+                        std::uint32_t window) {
+  DLB_REQUIRE(window >= 1, "wave window must be positive");
+  std::vector<std::vector<Phase>> phases(processors);
+  // Each processor is "hot" (generating) during a window that moves one
+  // processor forward every `window` steps; outside its window it consumes.
+  for (std::uint32_t p = 0; p < processors; ++p) {
+    std::uint32_t t = 0;
+    while (t < horizon) {
+      const std::uint32_t active =
+          static_cast<std::uint32_t>((t / window) % processors);
+      Phase ph;
+      ph.start = t;
+      ph.end = std::min(horizon - 1, t + window - 1);
+      if (active == p) {
+        ph.generate_prob = 0.9;
+        ph.consume_prob = 0.0;
+      } else {
+        ph.generate_prob = 0.0;
+        ph.consume_prob = 0.3;
+      }
+      phases[p].push_back(ph);
+      t = ph.end + 1;
+    }
+  }
+  return Workload(processors, horizon, std::move(phases), "wave");
+}
+
+Workload Workload::bursty(std::uint32_t processors, std::uint32_t horizon,
+                          std::uint32_t period, double g, double c) {
+  DLB_REQUIRE(period >= 1, "burst period must be positive");
+  std::vector<std::vector<Phase>> phases(processors);
+  for (std::uint32_t p = 0; p < processors; ++p) {
+    std::uint32_t t = 0;
+    bool generating = true;
+    while (t < horizon) {
+      Phase ph;
+      ph.start = t;
+      ph.end = std::min(horizon - 1, t + period - 1);
+      ph.generate_prob = generating ? g : 0.0;
+      ph.consume_prob = generating ? 0.0 : c;
+      phases[p].push_back(ph);
+      t = ph.end + 1;
+      generating = !generating;
+    }
+  }
+  return Workload(processors, horizon, std::move(phases), "bursty");
+}
+
+Workload Workload::flip_flop(std::uint32_t processors, std::uint32_t horizon,
+                             std::uint32_t period, double g, double c) {
+  DLB_REQUIRE(period >= 1, "flip-flop period must be positive");
+  std::vector<std::vector<Phase>> phases(processors);
+  for (std::uint32_t p = 0; p < processors; ++p) {
+    std::uint32_t t = 0;
+    bool first_half = p < processors / 2;
+    while (t < horizon) {
+      const bool even_epoch = (t / period) % 2 == 0;
+      const bool generating = (first_half == even_epoch);
+      Phase ph;
+      ph.start = t;
+      ph.end = std::min(horizon - 1, t + period - 1);
+      ph.generate_prob = generating ? g : 0.0;
+      ph.consume_prob = generating ? 0.0 : c;
+      phases[p].push_back(ph);
+      t = ph.end + 1;
+    }
+  }
+  return Workload(processors, horizon, std::move(phases), "flip-flop");
+}
+
+}  // namespace dlb

@@ -1,0 +1,129 @@
+// Synthetic workload patterns.
+//
+// §7 of the paper drives the algorithm with phase-structured random
+// workloads: each processor i runs through tuples (g_i, c_i, start_i,
+// end_i) and, within a phase, generates a packet with probability g_i and
+// consumes one (if available) with probability c_i per global time step.
+// The tuple parameters are drawn from (g_l, g_h, c_l, c_h, len_l, len_h).
+// Since the paper's theorems hold "for any load pattern", we also provide
+// a library of stress patterns (one-producer, hotspot, wave, bursty,
+// flip-flop) used by tests and ablation benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace dlb {
+
+/// One workload phase of a single processor: within [start, end] (global
+/// time steps, inclusive) the processor generates with probability
+/// `generate_prob` and consumes with probability `consume_prob`.
+struct Phase {
+  std::uint32_t start = 0;
+  std::uint32_t end = 0;
+  double generate_prob = 0.0;
+  double consume_prob = 0.0;
+};
+
+/// What a processor does in one global time step.  Generation and
+/// consumption are drawn independently, matching §7 ("generates ... with
+/// probability g_i and consumes a load packet if available with
+/// probability c_i"); the basic model's one-unit-per-step restriction is
+/// recovered because the theorems allow any constant number of units per
+/// step (§2).
+struct WorkEvent {
+  bool generate = false;
+  bool consume = false;
+};
+
+/// The §7 experiment parameters.
+struct WorkloadParams {
+  double g_low = 0.1;
+  double g_high = 0.9;
+  double c_low = 0.1;
+  double c_high = 0.7;
+  std::uint32_t len_low = 150;
+  std::uint32_t len_high = 400;
+};
+
+/// A fully resolved workload: per-processor phase schedules over a finite
+/// horizon.  Resolving the randomness once (at construction) makes a
+/// workload replayable across algorithms, which is what the baseline
+/// comparison benches need — every algorithm sees the *same* demand.
+class Workload {
+ public:
+  Workload(std::uint32_t processors, std::uint32_t horizon,
+           std::vector<std::vector<Phase>> phases, std::string name);
+
+  std::uint32_t processors() const { return processors_; }
+  std::uint32_t horizon() const { return horizon_; }
+  const std::string& name() const { return name_; }
+  const std::vector<Phase>& phases_of(std::uint32_t processor) const;
+
+  /// Probability that `processor` generates at step t (0 outside phases).
+  double generate_prob(std::uint32_t processor, std::uint32_t t) const;
+  double consume_prob(std::uint32_t processor, std::uint32_t t) const;
+
+  /// Draws the processor's action at step t.
+  WorkEvent sample(std::uint32_t processor, std::uint32_t t, Rng& rng) const;
+
+  // ---- Factories ------------------------------------------------------
+
+  /// The paper's §7 benchmark: consecutive random phases per processor.
+  static Workload paper_benchmark(std::uint32_t processors,
+                                  std::uint32_t horizon,
+                                  const WorkloadParams& params, Rng& rng);
+
+  /// Only processor 0 generates (probability 1); nobody consumes.  The
+  /// §3 one-processor-generator model.
+  static Workload one_producer(std::uint32_t processors,
+                               std::uint32_t horizon);
+
+  /// Processor 0 generates with probability g and consumes with
+  /// probability c; everyone else is idle.  The §3 producer-consumer
+  /// model.
+  static Workload one_producer_consumer(std::uint32_t processors,
+                                        std::uint32_t horizon, double g,
+                                        double c);
+
+  /// Every processor generates with probability g and consumes with
+  /// probability c for the whole horizon.
+  static Workload uniform(std::uint32_t processors, std::uint32_t horizon,
+                          double g, double c);
+
+  /// `hot` processors generate heavily; the rest only consume.
+  static Workload hotspot(std::uint32_t processors, std::uint32_t horizon,
+                          std::uint32_t hot, double hot_g, double cold_c);
+
+  /// Generation activity sweeps across the processor range in windows,
+  /// so the load source keeps moving — an adversary for any balancing
+  /// scheme keyed to static producers.
+  static Workload wave(std::uint32_t processors, std::uint32_t horizon,
+                       std::uint32_t window);
+
+  /// Alternating global bursts: phases of heavy generation followed by
+  /// phases of heavy consumption, everywhere.
+  static Workload bursty(std::uint32_t processors, std::uint32_t horizon,
+                         std::uint32_t period, double g, double c);
+
+  /// Half the machine generates while the other half consumes; roles swap
+  /// every `period` steps.
+  static Workload flip_flop(std::uint32_t processors, std::uint32_t horizon,
+                            std::uint32_t period, double g, double c);
+
+ private:
+  std::uint32_t processors_;
+  std::uint32_t horizon_;
+  std::vector<std::vector<Phase>> phases_;
+  std::string name_;
+  // Phase lookup memo: index of the last phase matched per processor, a
+  // sequential-scan hint (simulation advances t monotonically).
+  mutable std::vector<std::size_t> cursor_;
+
+  const Phase* find_phase(std::uint32_t processor, std::uint32_t t) const;
+};
+
+}  // namespace dlb

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/adapter.hpp"
+#include "baselines/balancer.hpp"
+#include "baselines/diffusion.hpp"
+#include "baselines/rsu.hpp"
+#include "baselines/simple.hpp"
+#include "baselines/stealing.hpp"
+#include "metrics/imbalance.hpp"
+#include "support/stats.hpp"
+
+namespace dlb {
+namespace {
+
+Trace make_trace(std::uint32_t n, std::uint32_t horizon, double g, double c,
+                 std::uint64_t seed) {
+  Rng rng(seed);
+  return Trace::record(Workload::uniform(n, horizon, g, c), rng);
+}
+
+Trace hotspot_trace(std::uint32_t n, std::uint32_t horizon,
+                    std::uint64_t seed) {
+  Rng rng(seed);
+  return Trace::record(Workload::hotspot(n, horizon, 1, 0.9, 0.3), rng);
+}
+
+void expect_conservation(LoadBalancer& balancer, const Trace& trace) {
+  // total load == generations − successful consumptions; successful
+  // consumptions == attempts − failures.
+  const std::int64_t expected =
+      static_cast<std::int64_t>(trace.total_generations()) -
+      (static_cast<std::int64_t>(trace.total_consume_attempts()) -
+       static_cast<std::int64_t>(balancer.consume_failures()));
+  EXPECT_EQ(balancer.total_load(), expected) << balancer.name();
+}
+
+TEST(NoBalancing, ConservesAndNeverMoves) {
+  const auto trace = make_trace(8, 200, 0.5, 0.4, 1);
+  NoBalancing nb(8);
+  run_trace(nb, trace);
+  expect_conservation(nb, trace);
+  EXPECT_EQ(nb.packets_moved(), 0u);
+  EXPECT_EQ(nb.messages(), 0u);
+}
+
+TEST(NoBalancing, HotspotStaysUnbalanced) {
+  const auto trace = hotspot_trace(8, 300, 2);
+  NoBalancing nb(8);
+  run_trace(nb, trace);
+  const auto report = measure_imbalance(nb.loads());
+  // All load sits on processor 0.
+  EXPECT_GT(report.max_over_avg, 6.0);
+}
+
+TEST(RandomScatter, ConservesLoad) {
+  const auto trace = make_trace(8, 200, 0.6, 0.3, 3);
+  RandomScatter rs(8, 99);
+  run_trace(rs, trace);
+  expect_conservation(rs, trace);
+  EXPECT_GT(rs.packets_moved(), 0u);
+}
+
+TEST(RandomScatter, ExpectedBalanceButHugeVariance) {
+  // §5's point: the per-step load of a fixed processor has mean ~ total/n
+  // but enormous spread.
+  const auto trace = hotspot_trace(8, 400, 4);
+  RandomScatter rs(8, 7);
+  RunningMoments proc0;
+  run_trace(rs, trace,
+            [&](std::uint32_t, const std::vector<std::int64_t>& loads) {
+              proc0.add(static_cast<double>(loads[0]));
+            });
+  // Variation density of a single processor's load over time is large
+  // (most steps zero, occasionally the whole queue).
+  EXPECT_GT(proc0.variation_density(), 1.0);
+}
+
+TEST(RudolphUpfal, ConservesAndBalancesHotspot) {
+  // Supply-rich hotspot (see WorkStealing test for the rationale): the
+  // residual load must end far better spread than with no balancing.
+  Rng rng(5);
+  const Trace trace =
+      Trace::record(Workload::hotspot(16, 400, 1, 0.9, 0.05), rng);
+  RudolphUpfal rsu(16, {}, 11);
+  run_trace(rsu, trace);
+  expect_conservation(rsu, trace);
+  EXPECT_GT(rsu.messages(), 0u);
+
+  NoBalancing nb(16);
+  run_trace(nb, trace);
+  const auto r_rsu = measure_imbalance(rsu.loads());
+  const auto r_nb = measure_imbalance(nb.loads());
+  EXPECT_LT(r_rsu.max_deviation, r_nb.max_deviation / 2.0);
+  EXPECT_LT(rsu.consume_failures(), nb.consume_failures());
+}
+
+TEST(RudolphUpfal, EmptyConsumeProbesForWork) {
+  RudolphUpfal rsu(2, {}, 13);
+  rsu.generate(0);
+  rsu.generate(0);
+  rsu.generate(0);
+  rsu.generate(0);
+  // Processor 1 is empty; its consume should (with probability 1 per the
+  // scheme) probe and often acquire work.
+  int successes = 0;
+  for (int i = 0; i < 4; ++i) successes += rsu.consume(1);
+  EXPECT_GT(successes, 0);
+}
+
+TEST(WorkStealing, ConservesAndServesStarvedConsumers) {
+  // Supply must exceed demand for the failure-rate comparison to be about
+  // *policy*: one producer at 0.9 packets/step vs 15 consumers at 0.05
+  // attempts/step each (0.75 total).
+  Rng rng(6);
+  const Trace trace =
+      Trace::record(Workload::hotspot(16, 400, 1, 0.9, 0.05), rng);
+  WorkStealing ws(16, {}, 17);
+  run_trace(ws, trace);
+  expect_conservation(ws, trace);
+  EXPECT_GT(ws.steals(), 0u);
+  // Stealing keeps consumers fed: failure rate far below no-balancing.
+  NoBalancing nb(16);
+  run_trace(nb, trace);
+  EXPECT_LT(ws.consume_failures(), nb.consume_failures() / 2);
+}
+
+TEST(WorkStealing, StealsHalf) {
+  WorkStealing ws(2, {.max_probes = 1u}, 19);
+  for (int i = 0; i < 10; ++i) ws.generate(0);
+  EXPECT_TRUE(ws.consume(1));  // must steal from 0 (the only victim)
+  // Victim had 10 -> thief stole 5, consumed 1.
+  EXPECT_EQ(ws.loads()[0], 5);
+  EXPECT_EQ(ws.loads()[1], 4);
+}
+
+TEST(Diffusion, ConservesOnTopology) {
+  const auto topo = Topology::torus2d(4, 4);
+  const auto trace = hotspot_trace(16, 300, 8);
+  Diffusion diff(topo, {});
+  run_trace(diff, trace);
+  expect_conservation(diff, trace);
+  EXPECT_GT(diff.packets_moved(), 0u);
+}
+
+TEST(Diffusion, SpreadsLoadAcrossTorus) {
+  const auto topo = Topology::torus2d(4, 4);
+  Diffusion diff(topo, {});
+  for (int i = 0; i < 1600; ++i) diff.generate(0);
+  for (std::uint32_t step = 0; step < 50; ++step) diff.end_step(step);
+  const auto report = measure_imbalance(diff.loads());
+  EXPECT_LT(report.max_over_avg, 2.0);
+  EXPECT_GT(report.min_load, 0.0);
+}
+
+TEST(Diffusion, AlphaDefaultsToStableValue) {
+  const auto topo = Topology::hypercube(3);  // degree 3
+  Diffusion diff(topo, {});
+  EXPECT_DOUBLE_EQ(diff.alpha(), 0.25);
+}
+
+TEST(DlbAdapter, MatchesDirectSystemRun) {
+  const auto trace = make_trace(8, 200, 0.6, 0.4, 9);
+  BalancerConfig cfg;
+  DlbAdapter adapter(8, cfg, 42);
+  run_trace(adapter, trace);
+  System direct(8, cfg, 42);
+  direct.run(trace);
+  EXPECT_EQ(adapter.loads(), direct.loads());
+  expect_conservation(adapter, trace);
+}
+
+TEST(DlbAdapter, ReportsCosts) {
+  const auto trace = hotspot_trace(8, 200, 10);
+  DlbAdapter adapter(8, BalancerConfig{}, 43);
+  run_trace(adapter, trace);
+  EXPECT_GT(adapter.messages(), 0u);
+  EXPECT_GT(adapter.packets_moved(), 0u);
+}
+
+TEST(Comparison, DlbBeatsNoBalancingOnHotspot) {
+  const auto trace = hotspot_trace(16, 400, 11);
+  DlbAdapter ours(16, BalancerConfig{}, 44);
+  NoBalancing none(16);
+  run_trace(ours, trace);
+  run_trace(none, trace);
+  const auto r_ours = measure_imbalance(ours.loads());
+  const auto r_none = measure_imbalance(none.loads());
+  EXPECT_LT(r_ours.max_over_avg, r_none.max_over_avg);
+  EXPECT_LT(ours.consume_failures(), none.consume_failures());
+}
+
+TEST(Comparison, DlbVarianceFarBelowRandomScatter) {
+  const auto trace = hotspot_trace(8, 400, 12);
+  DlbAdapter ours(8, BalancerConfig{}, 45);
+  RandomScatter scatter(8, 46);
+  RunningMoments ours0;
+  RunningMoments scatter0;
+  run_trace(ours, trace,
+            [&](std::uint32_t, const std::vector<std::int64_t>& loads) {
+              ours0.add(static_cast<double>(loads[0]));
+            });
+  run_trace(scatter, trace,
+            [&](std::uint32_t, const std::vector<std::int64_t>& loads) {
+              scatter0.add(static_cast<double>(loads[0]));
+            });
+  EXPECT_LT(ours0.variation_density(), scatter0.variation_density());
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,73 @@
+#include "baselines/dimension_exchange.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/simple.hpp"
+#include "metrics/imbalance.hpp"
+#include "support/check.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(DimensionExchange, OneFullSweepBalancesStaticLoad) {
+  DimensionExchange dx(3, {.one_dimension_per_step = false});
+  for (int i = 0; i < 80; ++i) dx.generate(0);
+  dx.end_step(0);  // full sweep: all 3 dimensions
+  const auto loads = dx.loads();
+  for (std::int64_t l : loads) EXPECT_EQ(l, 10);
+}
+
+TEST(DimensionExchange, AsynchronousScheduleConvergesInDSteps) {
+  DimensionExchange dx(4, {});
+  for (int i = 0; i < 160; ++i) dx.generate(5);
+  for (std::uint32_t t = 0; t < 4; ++t) dx.end_step(t);
+  const auto report = measure_imbalance(dx.loads());
+  EXPECT_LE(report.max_load - report.min_load, 1.0);
+}
+
+TEST(DimensionExchange, OddPacketsStayWithinOne) {
+  DimensionExchange dx(3, {.one_dimension_per_step = false});
+  for (int i = 0; i < 83; ++i) dx.generate(2);  // not divisible by 8
+  dx.end_step(0);
+  const auto report = measure_imbalance(dx.loads());
+  EXPECT_LE(report.max_load - report.min_load, 1.0);
+  std::int64_t total = 0;
+  for (std::int64_t l : dx.loads()) total += l;
+  EXPECT_EQ(total, 83);
+}
+
+TEST(DimensionExchange, ConservesUnderTrace) {
+  Rng rng(3);
+  const Trace trace =
+      Trace::record(Workload::hotspot(16, 300, 1, 0.9, 0.2), rng);
+  DimensionExchange dx(4, {});
+  run_trace(dx, trace);
+  std::int64_t total = 0;
+  for (std::int64_t l : dx.loads()) total += l;
+  const auto consumed =
+      static_cast<std::int64_t>(trace.total_consume_attempts()) -
+      static_cast<std::int64_t>(dx.consume_failures());
+  EXPECT_EQ(total,
+            static_cast<std::int64_t>(trace.total_generations()) - consumed);
+}
+
+TEST(DimensionExchange, BeatsNoBalancingOnHotspot) {
+  Rng rng(5);
+  const Trace trace =
+      Trace::record(Workload::hotspot(16, 400, 1, 0.9, 0.05), rng);
+  DimensionExchange dx(4, {});
+  NoBalancing nb(16);
+  run_trace(dx, trace);
+  run_trace(nb, trace);
+  EXPECT_LT(measure_imbalance(dx.loads()).max_deviation,
+            measure_imbalance(nb.loads()).max_deviation / 2.0);
+  EXPECT_LT(dx.consume_failures(), nb.consume_failures());
+}
+
+TEST(DimensionExchange, ValidatesDimension) {
+  EXPECT_THROW(DimensionExchange(0, {}), contract_error);
+  EXPECT_THROW(DimensionExchange(21, {}), contract_error);
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,99 @@
+#include "baselines/gradient.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/simple.hpp"
+#include "metrics/imbalance.hpp"
+#include "support/check.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(GradientModel, ProximityZeroWhenLight) {
+  const auto topo = Topology::ring(6);
+  GradientModel gm(topo, {});
+  gm.end_step(0);
+  for (std::uint32_t p = 0; p < 6; ++p) EXPECT_EQ(gm.proximity(p), 0u);
+}
+
+TEST(GradientModel, ProximityPropagatesOneHopPerStep) {
+  const auto topo = Topology::ring(8);
+  GradientModel::Params params;
+  params.low_watermark = 0;
+  params.high_watermark = 100;  // no pushing: isolate the proximity sweep
+  GradientModel gm(topo, params);
+  // Load every processor except 0 so only 0 is light.
+  for (std::uint32_t p = 1; p < 8; ++p)
+    for (int i = 0; i < 5; ++i) gm.generate(p);
+  // Sweep 1 seeds the light node; its neighbors learn on sweep 2, and
+  // the estimate advances one hop per further sweep.
+  gm.end_step(0);
+  EXPECT_EQ(gm.proximity(0), 0u);
+  EXPECT_GT(gm.proximity(1), 1u);
+  gm.end_step(1);
+  EXPECT_EQ(gm.proximity(1), 1u);
+  EXPECT_EQ(gm.proximity(7), 1u);
+  EXPECT_GT(gm.proximity(4), 2u);
+  gm.end_step(2);
+  EXPECT_EQ(gm.proximity(2), 2u);
+  gm.end_step(3);
+  gm.end_step(4);
+  EXPECT_EQ(gm.proximity(4), 4u);
+}
+
+TEST(GradientModel, PushesDownTheGradient) {
+  const auto topo = Topology::ring(8);
+  GradientModel gm(topo, {});
+  for (int i = 0; i < 40; ++i) gm.generate(0);
+  for (std::uint32_t step = 0; step < 60; ++step) gm.end_step(step);
+  const auto report = measure_imbalance(gm.loads());
+  // Work flowed off the hotspot toward light processors.
+  EXPECT_LT(report.max_load, 40.0);
+  EXPECT_GT(gm.packets_moved(), 0u);
+  std::int64_t total = 0;
+  for (std::int64_t l : gm.loads()) total += l;
+  EXPECT_EQ(total, 40);
+}
+
+TEST(GradientModel, ConservesUnderTrace) {
+  const auto topo = Topology::torus2d(4, 4);
+  Rng rng(3);
+  const Trace trace =
+      Trace::record(Workload::hotspot(16, 300, 2, 0.9, 0.2), rng);
+  GradientModel gm(topo, {});
+  run_trace(gm, trace);
+  std::int64_t total = 0;
+  for (std::int64_t l : gm.loads()) total += l;
+  const auto consumed =
+      static_cast<std::int64_t>(trace.total_consume_attempts()) -
+      static_cast<std::int64_t>(gm.consume_failures());
+  EXPECT_EQ(total,
+            static_cast<std::int64_t>(trace.total_generations()) - consumed);
+}
+
+TEST(GradientModel, BeatsNoBalancingOnHotspot) {
+  const auto topo = Topology::torus2d(4, 4);
+  Rng rng(5);
+  const Trace trace =
+      Trace::record(Workload::hotspot(16, 400, 1, 0.9, 0.05), rng);
+  GradientModel gm(topo, {});
+  NoBalancing nb(16);
+  run_trace(gm, trace);
+  run_trace(nb, trace);
+  EXPECT_LT(measure_imbalance(gm.loads()).max_deviation,
+            measure_imbalance(nb.loads()).max_deviation);
+  EXPECT_LT(gm.consume_failures(), nb.consume_failures());
+}
+
+TEST(GradientModel, ValidatesParams) {
+  const auto topo = Topology::ring(4);
+  GradientModel::Params bad;
+  bad.low_watermark = 5;
+  bad.high_watermark = 5;
+  EXPECT_THROW(GradientModel(topo, bad), contract_error);
+  bad.low_watermark = -1;
+  EXPECT_THROW(GradientModel(topo, bad), contract_error);
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,206 @@
+#include "core/async_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/imbalance.hpp"
+#include "support/check.hpp"
+
+namespace dlb {
+namespace {
+
+Trace make_trace(std::uint32_t n, std::uint32_t horizon, double g, double c,
+                 std::uint64_t seed) {
+  Rng rng(seed);
+  return Trace::record(Workload::uniform(n, horizon, g, c), rng);
+}
+
+AsyncConfig cfg(double f = 1.2, std::uint32_t delta = 2,
+                double latency = 0.5, std::uint64_t seed = 1) {
+  AsyncConfig c;
+  c.f = f;
+  c.delta = delta;
+  c.hop_latency = latency;
+  c.seed = seed;
+  return c;
+}
+
+TEST(AsyncSystem, ConservesLoadAtDrain) {
+  const auto topo = Topology::torus2d(4, 4);
+  const auto trace = make_trace(16, 300, 0.6, 0.4, 2);
+  AsyncSystem sys(topo, cfg());
+  sys.run(trace);
+  std::int64_t total = 0;
+  for (std::int64_t l : sys.loads()) total += l;
+  EXPECT_EQ(total, static_cast<std::int64_t>(sys.stats().generated) -
+                       static_cast<std::int64_t>(sys.stats().consumed));
+  EXPECT_EQ(sys.stats().generated, trace.total_generations());
+}
+
+TEST(AsyncSystem, DeterministicInSeed) {
+  const auto topo = Topology::hypercube(3);
+  const auto trace = make_trace(8, 200, 0.7, 0.4, 3);
+  AsyncSystem a(topo, cfg(1.2, 2, 0.7, 9));
+  AsyncSystem b(topo, cfg(1.2, 2, 0.7, 9));
+  a.run(trace);
+  b.run(trace);
+  EXPECT_EQ(a.loads(), b.loads());
+  EXPECT_EQ(a.stats().balance_ops, b.stats().balance_ops);
+  EXPECT_EQ(a.stats().messages, b.stats().messages);
+}
+
+TEST(AsyncSystem, ZeroLatencyBalancesHotspot) {
+  const auto topo = Topology::torus2d(4, 4);
+  Rng rng(4);
+  const Trace trace =
+      Trace::record(Workload::hotspot(16, 400, 1, 0.9, 0.0), rng);
+  AsyncSystem sys(topo, cfg(1.1, 2, 0.0, 5));
+  sys.run(trace);
+  const auto report = measure_imbalance(sys.loads());
+  EXPECT_LT(report.max_over_avg, 2.0);
+  EXPECT_GT(sys.stats().balance_ops, 0u);
+}
+
+TEST(AsyncSystem, LatencyDegradesButDoesNotBreakBalance) {
+  const auto topo = Topology::torus2d(4, 4);
+  Rng rng(6);
+  const Trace trace =
+      Trace::record(Workload::hotspot(16, 400, 1, 0.9, 0.0), rng);
+  AsyncSystem slow(topo, cfg(1.1, 2, 5.0, 7));
+  slow.run(trace);
+  std::int64_t total = 0;
+  for (std::int64_t l : slow.loads()) total += l;
+  EXPECT_EQ(total, static_cast<std::int64_t>(slow.stats().generated));
+  // Still far better than no balancing (hotspot would hold everything).
+  const auto report = measure_imbalance(slow.loads());
+  EXPECT_LT(report.max_over_avg, 8.0);
+}
+
+TEST(AsyncSystem, HighLatencyCausesRefusalsAndDeferrals) {
+  const auto topo = Topology::ring(8);
+  const auto trace = make_trace(8, 300, 0.8, 0.5, 8);
+  AsyncSystem sys(topo, cfg(1.05, 3, 3.0, 11));
+  sys.run(trace);
+  // With slow messages and aggressive triggers, overlapping transactions
+  // must have occurred: refusals and/or deferred demand are nonzero.
+  EXPECT_GT(sys.stats().refusals + sys.stats().deferred_events, 0u);
+}
+
+TEST(AsyncSystem, NeighborhoodPartnersStayLocal) {
+  // On a ring with radius-1 partners, only processor 0 generates; its
+  // transactions can only reach 1 and 15 directly, and load can only
+  // leak further when those neighbors themselves trigger.
+  const auto ring = Topology::ring(16);
+  Rng rng(12);
+  const Trace trace =
+      Trace::record(Workload::hotspot(16, 100, 1, 0.9, 0.0), rng);
+  AsyncConfig c = cfg(1.5, 2, 0.0, 13);
+  c.partner_radius = 1;
+  AsyncSystem sys(ring, c);
+  sys.run(trace);
+  std::int64_t total = 0;
+  for (std::int64_t l : sys.loads()) total += l;
+  EXPECT_EQ(total, static_cast<std::int64_t>(sys.stats().generated));
+  // The far side of the ring cannot have received anything: with f=1.5
+  // neighbors of neighbors trigger rarely in 100 steps.
+  EXPECT_EQ(sys.loads()[8], 0);
+}
+
+TEST(AsyncSystem, NeighborhoodConservesUnderChurn) {
+  const auto topo = Topology::torus2d(4, 4);
+  const auto trace = make_trace(16, 250, 0.7, 0.5, 14);
+  AsyncConfig c = cfg(1.1, 3, 0.5, 15);
+  c.partner_radius = 2;
+  AsyncSystem sys(topo, c);
+  sys.run(trace);
+  std::int64_t total = 0;
+  for (std::int64_t l : sys.loads()) total += l;
+  EXPECT_EQ(total, static_cast<std::int64_t>(sys.stats().generated) -
+                       static_cast<std::int64_t>(sys.stats().consumed));
+}
+
+TEST(AsyncSystem, SnapshotsCoverHorizon) {
+  const auto topo = Topology::ring(4);
+  const auto trace = make_trace(4, 50, 0.5, 0.3, 9);
+  AsyncSystem sys(topo, cfg());
+  sys.run(trace);
+  ASSERT_EQ(sys.snapshots().size(), 50u);
+  for (const auto& snap : sys.snapshots()) EXPECT_EQ(snap.size(), 4u);
+  // Final snapshot equals... the last snapshot is taken before trailing
+  // in-flight messages drain, so compare totals only loosely: the drained
+  // final state is authoritative.
+  EXPECT_EQ(sys.loads().size(), 4u);
+}
+
+TEST(AsyncSystem, EmptyTraceDoesNothing) {
+  const auto topo = Topology::ring(4);
+  const Trace trace(4, 20);
+  AsyncSystem sys(topo, cfg());
+  sys.run(trace);
+  EXPECT_EQ(sys.stats().balance_ops, 0u);
+  EXPECT_EQ(sys.stats().messages, 0u);
+  for (std::int64_t l : sys.loads()) EXPECT_EQ(l, 0);
+}
+
+TEST(AsyncSystem, RunIsSingleUse) {
+  const auto topo = Topology::ring(4);
+  const Trace trace(4, 10);
+  AsyncSystem sys(topo, cfg());
+  sys.run(trace);
+  EXPECT_THROW(sys.run(trace), contract_error);
+}
+
+TEST(AsyncSystem, ValidatesConfig) {
+  const auto topo = Topology::ring(4);
+  EXPECT_THROW(AsyncSystem(topo, cfg(1.0)), contract_error);
+  EXPECT_THROW(AsyncSystem(topo, cfg(1.2, 4)), contract_error);
+  EXPECT_THROW(AsyncSystem(topo, cfg(1.2, 1, -1.0)), contract_error);
+}
+
+TEST(AsyncSystem, TraceTopologyMismatchThrows) {
+  const auto topo = Topology::ring(4);
+  const auto trace = make_trace(8, 10, 0.5, 0.5, 10);
+  AsyncSystem sys(topo, cfg());
+  EXPECT_THROW(sys.run(trace), contract_error);
+}
+
+// Latency sweep property: conservation and protocol drain hold for every
+// latency, trigger aggressiveness, and topology combination.
+struct AsyncCase {
+  double latency;
+  double f;
+  std::uint32_t delta;
+  std::uint64_t seed;
+};
+
+class AsyncProperty : public ::testing::TestWithParam<AsyncCase> {};
+
+TEST_P(AsyncProperty, ConservationAndDrainAcrossLatencies) {
+  const auto& prm = GetParam();
+  const auto topo = Topology::torus2d(4, 4);
+  const auto trace = make_trace(16, 250, 0.7, 0.5, prm.seed);
+  AsyncSystem sys(topo, cfg(prm.f, prm.delta, prm.latency, prm.seed));
+  sys.run(trace);  // run() itself asserts full drain
+  std::int64_t total = 0;
+  for (std::int64_t l : sys.loads()) {
+    EXPECT_GE(l, 0);
+    total += l;
+  }
+  EXPECT_EQ(total, static_cast<std::int64_t>(sys.stats().generated) -
+                       static_cast<std::int64_t>(sys.stats().consumed));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AsyncProperty,
+    ::testing::Values(AsyncCase{0.0, 1.1, 1, 1}, AsyncCase{0.1, 1.1, 2, 2},
+                      AsyncCase{1.0, 1.05, 3, 3}, AsyncCase{2.5, 1.2, 4, 4},
+                      AsyncCase{10.0, 1.5, 2, 5},
+                      AsyncCase{0.01, 2.0, 8, 6}),
+    [](const ::testing::TestParamInfo<AsyncCase>& ti) {
+      return "lat" +
+             std::to_string(static_cast<int>(ti.param.latency * 100)) +
+             "_f" + std::to_string(static_cast<int>(ti.param.f * 100)) +
+             "_d" + std::to_string(ti.param.delta);
+    });
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,128 @@
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dlb {
+namespace {
+
+BalancerConfig cfg() {
+  BalancerConfig c;
+  c.f = 1.2;
+  c.delta = 2;
+  c.borrow_cap = 3;
+  return c;
+}
+
+TEST(Checkpoint, RoundTripPreservesState) {
+  System original(8, cfg(), 42);
+  const Workload wl = Workload::uniform(8, 150, 0.6, 0.4);
+  original.run(wl);
+
+  std::stringstream buffer;
+  save_checkpoint(original, buffer);
+  System restored = load_checkpoint(buffer);
+
+  EXPECT_EQ(restored.processors(), original.processors());
+  EXPECT_EQ(restored.loads(), original.loads());
+  EXPECT_EQ(restored.total_generated(), original.total_generated());
+  EXPECT_EQ(restored.total_consumed(), original.total_consumed());
+  EXPECT_EQ(restored.balance_operations(), original.balance_operations());
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    EXPECT_EQ(restored.processor(p).ledger.d_vector(),
+              original.processor(p).ledger.d_vector());
+    EXPECT_EQ(restored.processor(p).ledger.b_vector(),
+              original.processor(p).ledger.b_vector());
+    EXPECT_EQ(restored.processor(p).l_old, original.processor(p).l_old);
+    EXPECT_EQ(restored.processor(p).local_time,
+              original.processor(p).local_time);
+  }
+  EXPECT_EQ(restored.costs().totals().packets_moved,
+            original.costs().totals().packets_moved);
+}
+
+TEST(Checkpoint, RestoredRunContinuesBitIdentically) {
+  // Uninterrupted: 300 steps.  Interrupted: 150 steps, checkpoint,
+  // restore, 150 more steps on the same demand.  Results must match
+  // exactly.
+  const Workload wl = Workload::uniform(8, 300, 0.6, 0.4);
+  Rng trace_rng(9);
+  const Trace trace = Trace::record(wl, trace_rng);
+
+  System uninterrupted(8, cfg(), 7);
+  uninterrupted.run(trace);
+
+  System first_half(8, cfg(), 7);
+  std::vector<WorkEvent> events(8);
+  for (std::uint32_t t = 0; t < 150; ++t) {
+    for (std::uint32_t p = 0; p < 8; ++p) events[p] = trace.at(p, t);
+    first_half.step(t, events);
+  }
+  std::stringstream buffer;
+  save_checkpoint(first_half, buffer);
+  System second_half = load_checkpoint(buffer);
+  for (std::uint32_t t = 150; t < 300; ++t) {
+    for (std::uint32_t p = 0; p < 8; ++p) events[p] = trace.at(p, t);
+    second_half.step(t, events);
+  }
+
+  EXPECT_EQ(second_half.loads(), uninterrupted.loads());
+  EXPECT_EQ(second_half.balance_operations(),
+            uninterrupted.balance_operations());
+  EXPECT_EQ(second_half.total_generated(),
+            uninterrupted.total_generated());
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    EXPECT_EQ(second_half.processor(p).ledger.d_vector(),
+              uninterrupted.processor(p).ledger.d_vector());
+  }
+}
+
+TEST(Checkpoint, PreservesNeighborhoodRestriction) {
+  const auto ring = Topology::ring(8);
+  System original(8, cfg(), 5, &ring);
+  original.restrict_partners_to_neighborhood(2);
+  original.run(Workload::one_producer(8, 100));
+
+  std::stringstream buffer;
+  save_checkpoint(original, buffer);
+  System restored = load_checkpoint(buffer, &ring);
+  EXPECT_EQ(restored.partner_radius(), original.partner_radius());
+  EXPECT_EQ(restored.loads(), original.loads());
+}
+
+TEST(Checkpoint, NeighborhoodCheckpointWithoutTopologyThrows) {
+  const auto ring = Topology::ring(8);
+  System original(8, cfg(), 5, &ring);
+  original.restrict_partners_to_neighborhood(1);
+  std::stringstream buffer;
+  save_checkpoint(original, buffer);
+  EXPECT_THROW(load_checkpoint(buffer), contract_error);
+}
+
+TEST(Checkpoint, RejectsGarbage) {
+  std::stringstream not_a_checkpoint("hello world");
+  EXPECT_THROW(load_checkpoint(not_a_checkpoint), contract_error);
+  std::stringstream wrong_version("dlb-checkpoint 999\n");
+  EXPECT_THROW(load_checkpoint(wrong_version), contract_error);
+  std::stringstream truncated("dlb-checkpoint 1\n4 2 3 0\n");
+  EXPECT_THROW(load_checkpoint(truncated), contract_error);
+}
+
+TEST(Checkpoint, ExactDoubleRoundTrip) {
+  // f is written in hexfloat: an "ugly" value must survive exactly.
+  BalancerConfig c;
+  c.f = 1.0 + 1.0 / 3.0;
+  c.delta = 1;
+  System original(4, c, 3);
+  original.generate(0);
+  std::stringstream buffer;
+  save_checkpoint(original, buffer);
+  System restored = load_checkpoint(buffer);
+  EXPECT_EQ(restored.config().f, c.f);
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,64 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(BalancerConfig, DefaultsAreValid) {
+  BalancerConfig cfg;
+  EXPECT_NO_THROW(cfg.validate(64));
+  EXPECT_NO_THROW(cfg.validate(64, /*strict_theory=*/true));
+}
+
+TEST(BalancerConfig, DeltaMustBeSmallerThanNetwork) {
+  BalancerConfig cfg;
+  cfg.delta = 4;
+  EXPECT_NO_THROW(cfg.validate(5));
+  EXPECT_THROW(cfg.validate(4), contract_error);
+  cfg.delta = 0;
+  EXPECT_THROW(cfg.validate(8), contract_error);
+}
+
+TEST(BalancerConfig, FactorBelowOneRejected) {
+  BalancerConfig cfg;
+  cfg.f = 0.9;
+  EXPECT_THROW(cfg.validate(8), contract_error);
+}
+
+TEST(BalancerConfig, StrictTheoryEnforcesFBelowDeltaPlusOne) {
+  BalancerConfig cfg;
+  cfg.delta = 1;
+  cfg.f = 1.9;
+  EXPECT_NO_THROW(cfg.validate(8));
+  EXPECT_NO_THROW(cfg.validate(8, true));
+  cfg.f = 2.0;
+  EXPECT_NO_THROW(cfg.validate(8));
+  EXPECT_THROW(cfg.validate(8, true), contract_error);
+  cfg.delta = 4;
+  EXPECT_NO_THROW(cfg.validate(8, true));
+}
+
+TEST(BalancerConfig, NeedsTwoProcessors) {
+  BalancerConfig cfg;
+  EXPECT_THROW(cfg.validate(1), contract_error);
+}
+
+TEST(BalancerConfig, DescribeListsParameters) {
+  BalancerConfig cfg;
+  cfg.f = 1.8;
+  cfg.delta = 4;
+  cfg.borrow_cap = 16;
+  const std::string desc = cfg.describe();
+  EXPECT_NE(desc.find("f=1.8"), std::string::npos);
+  EXPECT_NE(desc.find("delta=4"), std::string::npos);
+  EXPECT_NE(desc.find("C=16"), std::string::npos);
+  EXPECT_EQ(desc.find("analysis"), std::string::npos);
+  cfg.analysis_mode = true;
+  EXPECT_NE(cfg.describe().find("analysis"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dlb

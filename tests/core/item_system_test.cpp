@@ -1,0 +1,132 @@
+#include "core/item_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace dlb {
+namespace {
+
+BalancerConfig cfg(double f = 1.2, std::uint32_t delta = 2,
+                   std::uint32_t cap = 4) {
+  BalancerConfig c;
+  c.f = f;
+  c.delta = delta;
+  c.borrow_cap = cap;
+  return c;
+}
+
+TEST(ItemSystem, ProduceConsumeRoundTrip) {
+  ItemSystem<int> items(4, cfg(), 1);
+  items.produce(0, 42);
+  items.check();
+  // The packet may have been balanced away from 0; find it.
+  std::optional<int> got;
+  for (std::uint32_t p = 0; p < 4 && !got; ++p) {
+    if (items.queue_size(p) > 0) got = items.consume(p);
+  }
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 42);
+  EXPECT_EQ(items.total_items(), 0u);
+  items.check();
+}
+
+TEST(ItemSystem, ConsumeOnEmptyReturnsNothing) {
+  ItemSystem<int> items(3, cfg(), 2);
+  EXPECT_FALSE(items.consume(1).has_value());
+  items.check();
+}
+
+TEST(ItemSystem, QueuesTrackLoadsThroughBalancing) {
+  ItemSystem<int> items(8, cfg(1.1, 2), 3);
+  int next = 0;
+  Rng rng(4);
+  for (int step = 0; step < 500; ++step) {
+    const auto p = static_cast<std::uint32_t>(rng.below(8));
+    if (rng.bernoulli(0.6)) items.produce(p, next++);
+    if (rng.bernoulli(0.5)) items.consume(p);
+    if (step % 50 == 0) items.check();
+  }
+  items.check();
+  EXPECT_EQ(items.total_items(),
+            static_cast<std::size_t>(items.system().total_load()));
+}
+
+TEST(ItemSystem, NoItemIsLostOrDuplicated) {
+  ItemSystem<int> items(6, cfg(1.1, 3), 5);
+  std::set<int> outstanding;
+  Rng rng(6);
+  int next = 0;
+  for (int step = 0; step < 800; ++step) {
+    const auto p = static_cast<std::uint32_t>(rng.below(6));
+    if (rng.bernoulli(0.55)) {
+      items.produce(p, next);
+      outstanding.insert(next);
+      ++next;
+    }
+    if (rng.bernoulli(0.5)) {
+      if (auto got = items.consume(p)) {
+        // Every consumed item must be exactly one we produced earlier.
+        ASSERT_EQ(outstanding.erase(*got), 1u) << "item " << *got;
+      }
+    }
+  }
+  // The still-queued items are exactly the outstanding set.
+  std::multiset<int> queued;
+  for (std::uint32_t p = 0; p < 6; ++p)
+    for (int v : items.queue(p)) queued.insert(v);
+  EXPECT_EQ(queued.size(), outstanding.size());
+  for (int v : outstanding) EXPECT_EQ(queued.count(v), 1u);
+  items.check();
+}
+
+TEST(ItemSystem, BalancingSpreadsItemsAcrossQueues) {
+  ItemSystem<std::string> items(8, cfg(1.1, 2), 7);
+  for (int i = 0; i < 200; ++i)
+    items.produce(0, "task-" + std::to_string(i));
+  items.check();
+  // Low-f balancing from one producer: most processors hold items now.
+  int populated = 0;
+  for (std::uint32_t p = 0; p < 8; ++p)
+    populated += items.queue_size(p) > 0;
+  EXPECT_GE(populated, 6);
+}
+
+TEST(ItemSystem, MoveOnlyPayloads) {
+  ItemSystem<std::unique_ptr<int>> items(4, cfg(), 8);
+  items.produce(0, std::make_unique<int>(7));
+  items.produce(0, std::make_unique<int>(9));
+  items.check();
+  int sum = 0;
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    while (auto got = items.consume(p)) sum += **got;
+  }
+  EXPECT_EQ(sum, 16);
+}
+
+TEST(ItemSystem, WorksWithBorrowProtocolSettlement) {
+  // Heavy consumption with a tight cap exercises remote-exchange
+  // migrations, which also go through the item mirror.
+  ItemSystem<int> items(6, cfg(1.1, 1, 1), 9);
+  Rng rng(10);
+  int next = 0;
+  for (int step = 0; step < 600; ++step) {
+    const auto p = static_cast<std::uint32_t>(rng.below(6));
+    if (rng.bernoulli(0.45)) items.produce(p, next++);
+    if (rng.bernoulli(0.65)) items.consume(p);
+  }
+  items.check();
+}
+
+TEST(ItemSystem, OutOfRangeThrows) {
+  ItemSystem<int> items(2, cfg(1.2, 1), 11);
+  EXPECT_THROW(items.produce(2, 1), contract_error);
+  EXPECT_THROW(items.consume(5), contract_error);
+  EXPECT_THROW(items.queue_size(9), contract_error);
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,119 @@
+#include "core/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(Ledger, StartsEmpty) {
+  Ledger ledger(4);
+  EXPECT_EQ(ledger.classes(), 4u);
+  EXPECT_EQ(ledger.real_load(), 0);
+  EXPECT_EQ(ledger.borrowed_total(), 0);
+  EXPECT_EQ(ledger.virtual_load(), 0);
+  ledger.check(4);
+}
+
+TEST(Ledger, AddRemoveRealKeepsSums) {
+  Ledger ledger(3);
+  ledger.add_real(0, 5);
+  ledger.add_real(2, 3);
+  EXPECT_EQ(ledger.d(0), 5);
+  EXPECT_EQ(ledger.d(2), 3);
+  EXPECT_EQ(ledger.real_load(), 8);
+  ledger.remove_real(0, 2);
+  EXPECT_EQ(ledger.d(0), 3);
+  EXPECT_EQ(ledger.real_load(), 6);
+  ledger.check(0);
+}
+
+TEST(Ledger, RemoveMoreThanHeldThrows) {
+  Ledger ledger(2);
+  ledger.add_real(0, 1);
+  EXPECT_THROW(ledger.remove_real(0, 2), contract_error);
+  EXPECT_THROW(ledger.remove_real(1, 1), contract_error);
+}
+
+TEST(Ledger, BorrowConvertsRealIntoMarker) {
+  Ledger ledger(3);
+  ledger.add_real(1, 2);
+  ledger.borrow(1);
+  EXPECT_EQ(ledger.d(1), 1);
+  EXPECT_EQ(ledger.b(1), 1);
+  EXPECT_EQ(ledger.real_load(), 1);
+  EXPECT_EQ(ledger.borrowed_total(), 1);
+  // Virtual load is preserved by borrowing.
+  EXPECT_EQ(ledger.virtual_load(), 2);
+  ledger.check(1);
+}
+
+TEST(Ledger, BorrowRequiresRealPacketAndNoExistingMarker) {
+  Ledger ledger(2);
+  EXPECT_THROW(ledger.borrow(0), contract_error);  // no packet
+  ledger.add_real(0, 2);
+  ledger.borrow(0);
+  EXPECT_THROW(ledger.borrow(0), contract_error);  // marker already set
+}
+
+TEST(Ledger, ClearMarker) {
+  Ledger ledger(2);
+  ledger.add_real(1, 1);
+  ledger.borrow(1);
+  ledger.clear_marker(1);
+  EXPECT_EQ(ledger.b(1), 0);
+  EXPECT_EQ(ledger.borrowed_total(), 0);
+  EXPECT_THROW(ledger.clear_marker(1), contract_error);
+}
+
+TEST(Ledger, RepayWithGeneration) {
+  Ledger ledger(2);
+  ledger.add_real(1, 1);
+  ledger.borrow(1);
+  ledger.repay_with_generation(1);
+  EXPECT_EQ(ledger.b(1), 0);
+  EXPECT_EQ(ledger.d(1), 1);
+  EXPECT_EQ(ledger.real_load(), 1);
+  EXPECT_THROW(ledger.repay_with_generation(1), contract_error);
+}
+
+TEST(Ledger, ReplaceRecomputesSums) {
+  Ledger ledger(3);
+  ledger.replace({1, 2, 3}, {0, 1, 0});
+  EXPECT_EQ(ledger.real_load(), 6);
+  EXPECT_EQ(ledger.borrowed_total(), 1);
+  EXPECT_EQ(ledger.virtual_load(), 7);
+  ledger.check(1);
+}
+
+TEST(Ledger, ReplaceValidatesShapeAndSign) {
+  Ledger ledger(2);
+  EXPECT_THROW(ledger.replace({1}, {0, 0}), contract_error);
+  EXPECT_THROW(ledger.replace({-1, 0}, {0, 0}), contract_error);
+  EXPECT_THROW(ledger.replace({0, 0}, {0, -2}), contract_error);
+}
+
+TEST(Ledger, FirstMarkedClass) {
+  Ledger ledger(4);
+  EXPECT_EQ(ledger.first_marked_class(), 4u);
+  ledger.add_real(2, 1);
+  ledger.borrow(2);
+  EXPECT_EQ(ledger.first_marked_class(), 2u);
+}
+
+TEST(Ledger, CheckDetectsCapViolation) {
+  Ledger ledger(3);
+  ledger.replace({0, 0, 0}, {1, 1, 1});
+  EXPECT_THROW(ledger.check(2), contract_error);
+  ledger.check(3);
+}
+
+TEST(Ledger, OutOfRangeClassThrows) {
+  Ledger ledger(2);
+  EXPECT_THROW(ledger.add_real(2, 1), contract_error);
+  EXPECT_THROW(ledger.borrow(5), contract_error);
+}
+
+}  // namespace
+}  // namespace dlb

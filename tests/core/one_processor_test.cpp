@@ -1,0 +1,160 @@
+#include "core/one_processor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "support/stats.hpp"
+#include "theory/operators.hpp"
+
+namespace dlb {
+namespace {
+
+OneProcessorModel::Params params(std::uint32_t n, std::uint32_t delta,
+                                 double f, bool relaxed = false) {
+  OneProcessorModel::Params p;
+  p.n = n;
+  p.delta = delta;
+  p.f = f;
+  p.relaxed_pairwise = relaxed;
+  return p;
+}
+
+TEST(OneProcessorModel, FirstRoundGeneratesOnePacket) {
+  OneProcessorModel model(params(4, 1, 1.5), 1);
+  const std::uint64_t generated = model.grow_round();
+  EXPECT_EQ(generated, 1u);  // l_old == 0: first packet triggers
+  EXPECT_EQ(model.balance_operations(), 1u);
+  EXPECT_EQ(model.total_load(), 1);
+}
+
+TEST(OneProcessorModel, GrowthFactorBetweenBalances) {
+  OneProcessorModel model(params(8, 1, 1.5), 2);
+  for (std::uint32_t i = 0; i < 8; ++i) model.set_load(i, 100);
+  model.set_trigger_baseline(100);
+  const std::uint64_t generated = model.grow_round();
+  // Needs to reach 150 from 100: exactly 50 packets.
+  EXPECT_EQ(generated, 50u);
+  EXPECT_EQ(model.total_load(), 8 * 100 + 50);
+}
+
+TEST(OneProcessorModel, EqualizationIsWithinOne) {
+  OneProcessorModel model(params(2, 1, 2.0), 3);
+  model.set_load(0, 11);
+  model.set_trigger_baseline(5);
+  model.grow_round();  // triggers quickly, then equalizes both processors
+  EXPECT_LE(std::abs(model.load(0) - model.load(1)), 1);
+}
+
+TEST(OneProcessorModel, LoadConservedThroughBalancing) {
+  OneProcessorModel model(params(16, 4, 1.2), 4);
+  std::uint64_t generated = 0;
+  for (int r = 0; r < 50; ++r) generated += model.grow_round();
+  EXPECT_EQ(model.total_load(), static_cast<std::int64_t>(generated));
+}
+
+TEST(OneProcessorModel, RatioConvergesTowardFix) {
+  // Average the ratio over many runs: it must approach FIX(n, delta, f)
+  // and respect the Theorem 1 upper bound.
+  const std::uint32_t n = 16;
+  const std::uint32_t delta = 2;
+  const double f = 1.5;
+  ModelParams mp{static_cast<double>(n), static_cast<double>(delta), f};
+  const double fix = fixpoint(mp);
+
+  RunningMoments ratio;
+  Rng seeder(99);
+  for (int run = 0; run < 300; ++run) {
+    OneProcessorModel model(params(n, delta, f), seeder.next());
+    for (std::uint32_t i = 0; i < n; ++i) model.set_load(i, 500);
+    model.set_trigger_baseline(500);
+    model.run_grow(60);
+    ratio.add(model.ratio_to_average());
+  }
+  EXPECT_NEAR(ratio.mean(), fix, 0.15 * fix);
+  // Theorem 2's n-free bound with slack for integer rounding noise.
+  EXPECT_LT(ratio.mean(), fixpoint_limit(delta, f) * 1.1);
+}
+
+TEST(OneProcessorModel, ConsumeTotalDrainsAndCountsOps) {
+  OneProcessorModel model(params(8, 1, 1.3), 5);
+  for (std::uint32_t i = 0; i < 8; ++i) model.set_load(i, 100);
+  model.set_trigger_baseline(100);
+  const std::uint64_t ops = model.consume_total(300);
+  EXPECT_GT(ops, 0u);
+  EXPECT_EQ(model.total_load(), 800 - 300);
+}
+
+TEST(OneProcessorModel, ConsumeStopsWhenSystemEmpty) {
+  OneProcessorModel model(params(4, 1, 1.5), 6);
+  model.set_load(0, 10);
+  model.set_trigger_baseline(10);
+  model.consume_total(1000);  // asks for more than exists
+  EXPECT_EQ(model.total_load(), 0);
+}
+
+TEST(OneProcessorModel, RelaxedPairwiseCountsOneOpPerRound) {
+  OneProcessorModel model(params(8, 4, 1.2, /*relaxed=*/true), 7);
+  model.grow_round();
+  EXPECT_EQ(model.balance_operations(), 1u);
+}
+
+TEST(OneProcessorModel, RelaxedConservesLoad) {
+  OneProcessorModel model(params(8, 4, 1.2, /*relaxed=*/true), 8);
+  std::uint64_t generated = 0;
+  for (int r = 0; r < 40; ++r) generated += model.grow_round();
+  EXPECT_EQ(model.total_load(), static_cast<std::int64_t>(generated));
+}
+
+TEST(OneProcessorModel, InvalidParamsThrow) {
+  EXPECT_THROW(OneProcessorModel(params(1, 1, 1.1), 1), contract_error);
+  EXPECT_THROW(OneProcessorModel(params(4, 4, 1.1), 1), contract_error);
+  EXPECT_THROW(OneProcessorModel(params(4, 0, 1.1), 1), contract_error);
+  EXPECT_THROW(OneProcessorModel(params(4, 1, 0.5), 1), contract_error);
+}
+
+TEST(OneProcessorModel, SetLoadValidation) {
+  OneProcessorModel model(params(4, 1, 1.1), 9);
+  EXPECT_THROW(model.set_load(4, 1), contract_error);
+  EXPECT_THROW(model.set_load(0, -1), contract_error);
+}
+
+// Parameterized sweep: the Theorem 2 bound FIX <= delta/(delta+1-f) holds
+// for the *measured* mean ratio across the valid (f, delta) range.
+struct RatioCase {
+  std::uint32_t n;
+  std::uint32_t delta;
+  double f;
+};
+
+class RatioBound : public ::testing::TestWithParam<RatioCase> {};
+
+TEST_P(RatioBound, MeasuredRatioRespectsTheorem2) {
+  const auto& prm = GetParam();
+  RunningMoments ratio;
+  Rng seeder(1234);
+  for (int run = 0; run < 150; ++run) {
+    OneProcessorModel model(params(prm.n, prm.delta, prm.f), seeder.next());
+    for (std::uint32_t i = 0; i < prm.n; ++i) model.set_load(i, 400);
+    model.set_trigger_baseline(400);
+    model.run_grow(50);
+    ratio.add(model.ratio_to_average());
+  }
+  const double bound = fixpoint_limit(prm.delta, prm.f);
+  EXPECT_LT(ratio.mean(), bound * 1.10)  // 10% slack: rounding + sampling
+      << "n=" << prm.n << " delta=" << prm.delta << " f=" << prm.f;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RatioBound,
+    ::testing::Values(RatioCase{8, 1, 1.1}, RatioCase{8, 1, 1.5},
+                      RatioCase{16, 2, 1.1}, RatioCase{16, 2, 2.0},
+                      RatioCase{32, 4, 1.1}, RatioCase{32, 4, 2.5},
+                      RatioCase{64, 4, 1.8}, RatioCase{16, 8, 4.0}),
+    [](const ::testing::TestParamInfo<RatioCase>& ti) {
+      return "n" + std::to_string(ti.param.n) + "_d" +
+             std::to_string(ti.param.delta) + "_f" +
+             std::to_string(static_cast<int>(ti.param.f * 10));
+    });
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,130 @@
+// Reproducibility: every randomized component is a pure function of its
+// seed, traces replay bit-identically, and the comparison harness feeds
+// identical demand to every strategy.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/adapter.hpp"
+#include "baselines/rsu.hpp"
+#include "baselines/simple.hpp"
+#include "baselines/stealing.hpp"
+#include "core/one_processor.hpp"
+#include "core/system.hpp"
+#include "theory/variation.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(Replay, SystemFullStateDeterminism) {
+  const Workload wl = Workload::uniform(8, 200, 0.6, 0.5);
+  BalancerConfig cfg;
+  cfg.delta = 2;
+  System a(8, cfg, 12345);
+  System b(8, cfg, 12345);
+  a.run(wl);
+  b.run(wl);
+  // Not only loads: the entire ledger state must match.
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    EXPECT_EQ(a.processor(p).ledger.d_vector(),
+              b.processor(p).ledger.d_vector());
+    EXPECT_EQ(a.processor(p).ledger.b_vector(),
+              b.processor(p).ledger.b_vector());
+    EXPECT_EQ(a.processor(p).l_old, b.processor(p).l_old);
+    EXPECT_EQ(a.processor(p).local_time, b.processor(p).local_time);
+  }
+  EXPECT_EQ(a.costs().totals().packets_moved,
+            b.costs().totals().packets_moved);
+}
+
+TEST(Replay, TraceThroughTextRoundTripDrivesIdenticalRun) {
+  Rng wl_rng(5);
+  const Workload wl =
+      Workload::paper_benchmark(6, 150, WorkloadParams{}, wl_rng);
+  Rng trace_rng(9);
+  const Trace original = Trace::record(wl, trace_rng);
+  std::stringstream buffer;
+  original.save(buffer);
+  const Trace loaded = Trace::load(buffer);
+
+  BalancerConfig cfg;
+  System a(6, cfg, 77);
+  System b(6, cfg, 77);
+  a.run(original);
+  b.run(loaded);
+  EXPECT_EQ(a.loads(), b.loads());
+  EXPECT_EQ(a.balance_operations(), b.balance_operations());
+}
+
+TEST(Replay, OneProcessorModelDeterminism) {
+  OneProcessorModel::Params p;
+  p.n = 16;
+  p.delta = 2;
+  p.f = 1.2;
+  OneProcessorModel a(p, 31);
+  OneProcessorModel b(p, 31);
+  a.run_grow(40);
+  b.run_grow(40);
+  EXPECT_EQ(a.loads(), b.loads());
+}
+
+TEST(Replay, VariationMcDeterminism) {
+  VariationParams p;
+  p.n = 10;
+  p.delta = 1;
+  p.f = 1.1;
+  const auto a = estimate_variation_mc(p, 20, 50, 7);
+  const auto b = estimate_variation_mc(p, 20, 50, 7);
+  EXPECT_DOUBLE_EQ(a.vd_other, b.vd_other);
+  EXPECT_DOUBLE_EQ(a.ratio, b.ratio);
+}
+
+TEST(Replay, BaselinesAreDeterministicInSeed) {
+  const Workload wl = Workload::uniform(8, 150, 0.6, 0.4);
+  Rng trace_rng(3);
+  const Trace trace = Trace::record(wl, trace_rng);
+
+  RandomScatter s1(8, 11);
+  RandomScatter s2(8, 11);
+  run_trace(s1, trace);
+  run_trace(s2, trace);
+  EXPECT_EQ(s1.loads(), s2.loads());
+
+  RudolphUpfal r1(8, {}, 13);
+  RudolphUpfal r2(8, {}, 13);
+  run_trace(r1, trace);
+  run_trace(r2, trace);
+  EXPECT_EQ(r1.loads(), r2.loads());
+
+  WorkStealing w1(8, {}, 17);
+  WorkStealing w2(8, {}, 17);
+  run_trace(w1, trace);
+  run_trace(w2, trace);
+  EXPECT_EQ(w1.loads(), w2.loads());
+}
+
+TEST(Replay, EveryStrategySeesIdenticalDemand) {
+  // All strategies must report the same generation count when replaying
+  // the same trace — the precondition for any fair comparison.
+  const Workload wl = Workload::uniform(8, 200, 0.5, 0.4);
+  Rng trace_rng(21);
+  const Trace trace = Trace::record(wl, trace_rng);
+  const auto expected =
+      static_cast<std::int64_t>(trace.total_generations());
+
+  NoBalancing nb(8);
+  DlbAdapter ours(8, BalancerConfig{}, 1);
+  run_trace(nb, trace);
+  run_trace(ours, trace);
+  EXPECT_EQ(nb.total_load() +
+                (static_cast<std::int64_t>(trace.total_consume_attempts()) -
+                 static_cast<std::int64_t>(nb.consume_failures())),
+            expected);
+  EXPECT_EQ(ours.total_load() +
+                (static_cast<std::int64_t>(trace.total_consume_attempts()) -
+                 static_cast<std::int64_t>(ours.consume_failures())),
+            expected);
+}
+
+}  // namespace
+}  // namespace dlb

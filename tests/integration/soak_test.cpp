@@ -1,0 +1,108 @@
+// Soak tests: long randomized runs that hammer every subsystem together
+// and verify the invariants continuously.  These are the "does anything
+// drift after hours of simulated time" checks, sized to stay inside the
+// CI budget.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "metrics/imbalance.hpp"
+#include "support/stats.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(Soak, TenThousandStepsWithPhaseChurn) {
+  // Long horizon, short phases: the workload mixture flips constantly.
+  BalancerConfig cfg;
+  cfg.f = 1.1;
+  cfg.delta = 2;
+  cfg.borrow_cap = 4;
+  System sys(16, cfg, 20260704);
+
+  WorkloadParams params;
+  params.len_low = 20;
+  params.len_high = 60;
+  Rng wl_rng(5);
+  const Workload wl =
+      Workload::paper_benchmark(16, 10000, params, wl_rng);
+
+  std::vector<WorkEvent> events(16);
+  Rng ev_rng(6);
+  for (std::uint32_t t = 0; t < 10000; ++t) {
+    for (std::uint32_t p = 0; p < 16; ++p)
+      events[p] = wl.sample(p, t, ev_rng);
+    sys.step(t, events);
+    if (t % 500 == 0) sys.check_invariants();
+  }
+  sys.check_invariants();
+  EXPECT_GT(sys.balance_operations(), 1000u);
+}
+
+TEST(Soak, AlternatingFloodAndDrain) {
+  // Regimes that maximize trigger churn: flood everything, then drain
+  // everything, repeatedly.  Every packet must stay accounted for.
+  BalancerConfig cfg;
+  cfg.f = 1.05;  // hair trigger
+  cfg.delta = 3;
+  cfg.borrow_cap = 2;
+  System sys(8, cfg, 31337);
+  Rng rng(7);
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    // Flood.
+    for (int i = 0; i < 200; ++i)
+      sys.generate(static_cast<std::uint32_t>(rng.below(8)));
+    sys.check_invariants();
+    // Drain until empty (consumers chosen at random; the borrow
+    // machinery must keep satisfying them until the system is empty).
+    int guard = 0;
+    while (sys.total_load() > 0 && guard < 100000) {
+      sys.consume(static_cast<std::uint32_t>(rng.below(8)));
+      ++guard;
+    }
+    EXPECT_EQ(sys.total_load(), 0) << "cycle " << cycle;
+    sys.check_invariants();
+  }
+}
+
+TEST(Soak, ManySmallSystemsManySeeds) {
+  // Breadth instead of depth: 60 systems with different shapes.
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    const std::uint32_t n = 2 + static_cast<std::uint32_t>(seed % 7);
+    BalancerConfig cfg;
+    cfg.f = 1.0 + 0.1 * static_cast<double>(seed % 12);
+    cfg.delta = 1 + static_cast<std::uint32_t>(seed % (n - 1 > 0 ? n - 1 : 1));
+    if (cfg.delta >= n) cfg.delta = n - 1;
+    cfg.borrow_cap = static_cast<std::uint32_t>(seed % 5);
+    System sys(n, cfg, seed);
+    const Workload wl = Workload::uniform(n, 150, 0.7, 0.6);
+    sys.run(wl);
+    sys.check_invariants();
+  }
+}
+
+TEST(Soak, DrainToEmptyNeverDeadlocksUnderBorrowing) {
+  // A consumption-only epilogue after a generation-heavy prologue: the
+  // ledger must allow the network to empty completely from any state.
+  BalancerConfig cfg;
+  cfg.f = 1.2;
+  cfg.delta = 1;
+  cfg.borrow_cap = 1;  // tightest interesting cap
+  System sys(6, cfg, 2025);
+  sys.run(Workload::uniform(6, 300, 0.8, 0.2));
+  const std::int64_t backlog = sys.total_load();
+  ASSERT_GT(backlog, 0);
+  // Everyone only consumes now.
+  std::int64_t drained = 0;
+  int guard = 0;
+  while (sys.total_load() > 0 && guard < 1000000) {
+    for (std::uint32_t p = 0; p < 6; ++p)
+      if (sys.consume(p)) ++drained;
+    ++guard;
+  }
+  EXPECT_EQ(sys.total_load(), 0);
+  EXPECT_EQ(drained, backlog);
+  sys.check_invariants();
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,49 @@
+#include "metrics/imbalance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(Imbalance, PerfectlyBalanced) {
+  const auto r = measure_imbalance({5, 5, 5, 5});
+  EXPECT_DOUBLE_EQ(r.min_load, 5.0);
+  EXPECT_DOUBLE_EQ(r.max_load, 5.0);
+  EXPECT_DOUBLE_EQ(r.avg_load, 5.0);
+  EXPECT_DOUBLE_EQ(r.max_over_avg, 1.0);
+  EXPECT_DOUBLE_EQ(r.max_over_min, 1.0);
+  EXPECT_DOUBLE_EQ(r.cov, 0.0);
+  EXPECT_DOUBLE_EQ(r.max_deviation, 0.0);
+}
+
+TEST(Imbalance, SkewedVector) {
+  const auto r = measure_imbalance({0, 0, 0, 8});
+  EXPECT_DOUBLE_EQ(r.avg_load, 2.0);
+  EXPECT_DOUBLE_EQ(r.max_over_avg, 4.0);
+  // min is guarded to 1 to avoid division by zero.
+  EXPECT_DOUBLE_EQ(r.max_over_min, 8.0);
+  EXPECT_DOUBLE_EQ(r.max_deviation, 6.0);
+  EXPECT_GT(r.cov, 1.0);
+}
+
+TEST(Imbalance, AllEmpty) {
+  const auto r = measure_imbalance({0, 0, 0});
+  EXPECT_DOUBLE_EQ(r.max_over_avg, 0.0);
+  EXPECT_DOUBLE_EQ(r.max_over_min, 0.0);
+  EXPECT_DOUBLE_EQ(r.cov, 0.0);
+}
+
+TEST(Imbalance, SingleProcessor) {
+  const auto r = measure_imbalance({7});
+  EXPECT_DOUBLE_EQ(r.max_over_avg, 1.0);
+  EXPECT_DOUBLE_EQ(r.cov, 0.0);
+}
+
+TEST(Imbalance, EmptyVectorThrows) {
+  EXPECT_THROW(measure_imbalance({}), contract_error);
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,81 @@
+#include "net/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dlb {
+namespace {
+
+TEST(CostLedger, OperationAccounting) {
+  CostLedger ledger;
+  ledger.record_operation(0, 3);
+  ledger.record_operation(1, 1);
+  EXPECT_EQ(ledger.totals().balance_ops, 2u);
+  EXPECT_EQ(ledger.totals().messages, 8u);  // 2 per partner
+  EXPECT_EQ(ledger.totals().partner_links, 4u);
+}
+
+TEST(CostLedger, MigrationWithoutTopologyCountsOneHop) {
+  CostLedger ledger;
+  ledger.record_migration(0, 5, 10);
+  EXPECT_EQ(ledger.totals().packets_moved, 10u);
+  EXPECT_EQ(ledger.totals().packet_hops, 10u);
+}
+
+TEST(CostLedger, MigrationUsesTopologyDistance) {
+  const auto ring = Topology::ring(8);
+  CostLedger ledger(&ring);
+  ledger.record_migration(0, 4, 3);  // distance 4 on an 8-ring
+  EXPECT_EQ(ledger.totals().packets_moved, 3u);
+  EXPECT_EQ(ledger.totals().packet_hops, 12u);
+}
+
+TEST(CostLedger, SelfAndZeroMigrationsIgnored) {
+  CostLedger ledger;
+  ledger.record_migration(2, 2, 100);
+  ledger.record_migration(0, 1, 0);
+  EXPECT_EQ(ledger.totals().packets_moved, 0u);
+}
+
+TEST(CostLedger, DerivedRates) {
+  CostLedger ledger;
+  EXPECT_DOUBLE_EQ(ledger.packets_per_operation(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.hops_per_packet(), 0.0);
+  ledger.record_operation(0, 2);
+  ledger.record_operation(0, 2);
+  ledger.record_migration(0, 1, 6);
+  EXPECT_DOUBLE_EQ(ledger.packets_per_operation(), 3.0);
+  EXPECT_DOUBLE_EQ(ledger.hops_per_packet(), 1.0);
+}
+
+TEST(CostLedger, NetMigrationTracksSeparately) {
+  CostLedger ledger;
+  ledger.record_migration(0, 1, 10);
+  ledger.record_net_migration(4);
+  EXPECT_EQ(ledger.totals().packets_moved, 10u);
+  EXPECT_EQ(ledger.totals().packets_moved_net, 4u);
+}
+
+TEST(CostLedger, ResetClearsTotals) {
+  CostLedger ledger;
+  ledger.record_operation(0, 1);
+  ledger.record_migration(0, 1, 5);
+  ledger.reset();
+  EXPECT_EQ(ledger.totals().balance_ops, 0u);
+  EXPECT_EQ(ledger.totals().packets_moved, 0u);
+}
+
+TEST(CostTotals, Accumulate) {
+  CostTotals a;
+  a.balance_ops = 1;
+  a.messages = 2;
+  CostTotals b;
+  b.balance_ops = 3;
+  b.packets_moved = 7;
+  a += b;
+  EXPECT_EQ(a.balance_ops, 4u);
+  EXPECT_EQ(a.messages, 2u);
+  EXPECT_EQ(a.packets_moved, 7u);
+}
+
+}  // namespace
+}  // namespace dlb

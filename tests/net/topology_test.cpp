@@ -1,0 +1,210 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "support/check.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(Topology, CompleteGraphProperties) {
+  const auto topo = Topology::complete(8);
+  EXPECT_EQ(topo.size(), 8u);
+  EXPECT_EQ(topo.edge_count(), 8u * 7u / 2u);
+  EXPECT_TRUE(topo.connected());
+  EXPECT_EQ(topo.diameter(), 1u);
+  for (ProcId u = 0; u < 8; ++u) EXPECT_EQ(topo.degree(u), 7u);
+  EXPECT_EQ(topo.distance(2, 5), 1u);
+  EXPECT_EQ(topo.distance(3, 3), 0u);
+}
+
+TEST(Topology, RingProperties) {
+  const auto topo = Topology::ring(10);
+  EXPECT_EQ(topo.edge_count(), 10u);
+  EXPECT_TRUE(topo.connected());
+  EXPECT_EQ(topo.diameter(), 5u);
+  EXPECT_EQ(topo.distance(0, 5), 5u);
+  EXPECT_EQ(topo.distance(0, 9), 1u);
+  for (ProcId u = 0; u < 10; ++u) EXPECT_EQ(topo.degree(u), 2u);
+}
+
+TEST(Topology, RingOfTwo) {
+  const auto topo = Topology::ring(2);
+  EXPECT_EQ(topo.edge_count(), 1u);
+  EXPECT_EQ(topo.distance(0, 1), 1u);
+}
+
+TEST(Topology, Torus2DProperties) {
+  const auto topo = Topology::torus2d(4, 4);
+  EXPECT_EQ(topo.size(), 16u);
+  EXPECT_TRUE(topo.connected());
+  for (ProcId u = 0; u < 16; ++u) EXPECT_EQ(topo.degree(u), 4u);
+  // 4x4 torus diameter = 2 + 2.
+  EXPECT_EQ(topo.diameter(), 4u);
+  // Wrap-around: (0,0) and (3,0) are adjacent.
+  EXPECT_EQ(topo.distance(0, 12), 1u);
+}
+
+TEST(Topology, HypercubeProperties) {
+  const auto topo = Topology::hypercube(5);
+  EXPECT_EQ(topo.size(), 32u);
+  EXPECT_TRUE(topo.connected());
+  EXPECT_EQ(topo.diameter(), 5u);
+  for (ProcId u = 0; u < 32; ++u) EXPECT_EQ(topo.degree(u), 5u);
+  // Distance equals Hamming distance.
+  EXPECT_EQ(topo.distance(0b00000, 0b10101), 3u);
+}
+
+TEST(Topology, DeBruijnProperties) {
+  const auto topo = Topology::de_bruijn(4);
+  EXPECT_EQ(topo.size(), 16u);
+  EXPECT_TRUE(topo.connected());
+  // Binary de Bruijn on 2^d nodes has diameter d.
+  EXPECT_LE(topo.diameter(), 4u);
+  for (ProcId u = 0; u < 16; ++u) EXPECT_LE(topo.degree(u), 4u);
+}
+
+TEST(Topology, Mesh2DProperties) {
+  const auto topo = Topology::mesh2d(3, 4);
+  EXPECT_EQ(topo.size(), 12u);
+  EXPECT_TRUE(topo.connected());
+  // Corner degree 2, edge degree 3, interior degree 4.
+  EXPECT_EQ(topo.degree(0), 2u);
+  EXPECT_EQ(topo.degree(1), 3u);
+  EXPECT_EQ(topo.degree(5), 4u);
+  // No wrap-around: (0,0) to (2,3) takes 2+3 hops.
+  EXPECT_EQ(topo.distance(0, 11), 5u);
+  EXPECT_EQ(topo.diameter(), 5u);
+}
+
+TEST(Topology, CubeConnectedCyclesProperties) {
+  const unsigned d = 3;
+  const auto topo = Topology::cube_connected_cycles(d);
+  EXPECT_EQ(topo.size(), d * 8u);
+  EXPECT_TRUE(topo.connected());
+  // CCC is 3-regular.
+  for (ProcId u = 0; u < topo.size(); ++u) EXPECT_EQ(topo.degree(u), 3u);
+}
+
+TEST(Topology, ButterflyProperties) {
+  const unsigned d = 3;
+  const auto topo = Topology::butterfly(d);
+  EXPECT_EQ(topo.size(), d * 8u);
+  EXPECT_TRUE(topo.connected());
+  // The wrapped butterfly is 4-regular.
+  for (ProcId u = 0; u < topo.size(); ++u) EXPECT_EQ(topo.degree(u), 4u);
+  // Diameter of the wrapped butterfly is about floor(3d/2).
+  EXPECT_LE(topo.diameter(), 3u * d / 2u + 1u);
+}
+
+TEST(Topology, BinaryTreeProperties) {
+  const auto topo = Topology::binary_tree(4);
+  EXPECT_EQ(topo.size(), 15u);
+  EXPECT_TRUE(topo.connected());
+  EXPECT_EQ(topo.degree(0), 2u);    // root
+  EXPECT_EQ(topo.degree(1), 3u);    // internal
+  EXPECT_EQ(topo.degree(14), 1u);   // leaf
+  EXPECT_EQ(topo.edge_count(), 14u);
+  // Leaf-to-leaf through the root.
+  EXPECT_EQ(topo.distance(7, 14), 6u);
+  EXPECT_EQ(topo.diameter(), 6u);
+}
+
+TEST(Topology, BalancedTorusFactorization) {
+  // 64 = 8x8, 12 = 3x4 (rows = largest divisor <= sqrt), 7 -> ring.
+  EXPECT_EQ(Topology::balanced_torus(64).kind(), TopologyKind::Torus2D);
+  EXPECT_EQ(Topology::balanced_torus(64).size(), 64u);
+  EXPECT_EQ(Topology::balanced_torus(64).diameter(), 8u);  // 8x8 torus
+  EXPECT_EQ(Topology::balanced_torus(12).size(), 12u);
+  EXPECT_EQ(Topology::balanced_torus(7).kind(), TopologyKind::Ring);
+  EXPECT_EQ(Topology::balanced_torus(7).size(), 7u);
+  EXPECT_THROW(Topology::balanced_torus(1), contract_error);
+}
+
+TEST(Topology, RandomRegularIsConnectedAndDeterministic) {
+  const auto a = Topology::random_regular(20, 4, 99);
+  const auto b = Topology::random_regular(20, 4, 99);
+  EXPECT_TRUE(a.connected());
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  for (ProcId u = 0; u < 20; ++u)
+    EXPECT_EQ(a.neighbors(u), b.neighbors(u));
+  // Different seed -> (almost surely) different graph.
+  const auto c = Topology::random_regular(20, 4, 100);
+  bool any_diff = false;
+  for (ProcId u = 0; u < 20; ++u)
+    any_diff |= (a.neighbors(u) != c.neighbors(u));
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Topology, NeighborsAreSymmetric) {
+  for (const auto& topo :
+       {Topology::ring(7), Topology::torus2d(3, 5), Topology::hypercube(4),
+        Topology::de_bruijn(3), Topology::random_regular(15, 4, 1),
+        Topology::mesh2d(3, 3), Topology::cube_connected_cycles(3),
+        Topology::butterfly(3), Topology::binary_tree(3)}) {
+    for (ProcId u = 0; u < topo.size(); ++u) {
+      for (ProcId v : topo.neighbors(u)) {
+        const auto& back = topo.neighbors(v);
+        EXPECT_TRUE(std::find(back.begin(), back.end(), u) != back.end())
+            << topo.describe() << " edge " << u << "-" << v;
+      }
+    }
+  }
+}
+
+TEST(Topology, NoSelfLoopsOrDuplicates) {
+  for (const auto& topo :
+       {Topology::complete(6), Topology::ring(6), Topology::de_bruijn(3),
+        Topology::random_regular(9, 4, 5)}) {
+    for (ProcId u = 0; u < topo.size(); ++u) {
+      std::set<ProcId> seen;
+      for (ProcId v : topo.neighbors(u)) {
+        EXPECT_NE(v, u) << topo.describe();
+        EXPECT_TRUE(seen.insert(v).second) << topo.describe();
+      }
+    }
+  }
+}
+
+TEST(Topology, DistanceIsSymmetricAndTriangular) {
+  const auto topo = Topology::torus2d(4, 5);
+  for (ProcId u = 0; u < topo.size(); u += 3) {
+    for (ProcId v = 0; v < topo.size(); v += 4) {
+      EXPECT_EQ(topo.distance(u, v), topo.distance(v, u));
+      for (ProcId w = 0; w < topo.size(); w += 7) {
+        EXPECT_LE(topo.distance(u, w),
+                  topo.distance(u, v) + topo.distance(v, w));
+      }
+    }
+  }
+}
+
+TEST(Topology, InvalidConstructionThrows) {
+  EXPECT_THROW(Topology::ring(1), contract_error);
+  EXPECT_THROW(Topology::torus2d(1, 5), contract_error);
+  EXPECT_THROW(Topology::hypercube(0), contract_error);
+  EXPECT_THROW(Topology::random_regular(2, 4, 1), contract_error);
+  EXPECT_THROW(Topology::mesh2d(1, 1), contract_error);
+  EXPECT_THROW(Topology::cube_connected_cycles(2), contract_error);
+  EXPECT_THROW(Topology::butterfly(1), contract_error);
+  EXPECT_THROW(Topology::binary_tree(1), contract_error);
+}
+
+TEST(Topology, OutOfRangeQueriesThrow) {
+  const auto topo = Topology::ring(4);
+  EXPECT_THROW(topo.neighbors(4), contract_error);
+  EXPECT_THROW(topo.distance(0, 9), contract_error);
+}
+
+TEST(Topology, DescribeMentionsKindAndSize) {
+  const auto topo = Topology::hypercube(3);
+  const std::string desc = topo.describe();
+  EXPECT_NE(desc.find("hypercube"), std::string::npos);
+  EXPECT_NE(desc.find("n=8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dlb

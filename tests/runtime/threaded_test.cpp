@@ -1,0 +1,108 @@
+#include "runtime/threaded_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "metrics/imbalance.hpp"
+#include "support/check.hpp"
+
+namespace dlb {
+namespace {
+
+Trace make_trace(std::uint32_t n, std::uint32_t horizon, double g, double c,
+                 std::uint64_t seed) {
+  Rng rng(seed);
+  return Trace::record(Workload::uniform(n, horizon, g, c), rng);
+}
+
+ThreadedConfig cfg(double f = 1.3, std::uint32_t delta = 1,
+                   std::uint64_t seed = 1) {
+  ThreadedConfig c;
+  c.f = f;
+  c.delta = delta;
+  c.seed = seed;
+  return c;
+}
+
+TEST(ThreadedSystem, ConservesLoad) {
+  const auto trace = make_trace(4, 300, 0.6, 0.3, 2);
+  ThreadedSystem sys(4, cfg());
+  sys.run(trace);
+  const auto& stats = sys.stats();
+  std::int64_t total = 0;
+  for (std::int64_t l : sys.final_loads()) total += l;
+  EXPECT_EQ(total, static_cast<std::int64_t>(stats.generated) -
+                       static_cast<std::int64_t>(stats.consumed));
+  EXPECT_EQ(stats.generated, trace.total_generations());
+}
+
+TEST(ThreadedSystem, PerformsBalancingOperations) {
+  Rng rng(3);
+  const Trace trace =
+      Trace::record(Workload::hotspot(4, 300, 1, 0.9, 0.2), rng);
+  ThreadedSystem sys(4, cfg(1.2, 2));
+  sys.run(trace);
+  EXPECT_GT(sys.stats().balance_ops, 0u);
+  EXPECT_GT(sys.stats().messages, 0u);
+}
+
+TEST(ThreadedSystem, BalancesHotspotLoad) {
+  Rng rng(4);
+  const Trace trace =
+      Trace::record(Workload::hotspot(8, 500, 1, 0.9, 0.0), rng);
+  ThreadedSystem sys(8, cfg(1.2, 2, 5));
+  sys.run(trace);
+  const auto report = measure_imbalance(sys.final_loads());
+  // One producer, everyone else idle: balancing must have spread the load
+  // (without balancing max_over_avg would be 8).
+  EXPECT_LT(report.max_over_avg, 4.0);
+  EXPECT_GT(report.avg_load, 0.0);
+}
+
+TEST(ThreadedSystem, NoLoadMeansNoOps) {
+  const Trace trace(4, 50);  // all-idle trace
+  ThreadedSystem sys(4, cfg());
+  sys.run(trace);
+  EXPECT_EQ(sys.stats().balance_ops, 0u);
+  for (std::int64_t l : sys.final_loads()) EXPECT_EQ(l, 0);
+}
+
+TEST(ThreadedSystem, ManyThreadsStress) {
+  const auto trace = make_trace(16, 200, 0.7, 0.4, 6);
+  ThreadedSystem sys(16, cfg(1.1, 3, 7));
+  sys.run(trace);
+  std::int64_t total = 0;
+  for (std::int64_t l : sys.final_loads()) {
+    EXPECT_GE(l, 0);
+    total += l;
+  }
+  EXPECT_EQ(total, static_cast<std::int64_t>(sys.stats().generated) -
+                       static_cast<std::int64_t>(sys.stats().consumed));
+}
+
+TEST(ThreadedSystem, RepeatedRunsDoNotDeadlock) {
+  // Regression guard for the refusal-based deadlock-freedom argument:
+  // many short runs with aggressive balancing (small f, delta close to n).
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto trace = make_trace(6, 120, 0.8, 0.5, seed + 100);
+    ThreadedSystem sys(6, cfg(1.05, 4, seed));
+    sys.run(trace);
+    SUCCEED();
+  }
+}
+
+TEST(ThreadedSystem, InvalidConfigThrows) {
+  EXPECT_THROW(ThreadedSystem(1, cfg()), contract_error);
+  EXPECT_THROW(ThreadedSystem(4, cfg(1.0)), contract_error);
+  EXPECT_THROW(ThreadedSystem(4, cfg(1.2, 4)), contract_error);
+}
+
+TEST(ThreadedSystem, TraceSizeMismatchThrows) {
+  const auto trace = make_trace(4, 50, 0.5, 0.5, 8);
+  ThreadedSystem sys(8, cfg());
+  EXPECT_THROW(sys.run(trace), contract_error);
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,50 @@
+#include "support/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dlb {
+namespace {
+
+TEST(Check, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(DLB_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(Check, RequireThrowsContractError) {
+  EXPECT_THROW(DLB_REQUIRE(false, "boom"), contract_error);
+}
+
+TEST(Check, EnsureThrowsContractError) {
+  EXPECT_THROW(DLB_ENSURE(false, "boom"), contract_error);
+}
+
+TEST(Check, MessageContainsExpressionLocationAndText) {
+  try {
+    DLB_REQUIRE(2 > 3, "two is not bigger");
+    FAIL() << "should have thrown";
+  } catch (const contract_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+    EXPECT_NE(what.find("two is not bigger"), std::string::npos);
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+  }
+}
+
+TEST(Check, EnsureIsLabelledInvariant) {
+  try {
+    DLB_ENSURE(false, "state corrupt");
+    FAIL() << "should have thrown";
+  } catch (const contract_error& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
+
+TEST(Check, ContractErrorIsLogicError) {
+  // Callers may catch std::logic_error generically.
+  EXPECT_THROW(DLB_REQUIRE(false, ""), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dlb

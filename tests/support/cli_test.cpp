@@ -1,0 +1,120 @@
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace dlb {
+namespace {
+
+// argv helper: builds a mutable char** from string literals.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (auto& s : storage_) pointers_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+CliOptions make_options() {
+  CliOptions opts;
+  opts.add_int("runs", 100, "number of runs")
+      .add_double("f", 1.1, "trigger factor")
+      .add_string("mode", "default", "mode name")
+      .add_flag("verbose", "print more");
+  return opts;
+}
+
+TEST(CliOptions, DefaultsWithoutArguments) {
+  auto opts = make_options();
+  Argv argv({"prog"});
+  ASSERT_TRUE(opts.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(opts.get_int("runs"), 100);
+  EXPECT_DOUBLE_EQ(opts.get_double("f"), 1.1);
+  EXPECT_EQ(opts.get_string("mode"), "default");
+  EXPECT_FALSE(opts.get_flag("verbose"));
+}
+
+TEST(CliOptions, EqualsSyntax) {
+  auto opts = make_options();
+  Argv argv({"prog", "--runs=7", "--f=1.8", "--mode=fast", "--verbose"});
+  ASSERT_TRUE(opts.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(opts.get_int("runs"), 7);
+  EXPECT_DOUBLE_EQ(opts.get_double("f"), 1.8);
+  EXPECT_EQ(opts.get_string("mode"), "fast");
+  EXPECT_TRUE(opts.get_flag("verbose"));
+}
+
+TEST(CliOptions, SpaceSeparatedValue) {
+  auto opts = make_options();
+  Argv argv({"prog", "--runs", "55"});
+  ASSERT_TRUE(opts.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(opts.get_int("runs"), 55);
+}
+
+TEST(CliOptions, FlagWithExplicitZeroIsFalse) {
+  auto opts = make_options();
+  Argv argv({"prog", "--verbose=0"});
+  ASSERT_TRUE(opts.parse(argv.argc(), argv.argv()));
+  EXPECT_FALSE(opts.get_flag("verbose"));
+}
+
+TEST(CliOptions, NegativeNumbersParse) {
+  auto opts = make_options();
+  Argv argv({"prog", "--runs=-3", "--f=-1.5"});
+  ASSERT_TRUE(opts.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(opts.get_int("runs"), -3);
+  EXPECT_DOUBLE_EQ(opts.get_double("f"), -1.5);
+}
+
+TEST(CliOptions, UnknownOptionFails) {
+  auto opts = make_options();
+  Argv argv({"prog", "--bogus=1"});
+  EXPECT_FALSE(opts.parse(argv.argc(), argv.argv()));
+}
+
+TEST(CliOptions, HelpReturnsFalse) {
+  auto opts = make_options();
+  Argv argv({"prog", "--help"});
+  EXPECT_FALSE(opts.parse(argv.argc(), argv.argv()));
+}
+
+TEST(CliOptions, MalformedIntegerFails) {
+  auto opts = make_options();
+  Argv argv({"prog", "--runs=abc"});
+  EXPECT_FALSE(opts.parse(argv.argc(), argv.argv()));
+}
+
+TEST(CliOptions, MalformedDoubleFails) {
+  auto opts = make_options();
+  Argv argv({"prog", "--f=1.1x"});
+  EXPECT_FALSE(opts.parse(argv.argc(), argv.argv()));
+}
+
+TEST(CliOptions, MissingValueFails) {
+  auto opts = make_options();
+  Argv argv({"prog", "--runs"});
+  EXPECT_FALSE(opts.parse(argv.argc(), argv.argv()));
+}
+
+TEST(CliOptions, UndeclaredLookupThrows) {
+  auto opts = make_options();
+  EXPECT_THROW(opts.get_int("nothere"), contract_error);
+  EXPECT_THROW(opts.get_int("f"), contract_error);  // kind mismatch
+}
+
+TEST(CliOptions, DuplicateDeclarationThrows) {
+  CliOptions opts;
+  opts.add_int("x", 1, "first");
+  EXPECT_THROW(opts.add_double("x", 2.0, "dup"), contract_error);
+}
+
+}  // namespace
+}  // namespace dlb

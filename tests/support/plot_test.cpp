@@ -1,0 +1,93 @@
+#include "support/plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(Plot, RendersGlyphsAndLegend) {
+  std::ostringstream os;
+  PlotSeries up{"rising", '*', {0, 1, 2, 3, 4, 5}};
+  render_plot(os, {up});
+  const std::string out = os.str();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("*=rising"), std::string::npos);
+  EXPECT_NE(out.find("step"), std::string::npos);
+}
+
+TEST(Plot, RisingSeriesOccupiesCorners) {
+  std::ostringstream os;
+  PlotOptions opts;
+  opts.width = 10;
+  opts.height = 5;
+  render_plot(os, {PlotSeries{"r", '*', {0, 1, 2, 3, 4}}}, opts);
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream is(os.str());
+  while (std::getline(is, line)) lines.push_back(line);
+  // First canvas row (top) must contain the max at the right edge;
+  // last canvas row (bottom) the min at the left edge.
+  const std::string& top_row = lines[0];
+  const std::string& bottom_row = lines[4];
+  EXPECT_EQ(top_row.back(), '*');
+  EXPECT_EQ(bottom_row[bottom_row.find('|') + 1], '*');
+}
+
+TEST(Plot, MultipleSeriesOverdrawInOrder) {
+  std::ostringstream os;
+  PlotSeries a{"first", 'a', {1, 1, 1}};
+  PlotSeries b{"second", 'b', {1, 1, 1}};  // identical: b overdraws a
+  render_plot(os, {a, b});
+  std::istringstream is(os.str());
+  std::string line;
+  bool saw_b_in_canvas = false;
+  while (std::getline(is, line)) {
+    const auto bar = line.find('|');
+    if (bar == std::string::npos) continue;  // not a canvas row
+    const std::string canvas = line.substr(bar + 1);
+    EXPECT_EQ(canvas.find('a'), std::string::npos) << line;
+    if (canvas.find('b') != std::string::npos) saw_b_in_canvas = true;
+  }
+  EXPECT_TRUE(saw_b_in_canvas);
+  // 'a' survives in the legend.
+  EXPECT_NE(os.str().find("a=first"), std::string::npos);
+}
+
+TEST(Plot, FixedRangeClampsOutliers) {
+  std::ostringstream os;
+  PlotOptions opts;
+  opts.y_min = 0.0;
+  opts.y_max = 1.0;
+  render_plot(os, {PlotSeries{"s", '*', {-5.0, 0.5, 100.0}}}, opts);
+  EXPECT_NE(os.str().find('*'), std::string::npos);
+}
+
+TEST(Plot, FlatSeriesDoesNotDivideByZero) {
+  std::ostringstream os;
+  render_plot(os, {PlotSeries{"flat", '*', {2.0, 2.0, 2.0}}});
+  EXPECT_NE(os.str().find('*'), std::string::npos);
+}
+
+TEST(Plot, SinglePointSeries) {
+  std::ostringstream os;
+  render_plot(os, {PlotSeries{"dot", '*', {1.0}}});
+  EXPECT_NE(os.str().find('*'), std::string::npos);
+}
+
+TEST(Plot, RejectsDegenerateInput) {
+  std::ostringstream os;
+  EXPECT_THROW(render_plot(os, {}), contract_error);
+  EXPECT_THROW(render_plot(os, {PlotSeries{"empty", '*', {}}}),
+               contract_error);
+  PlotOptions tiny;
+  tiny.width = 2;
+  EXPECT_THROW(render_plot(os, {PlotSeries{"s", '*', {1.0}}}, tiny),
+               contract_error);
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,187 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowRejectsZeroBound) {
+  Rng rng(5);
+  EXPECT_THROW(rng.below(0), contract_error);
+}
+
+TEST(Rng, BelowIsApproximatelyUniform) {
+  Rng rng(2024);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  // Each bucket expects 10000; allow 5 sigma (~sqrt(9000) ≈ 95 -> 475).
+  for (int c : counts) EXPECT_NEAR(c, kDraws / kBuckets, 500);
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RangeSingleton) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.range(42, 42), 42);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(1.5, 2.5);
+    EXPECT_GE(u, 1.5);
+    EXPECT_LT(u, 2.5);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent.next() == child.next()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SampleDistinctProducesDistinctValues) {
+  Rng rng(37);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto sample = rng.sample_distinct(20, 7, 20);
+    std::set<std::uint32_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 7u);
+    for (std::uint32_t v : sample) EXPECT_LT(v, 20u);
+  }
+}
+
+TEST(Rng, SampleDistinctHonorsExclusion) {
+  Rng rng(41);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto sample = rng.sample_distinct(10, 5, 3);
+    for (std::uint32_t v : sample) {
+      EXPECT_NE(v, 3u);
+      EXPECT_LT(v, 10u);
+    }
+  }
+}
+
+TEST(Rng, SampleDistinctFullDraw) {
+  Rng rng(43);
+  auto sample = rng.sample_distinct(5, 4, 0);  // all but the excluded 0
+  std::set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique, (std::set<std::uint32_t>{1, 2, 3, 4}));
+}
+
+TEST(Rng, SampleDistinctRejectsOversizedRequest) {
+  Rng rng(47);
+  EXPECT_THROW(rng.sample_distinct(5, 5, 0), contract_error);
+  EXPECT_THROW(rng.sample_distinct(5, 6, 5), contract_error);
+}
+
+TEST(Rng, SampleDistinctIsRoughlyUniform) {
+  Rng rng(53);
+  std::vector<int> counts(8, 0);
+  constexpr int kTrials = 40000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    for (std::uint32_t v : rng.sample_distinct(8, 2, 8)) ++counts[v];
+  }
+  // Each of the 8 values expects kTrials * 2 / 8 hits.
+  for (int c : counts) EXPECT_NEAR(c, kTrials / 4, kTrials / 40);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(59);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleMovesElements) {
+  Rng rng(61);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+}  // namespace
+}  // namespace dlb

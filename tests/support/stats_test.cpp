@@ -1,0 +1,167 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(RunningMoments, EmptyIsZero) {
+  RunningMoments rm;
+  EXPECT_TRUE(rm.empty());
+  EXPECT_EQ(rm.count(), 0u);
+  EXPECT_DOUBLE_EQ(rm.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rm.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rm.variation_density(), 0.0);
+}
+
+TEST(RunningMoments, SingleValue) {
+  RunningMoments rm;
+  rm.add(5.0);
+  EXPECT_DOUBLE_EQ(rm.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rm.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rm.min(), 5.0);
+  EXPECT_DOUBLE_EQ(rm.max(), 5.0);
+}
+
+TEST(RunningMoments, KnownSample) {
+  RunningMoments rm;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rm.add(x);
+  EXPECT_DOUBLE_EQ(rm.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rm.variance(), 4.0);  // classic textbook sample
+  EXPECT_DOUBLE_EQ(rm.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(rm.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rm.max(), 9.0);
+  EXPECT_DOUBLE_EQ(rm.variation_density(), 0.4);
+}
+
+TEST(RunningMoments, SampleVarianceUsesBesselCorrection) {
+  RunningMoments rm;
+  for (double x : {1.0, 2.0, 3.0}) rm.add(x);
+  EXPECT_DOUBLE_EQ(rm.sample_variance(), 1.0);
+  EXPECT_NEAR(rm.variance(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RunningMoments, MergeMatchesSequential) {
+  Rng rng(71);
+  RunningMoments whole;
+  RunningMoments left;
+  RunningMoments right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 17.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningMoments, MergeWithEmptySides) {
+  RunningMoments filled;
+  filled.add(1.0);
+  filled.add(3.0);
+  RunningMoments empty;
+  RunningMoments a = filled;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningMoments b = empty;
+  b.merge(filled);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningMoments, NumericallyStableForLargeOffsets) {
+  RunningMoments rm;
+  // Values around 1e9 with variance 1: naive sum-of-squares would lose
+  // all precision here.
+  for (double x : {1e9, 1e9 + 1, 1e9 + 2, 1e9 + 3, 1e9 + 4}) rm.add(x);
+  EXPECT_NEAR(rm.variance(), 2.0, 1e-6);
+}
+
+TEST(PercentileSorted, InterpolatesLinearly) {
+  std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 1.0 / 3.0), 20.0);
+}
+
+TEST(PercentileSorted, RejectsBadInputs) {
+  std::vector<double> empty;
+  EXPECT_THROW(percentile_sorted(empty, 0.5), contract_error);
+  std::vector<double> v{1.0};
+  EXPECT_THROW(percentile_sorted(v, 1.5), contract_error);
+}
+
+TEST(Summarize, FiveNumberSummary) {
+  Summary s = summarize({9.0, 1.0, 5.0, 3.0, 7.0});
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.p25, 3.0);
+  EXPECT_DOUBLE_EQ(s.p75, 7.0);
+}
+
+TEST(Summarize, EmptySample) {
+  Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(SeriesAggregator, PerStepStatistics) {
+  SeriesAggregator agg(3);
+  agg.add(0, 1.0);
+  agg.add(0, 3.0);
+  agg.add(1, 10.0);
+  agg.add(2, -2.0);
+  agg.add(2, 2.0);
+  agg.add(2, 6.0);
+  EXPECT_DOUBLE_EQ(agg.mean(0), 2.0);
+  EXPECT_DOUBLE_EQ(agg.min(0), 1.0);
+  EXPECT_DOUBLE_EQ(agg.max(0), 3.0);
+  EXPECT_DOUBLE_EQ(agg.mean(1), 10.0);
+  EXPECT_DOUBLE_EQ(agg.mean(2), 2.0);
+  EXPECT_DOUBLE_EQ(agg.min(2), -2.0);
+  EXPECT_DOUBLE_EQ(agg.max(2), 6.0);
+}
+
+TEST(SeriesAggregator, MergeCombinesCellWise) {
+  SeriesAggregator a(2);
+  SeriesAggregator b(2);
+  a.add(0, 1.0);
+  a.add(1, 10.0);
+  b.add(0, 3.0);
+  b.add(1, 30.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(0), 2.0);
+  EXPECT_DOUBLE_EQ(a.mean(1), 20.0);
+  EXPECT_DOUBLE_EQ(a.min(1), 10.0);
+  EXPECT_DOUBLE_EQ(a.max(1), 30.0);
+  EXPECT_EQ(a.at(0).count(), 2u);
+}
+
+TEST(SeriesAggregator, MergeRejectsMismatchedHorizons) {
+  SeriesAggregator a(2);
+  SeriesAggregator b(3);
+  EXPECT_THROW(a.merge(b), contract_error);
+}
+
+TEST(SeriesAggregator, RejectsOutOfRangeStep) {
+  SeriesAggregator agg(2);
+  EXPECT_THROW(agg.add(2, 1.0), contract_error);
+  EXPECT_THROW(agg.mean(5), contract_error);
+}
+
+}  // namespace
+}  // namespace dlb

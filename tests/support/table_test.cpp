@@ -1,0 +1,73 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable table({"name", "value"});
+  table.row().cell("alpha").cell(1.5, 2);
+  table.row().cell("beta").cell(42LL);
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(TextTable, CsvRoundTrip) {
+  TextTable table({"a", "b", "c"});
+  table.row().cell(1).cell(2).cell(3);
+  table.row().cell(4).cell(5).cell(6);
+  std::ostringstream os;
+  table.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,2,3\n4,5,6\n");
+}
+
+TEST(TextTable, CellWithoutRowThrows) {
+  TextTable table({"x"});
+  EXPECT_THROW(table.cell("oops"), contract_error);
+}
+
+TEST(TextTable, OverfullRowThrows) {
+  TextTable table({"x"});
+  table.row().cell("ok");
+  EXPECT_THROW(table.cell("too many"), contract_error);
+}
+
+TEST(TextTable, IncompletePreviousRowThrows) {
+  TextTable table({"x", "y"});
+  table.row().cell("only one");
+  EXPECT_THROW(table.row(), contract_error);
+}
+
+TEST(TextTable, EmptyHeaderListThrows) {
+  EXPECT_THROW(TextTable({}), contract_error);
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-0.5, 3), "-0.500");
+}
+
+TEST(TextTable, NumericCellsRightAligned) {
+  TextTable table({"metric", "value"});
+  table.row().cell("count").cell(7);
+  std::ostringstream os;
+  table.print(os);
+  // The value column header is "value" (5 wide); "7" should be padded
+  // on the left (right-aligned) -> the line ends with "    7".
+  const std::string out = os.str();
+  EXPECT_NE(out.find("    7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dlb

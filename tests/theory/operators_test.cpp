@@ -1,0 +1,155 @@
+#include "theory/operators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(Operators, GAtBalancedPoint) {
+  // n = 2, delta = 1, f = 1, k = 1: G(1) = (1+1)(1) / (1 + 0 + 1) = 1.
+  ModelParams p{2, 1, 1.0};
+  EXPECT_DOUBLE_EQ(G_op(1.0, p), 1.0);
+}
+
+TEST(Operators, GIncreasesRatioForGrowth) {
+  ModelParams p{16, 1, 1.5};
+  // Starting balanced, one growth + balance step must leave the generator
+  // ahead of the others.
+  EXPECT_GT(G_op(1.0, p), 1.0);
+}
+
+TEST(Operators, CDecreasesRatioForShrink) {
+  ModelParams p{16, 1, 1.5};
+  EXPECT_LT(C_op(1.0, p), 1.0);
+}
+
+TEST(Operators, CIsGWithInverseF) {
+  ModelParams p{32, 2, 1.4};
+  ModelParams p_inv{32, 2, 1.0 / 1.4};
+  for (double k : {0.5, 1.0, 1.7, 3.0})
+    EXPECT_DOUBLE_EQ(C_op(k, p), G_op(k, p_inv));
+}
+
+TEST(Operators, FixpointIsFixed) {
+  for (const ModelParams& p :
+       {ModelParams{8, 1, 1.1}, ModelParams{64, 4, 1.8},
+        ModelParams{1024, 2, 1.2}, ModelParams{16, 8, 4.0}}) {
+    const double fix = fixpoint(p);
+    EXPECT_NEAR(G_op(fix, p), fix, 1e-12) << "n=" << p.n;
+  }
+}
+
+TEST(Operators, Lemma2ThresholdBehaviour) {
+  // G(k) >= k iff k <= FIX; G(k) <= k iff k >= FIX (Lemma 2).
+  ModelParams p{64, 2, 1.3};
+  const double fix = fixpoint(p);
+  EXPECT_GT(G_op(fix * 0.5, p), fix * 0.5);
+  EXPECT_LT(G_op(fix * 2.0, p), fix * 2.0);
+}
+
+TEST(Operators, IterationConvergesToFixpointFromAnywhere) {
+  // Banach contraction: any start converges (Theorem 1's remark).
+  ModelParams p{64, 4, 1.8};
+  const double fix = fixpoint(p);
+  for (double k0 : {0.01, 1.0, 2.0, 10.0, 100.0}) {
+    EXPECT_NEAR(iterate_G(k0, 500, p), fix, 1e-9) << "k0=" << k0;
+  }
+}
+
+TEST(Operators, Theorem1MonotoneApproachFromBalancedStart) {
+  // G^t(1) <= FIX for all t, increasing toward it.
+  ModelParams p{32, 1, 1.5};
+  const double fix = fixpoint(p);
+  double prev = 1.0;
+  for (std::uint32_t t = 1; t <= 200; ++t) {
+    const double cur = iterate_G(1.0, t, p);
+    EXPECT_LE(cur, fix + 1e-12);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(Operators, Theorem2LimitAndBound) {
+  // FIX(n, δ, f) <= δ/(δ+1−f) and -> it as n -> ∞.
+  const double delta = 2;
+  const double f = 1.6;
+  const double limit = fixpoint_limit(delta, f);
+  double prev_gap = 1e9;
+  for (double n : {4.0, 16.0, 64.0, 256.0, 4096.0, 1e6}) {
+    ModelParams p{n, delta, f};
+    const double fix = fixpoint(p);
+    EXPECT_LE(fix, limit + 1e-9) << "n=" << n;
+    const double gap = limit - fix;
+    EXPECT_LE(gap, prev_gap + 1e-12);
+    prev_gap = gap;
+  }
+  EXPECT_NEAR(fixpoint(ModelParams{1e9, delta, f}), limit, 1e-4);
+}
+
+TEST(Operators, Lemma3SandwichForProducerConsumer) {
+  // FIX(n, δ, 1/f) <= 1 <= FIX(n, δ, f): a balanced system stays inside
+  // the Theorem 3 envelope from the start.
+  for (const ModelParams& p :
+       {ModelParams{16, 1, 1.1}, ModelParams{64, 4, 1.8}}) {
+    ModelParams inv = p;
+    inv.f = 1.0 / p.f;
+    EXPECT_LE(fixpoint(inv), 1.0 + 1e-12);
+    EXPECT_GE(fixpoint(p), 1.0 - 1e-12);
+    // And C^t(1) decreases toward FIX(n, δ, 1/f).
+    const double c_limit = iterate_C(1.0, 500, p);
+    EXPECT_NEAR(c_limit, fixpoint(inv), 1e-9);
+  }
+}
+
+TEST(Operators, FixpointLimitRequiresValidF) {
+  EXPECT_THROW(fixpoint_limit(1, 2.0), contract_error);
+  EXPECT_NO_THROW(fixpoint_limit(1, 1.99));
+  EXPECT_NO_THROW(fixpoint_limit(4, 4.5));
+}
+
+TEST(Operators, IterationsToConverge) {
+  ModelParams p{16, 1, 1.5};
+  const std::uint32_t t = iterations_to_converge(1.0, 1e-6, 10000, p);
+  EXPECT_GT(t, 0u);
+  EXPECT_LT(t, 10000u);
+  EXPECT_NEAR(iterate_G(1.0, t, p), fixpoint(p), 1e-6);
+}
+
+TEST(Operators, InvalidParamsThrow) {
+  EXPECT_THROW(G_op(1.0, ModelParams{1, 1, 1.1}), contract_error);
+  EXPECT_THROW(G_op(1.0, ModelParams{4, 4, 1.1}), contract_error);
+  EXPECT_THROW(G_op(1.0, ModelParams{4, 1, 0.0}), contract_error);
+}
+
+// Lemma 1 cross-check by brute force: simulate the *expected-value*
+// dynamics directly (continuous loads, all others equal) and compare the
+// ratio with G^t(1).
+TEST(Operators, Lemma1MatchesDirectExpectationDynamics) {
+  const double n = 12;
+  const double delta = 3;
+  const double f = 1.4;
+  ModelParams p{n, delta, f};
+
+  // Track E(l_0) and the common E(l_i) directly: before a balance the
+  // generator holds f*v0; the balance replaces the generator and delta
+  // random others by their average; a random other is a participant with
+  // probability delta/(n-1).
+  double v0 = 1.0;
+  double vi = 1.0;
+  for (int t = 0; t < 60; ++t) {
+    const double grown = f * v0;
+    const double avg = (grown + delta * vi) / (delta + 1.0);
+    const double pc = delta / (n - 1.0);
+    v0 = avg;
+    vi = pc * avg + (1.0 - pc) * vi;
+    const double expected_ratio = iterate_G(1.0, static_cast<std::uint32_t>(t + 1), p);
+    EXPECT_NEAR(v0 / vi, expected_ratio, 1e-9) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,83 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(Trace, SetAndGetRoundTrip) {
+  Trace trace(3, 5);
+  trace.set(1, 2, WorkEvent{true, false});
+  trace.set(2, 4, WorkEvent{true, true});
+  EXPECT_TRUE(trace.at(1, 2).generate);
+  EXPECT_FALSE(trace.at(1, 2).consume);
+  EXPECT_TRUE(trace.at(2, 4).generate);
+  EXPECT_TRUE(trace.at(2, 4).consume);
+  EXPECT_FALSE(trace.at(0, 0).generate);
+}
+
+TEST(Trace, RecordResolvesWorkloadDeterministically) {
+  const auto wl = Workload::uniform(4, 100, 0.5, 0.3);
+  Rng a(11);
+  Rng b(11);
+  const Trace ta = Trace::record(wl, a);
+  const Trace tb = Trace::record(wl, b);
+  EXPECT_EQ(ta, tb);
+}
+
+TEST(Trace, CountsMatchProbabilities) {
+  const auto wl = Workload::uniform(8, 1000, 0.5, 0.25);
+  Rng rng(21);
+  const Trace trace = Trace::record(wl, rng);
+  const double cells = 8.0 * 1000.0;
+  EXPECT_NEAR(static_cast<double>(trace.total_generations()) / cells, 0.5,
+              0.02);
+  EXPECT_NEAR(static_cast<double>(trace.total_consume_attempts()) / cells,
+              0.25, 0.02);
+  EXPECT_EQ(trace.net_demand(),
+            static_cast<std::int64_t>(trace.total_generations()) -
+                static_cast<std::int64_t>(trace.total_consume_attempts()));
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  const auto wl = Workload::uniform(5, 37, 0.4, 0.4);
+  Rng rng(33);
+  const Trace original = Trace::record(wl, rng);
+  std::stringstream buffer;
+  original.save(buffer);
+  const Trace loaded = Trace::load(buffer);
+  EXPECT_EQ(original, loaded);
+}
+
+TEST(Trace, LoadRejectsMalformedInput) {
+  std::stringstream bad("2 2\n01\n4x\n");
+  EXPECT_THROW(Trace::load(bad), contract_error);
+  std::stringstream truncated("2 2\n01\n");
+  EXPECT_THROW(Trace::load(truncated), contract_error);
+}
+
+TEST(Trace, OutOfRangeAccessThrows) {
+  Trace trace(2, 3);
+  EXPECT_THROW(trace.at(2, 0), contract_error);
+  EXPECT_THROW(trace.at(0, 3), contract_error);
+  EXPECT_THROW(trace.set(5, 0, WorkEvent{}), contract_error);
+}
+
+TEST(Trace, OneProducerTraceShape) {
+  const auto wl = Workload::one_producer(4, 50);
+  Rng rng(44);
+  const Trace trace = Trace::record(wl, rng);
+  EXPECT_EQ(trace.total_generations(), 50u);  // probability 1 on proc 0
+  EXPECT_EQ(trace.total_consume_attempts(), 0u);
+  for (std::uint32_t t = 0; t < 50; ++t) {
+    EXPECT_TRUE(trace.at(0, t).generate);
+    EXPECT_FALSE(trace.at(1, t).generate);
+  }
+}
+
+}  // namespace
+}  // namespace dlb

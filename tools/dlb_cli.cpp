@@ -1,0 +1,302 @@
+// dlb — command-line driver for the library.
+//
+//   dlb simulate  [options]   run the balancer on a synthetic workload
+//   dlb theory    [options]   print the analytic quantities for (n, d, f)
+//   dlb compare   [options]   run all strategies on one recorded demand
+//   dlb trace     [options]   generate / inspect a demand trace file
+//
+// Every subcommand accepts --help.  Exit code 0 on success, 1 on usage
+// errors, 2 on runtime failures.
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "baselines/adapter.hpp"
+#include "baselines/diffusion.hpp"
+#include "baselines/gradient.hpp"
+#include "baselines/rsu.hpp"
+#include "baselines/simple.hpp"
+#include "baselines/stealing.hpp"
+#include "core/checkpoint.hpp"
+#include "core/system.hpp"
+#include "metrics/imbalance.hpp"
+#include "support/check.hpp"
+#include "support/cli.hpp"
+#include "support/plot.hpp"
+#include "support/table.hpp"
+#include "theory/bounds.hpp"
+#include "theory/operators.hpp"
+#include "theory/variation.hpp"
+
+namespace {
+
+using namespace dlb;
+
+Workload make_workload(const std::string& kind, std::uint32_t n,
+                       std::uint32_t steps, Rng& rng) {
+  if (kind == "paper")
+    return Workload::paper_benchmark(n, steps, WorkloadParams{}, rng);
+  if (kind == "one-producer") return Workload::one_producer(n, steps);
+  if (kind == "uniform") return Workload::uniform(n, steps, 0.6, 0.5);
+  if (kind == "hotspot") return Workload::hotspot(n, steps, 1, 0.9, 0.3);
+  if (kind == "wave") return Workload::wave(n, steps, 20);
+  if (kind == "bursty") return Workload::bursty(n, steps, 30, 0.8, 0.8);
+  if (kind == "flip-flop")
+    return Workload::flip_flop(n, steps, 30, 0.8, 0.8);
+  throw contract_error("unknown workload kind: " + kind +
+                       " (try paper, one-producer, uniform, hotspot, "
+                       "wave, bursty, flip-flop)");
+}
+
+int cmd_simulate(int argc, char** argv) {
+  CliOptions opts;
+  opts.add_int("processors", 64, "network size n")
+      .add_int("steps", 500, "global time steps")
+      .add_double("f", 1.1, "trigger factor")
+      .add_int("delta", 2, "partners per balancing operation")
+      .add_int("C", 4, "borrow cap")
+      .add_int("seed", 42, "PRNG seed")
+      .add_string("workload", "paper", "workload kind")
+      .add_string("save", "", "write a checkpoint to this file at the end")
+      .add_string("resume", "", "resume from this checkpoint file")
+      .add_flag("plot", "render the load envelope as an ASCII chart");
+  if (!opts.parse(argc, argv)) return 1;
+
+  const auto n = static_cast<std::uint32_t>(opts.get_int("processors"));
+  const auto steps = static_cast<std::uint32_t>(opts.get_int("steps"));
+  BalancerConfig cfg;
+  cfg.f = opts.get_double("f");
+  cfg.delta = static_cast<std::uint32_t>(opts.get_int("delta"));
+  cfg.borrow_cap = static_cast<std::uint32_t>(opts.get_int("C"));
+
+  std::unique_ptr<System> system;
+  if (const std::string& resume = opts.get_string("resume");
+      !resume.empty()) {
+    std::ifstream in(resume);
+    DLB_REQUIRE(in.good(), "cannot open checkpoint: " + resume);
+    system = std::make_unique<System>(load_checkpoint(in));
+    std::cout << "resumed " << system->processors()
+              << "-processor system from " << resume << "\n";
+  } else {
+    system = std::make_unique<System>(
+        n, cfg, static_cast<std::uint64_t>(opts.get_int("seed")));
+  }
+
+  Rng wl_rng(static_cast<std::uint64_t>(opts.get_int("seed")) ^ 0x3017);
+  const Workload wl = make_workload(opts.get_string("workload"),
+                                    system->processors(), steps, wl_rng);
+  LoadSeriesRecorder recorder(steps);
+  system->attach_recorder(&recorder);
+  system->run(wl);
+  system->check_invariants();
+
+  const auto report = measure_imbalance(system->loads());
+  TextTable table({"metric", "value"});
+  table.row().cell("workload").cell(wl.name());
+  table.row().cell("config").cell(system->config().describe());
+  table.row().cell("generated").cell(
+      static_cast<unsigned long long>(system->total_generated()));
+  table.row().cell("consumed").cell(
+      static_cast<unsigned long long>(system->total_consumed()));
+  table.row().cell("balance ops").cell(
+      static_cast<unsigned long long>(system->balance_operations()));
+  table.row().cell("packets moved (net)").cell(
+      static_cast<unsigned long long>(
+          system->costs().totals().packets_moved_net));
+  table.row().cell("min/avg/max load").cell(
+      format_double(report.min_load, 0) + " / " +
+      format_double(report.avg_load, 2) + " / " +
+      format_double(report.max_load, 0));
+  table.row().cell("max/avg imbalance").cell(report.max_over_avg, 3);
+  table.row().cell("CoV").cell(report.cov, 3);
+  table.print(std::cout);
+
+  if (opts.get_flag("plot")) {
+    std::cout << '\n';
+    PlotSeries avg{"avg", '*', {}};
+    PlotSeries lo{"min", '.', {}};
+    PlotSeries hi{"max", '^', {}};
+    for (std::uint32_t t = 0; t < steps; ++t) {
+      avg.values.push_back(recorder.series().mean(t));
+      lo.values.push_back(recorder.series().min(t));
+      hi.values.push_back(recorder.series().max(t));
+    }
+    render_plot(std::cout, {lo, hi, avg});
+  }
+
+  if (const std::string& save = opts.get_string("save"); !save.empty()) {
+    std::ofstream out(save);
+    DLB_REQUIRE(out.good(), "cannot write checkpoint: " + save);
+    save_checkpoint(*system, out);
+    std::cout << "\ncheckpoint written to " << save << "\n";
+  }
+  return 0;
+}
+
+int cmd_theory(int argc, char** argv) {
+  CliOptions opts;
+  opts.add_int("n", 64, "network size")
+      .add_double("f", 1.1, "trigger factor")
+      .add_int("delta", 2, "partner count")
+      .add_int("C", 4, "borrow cap (Theorem 4 additive term)")
+      .add_int("steps", 150, "variation-density steps");
+  if (!opts.parse(argc, argv)) return 1;
+  ModelParams p{static_cast<double>(opts.get_int("n")),
+                static_cast<double>(opts.get_int("delta")),
+                opts.get_double("f")};
+  TextTable table({"quantity", "value"});
+  table.row().cell("FIX(n, d, f)").cell(fixpoint(p), 6);
+  table.row().cell("FIX(n, d, 1/f)").cell(theorem3_lower(p), 6);
+  if (p.f < p.delta + 1.0) {
+    table.row().cell("limit d/(d+1-f)").cell(
+        fixpoint_limit(p.delta, p.f), 6);
+    table.row()
+        .cell("Theorem 4 factor f^2*d/(d+1-f)")
+        .cell(theorem4_factor(p.delta, p.f), 6);
+  }
+  table.row().cell("U (Lemma 5)").cell(U_const(p), 6);
+  table.row().cell("D (Lemma 5)").cell(D_const(p), 6);
+  VariationParams vp;
+  vp.n = static_cast<std::uint32_t>(p.n);
+  vp.delta = static_cast<std::uint32_t>(p.delta);
+  vp.f = p.f;
+  VariationRecursion rec(vp);
+  rec.advance(static_cast<std::uint32_t>(opts.get_int("steps")));
+  table.row()
+      .cell("variation density VD @" + std::to_string(opts.get_int("steps")))
+      .cell(rec.vd_other(), 6);
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_compare(int argc, char** argv) {
+  CliOptions opts;
+  opts.add_int("processors", 64, "network size")
+      .add_int("steps", 500, "global time steps")
+      .add_int("seed", 42, "PRNG seed")
+      .add_string("workload", "paper", "workload kind");
+  if (!opts.parse(argc, argv)) return 1;
+  const auto n = static_cast<std::uint32_t>(opts.get_int("processors"));
+  const auto steps = static_cast<std::uint32_t>(opts.get_int("steps"));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+
+  Rng wl_rng(seed);
+  const Workload wl =
+      make_workload(opts.get_string("workload"), n, steps, wl_rng);
+  Rng trace_rng(seed + 1);
+  const Trace trace = Trace::record(wl, trace_rng);
+
+  const Topology torus = Topology::balanced_torus(n);
+
+  std::vector<std::unique_ptr<LoadBalancer>> strategies;
+  strategies.push_back(std::make_unique<NoBalancing>(n));
+  strategies.push_back(std::make_unique<RandomScatter>(n, seed));
+  strategies.push_back(
+      std::make_unique<RudolphUpfal>(n, RudolphUpfal::Params{}, seed));
+  strategies.push_back(
+      std::make_unique<WorkStealing>(n, WorkStealing::Params{}, seed));
+  strategies.push_back(
+      std::make_unique<Diffusion>(torus, Diffusion::Params{}));
+  strategies.push_back(
+      std::make_unique<GradientModel>(torus, GradientModel::Params{}));
+  BalancerConfig cfg;
+  cfg.f = 1.1;
+  cfg.delta = 2;
+  strategies.push_back(std::make_unique<DlbAdapter>(n, cfg, seed));
+
+  TextTable table({"strategy", "final CoV", "failures", "messages",
+                   "packets moved"});
+  for (auto& s : strategies) {
+    run_trace(*s, trace);
+    table.row()
+        .cell(s->name())
+        .cell(measure_imbalance(s->loads()).cov, 3)
+        .cell(static_cast<unsigned long long>(s->consume_failures()))
+        .cell(static_cast<unsigned long long>(s->messages()))
+        .cell(static_cast<unsigned long long>(s->packets_moved()));
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_trace(int argc, char** argv) {
+  CliOptions opts;
+  opts.add_int("processors", 16, "network size")
+      .add_int("steps", 200, "global time steps")
+      .add_int("seed", 42, "PRNG seed")
+      .add_string("workload", "paper", "workload kind")
+      .add_string("out", "", "write the trace to this file")
+      .add_string("inspect", "", "read a trace file and print a summary");
+  if (!opts.parse(argc, argv)) return 1;
+
+  if (const std::string& path = opts.get_string("inspect"); !path.empty()) {
+    std::ifstream in(path);
+    DLB_REQUIRE(in.good(), "cannot open trace: " + path);
+    const Trace trace = Trace::load(in);
+    TextTable table({"property", "value"});
+    table.row().cell("processors").cell(
+        static_cast<std::size_t>(trace.processors()));
+    table.row().cell("horizon").cell(
+        static_cast<std::size_t>(trace.horizon()));
+    table.row().cell("generations").cell(
+        static_cast<unsigned long long>(trace.total_generations()));
+    table.row().cell("consume attempts").cell(
+        static_cast<unsigned long long>(trace.total_consume_attempts()));
+    table.row().cell("net demand").cell(
+        static_cast<long long>(trace.net_demand()));
+    table.print(std::cout);
+    return 0;
+  }
+
+  const auto n = static_cast<std::uint32_t>(opts.get_int("processors"));
+  const auto steps = static_cast<std::uint32_t>(opts.get_int("steps"));
+  Rng wl_rng(static_cast<std::uint64_t>(opts.get_int("seed")));
+  const Workload wl =
+      make_workload(opts.get_string("workload"), n, steps, wl_rng);
+  Rng trace_rng(static_cast<std::uint64_t>(opts.get_int("seed")) + 1);
+  const Trace trace = Trace::record(wl, trace_rng);
+  const std::string& out = opts.get_string("out");
+  if (out.empty()) {
+    trace.save(std::cout);
+  } else {
+    std::ofstream os(out);
+    DLB_REQUIRE(os.good(), "cannot write trace: " + out);
+    trace.save(os);
+    std::cout << "trace written to " << out << " ("
+              << trace.total_generations() << " generations)\n";
+  }
+  return 0;
+}
+
+void print_usage() {
+  std::cerr
+      << "usage: dlb <command> [options]\n"
+         "commands:\n"
+         "  simulate   run the balancer on a synthetic workload\n"
+         "  theory     print FIX, bounds and variation density\n"
+         "  compare    run every strategy on one recorded demand trace\n"
+         "  trace      generate or inspect a demand trace file\n"
+         "run `dlb <command> --help` for the command's options.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
+    if (command == "theory") return cmd_theory(argc - 1, argv + 1);
+    if (command == "compare") return cmd_compare(argc - 1, argv + 1);
+    if (command == "trace") return cmd_trace(argc - 1, argv + 1);
+    std::cerr << "unknown command: " << command << "\n";
+    print_usage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
