@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_analysis_mode"
+  "../bench/ablation_analysis_mode.pdb"
+  "CMakeFiles/ablation_analysis_mode.dir/ablation_analysis_mode.cpp.o"
+  "CMakeFiles/ablation_analysis_mode.dir/ablation_analysis_mode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_analysis_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_distribution_d4"
+  "../bench/fig10_distribution_d4.pdb"
+  "CMakeFiles/fig10_distribution_d4.dir/fig10_distribution_d4.cpp.o"
+  "CMakeFiles/fig10_distribution_d4.dir/fig10_distribution_d4.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_distribution_d4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

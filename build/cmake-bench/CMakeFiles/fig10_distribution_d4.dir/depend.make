@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_distribution_d4.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_variation"
+  "../bench/fig6_variation.pdb"
+  "CMakeFiles/fig6_variation.dir/fig6_variation.cpp.o"
+  "CMakeFiles/fig6_variation.dir/fig6_variation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

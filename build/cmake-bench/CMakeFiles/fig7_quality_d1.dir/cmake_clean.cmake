@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_quality_d1"
+  "../bench/fig7_quality_d1.pdb"
+  "CMakeFiles/fig7_quality_d1.dir/fig7_quality_d1.cpp.o"
+  "CMakeFiles/fig7_quality_d1.dir/fig7_quality_d1.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_quality_d1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_quality_d4"
+  "../bench/fig8_quality_d4.pdb"
+  "CMakeFiles/fig8_quality_d4.dir/fig8_quality_d4.cpp.o"
+  "CMakeFiles/fig8_quality_d4.dir/fig8_quality_d4.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_quality_d4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

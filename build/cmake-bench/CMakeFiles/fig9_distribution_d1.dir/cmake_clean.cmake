@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_distribution_d1"
+  "../bench/fig9_distribution_d1.pdb"
+  "CMakeFiles/fig9_distribution_d1.dir/fig9_distribution_d1.cpp.o"
+  "CMakeFiles/fig9_distribution_d1.dir/fig9_distribution_d1.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_distribution_d1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/lemma56_decrease"
+  "../bench/lemma56_decrease.pdb"
+  "CMakeFiles/lemma56_decrease.dir/lemma56_decrease.cpp.o"
+  "CMakeFiles/lemma56_decrease.dir/lemma56_decrease.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma56_decrease.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lemma56_decrease.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_borrow"
+  "../bench/table1_borrow.pdb"
+  "CMakeFiles/table1_borrow.dir/table1_borrow.cpp.o"
+  "CMakeFiles/table1_borrow.dir/table1_borrow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_borrow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/theory_fixpoint"
+  "../bench/theory_fixpoint.pdb"
+  "CMakeFiles/theory_fixpoint.dir/theory_fixpoint.cpp.o"
+  "CMakeFiles/theory_fixpoint.dir/theory_fixpoint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_fixpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/theory_ratio_bound"
+  "../bench/theory_ratio_bound.pdb"
+  "CMakeFiles/theory_ratio_bound.dir/theory_ratio_bound.cpp.o"
+  "CMakeFiles/theory_ratio_bound.dir/theory_ratio_bound.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_ratio_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

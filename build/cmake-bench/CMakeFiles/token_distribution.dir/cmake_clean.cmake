@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/token_distribution"
+  "../bench/token_distribution.pdb"
+  "CMakeFiles/token_distribution.dir/token_distribution.cpp.o"
+  "CMakeFiles/token_distribution.dir/token_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

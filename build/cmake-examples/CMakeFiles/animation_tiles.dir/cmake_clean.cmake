@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/animation_tiles"
+  "../examples/animation_tiles.pdb"
+  "CMakeFiles/animation_tiles.dir/animation_tiles.cpp.o"
+  "CMakeFiles/animation_tiles.dir/animation_tiles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animation_tiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/branch_and_bound"
+  "../examples/branch_and_bound.pdb"
+  "CMakeFiles/branch_and_bound.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/branch_and_bound.dir/branch_and_bound.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_and_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

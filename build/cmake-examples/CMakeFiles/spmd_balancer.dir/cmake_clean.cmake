@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/spmd_balancer"
+  "../examples/spmd_balancer.pdb"
+  "CMakeFiles/spmd_balancer.dir/spmd_balancer.cpp.o"
+  "CMakeFiles/spmd_balancer.dir/spmd_balancer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmd_balancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/task_tree"
+  "../examples/task_tree.pdb"
+  "CMakeFiles/task_tree.dir/task_tree.cpp.o"
+  "CMakeFiles/task_tree.dir/task_tree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/threaded_runtime"
+  "../examples/threaded_runtime.pdb"
+  "CMakeFiles/threaded_runtime.dir/threaded_runtime.cpp.o"
+  "CMakeFiles/threaded_runtime.dir/threaded_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/adapter.cpp" "src/baselines/CMakeFiles/dlb_baselines.dir/adapter.cpp.o" "gcc" "src/baselines/CMakeFiles/dlb_baselines.dir/adapter.cpp.o.d"
+  "/root/repo/src/baselines/balancer.cpp" "src/baselines/CMakeFiles/dlb_baselines.dir/balancer.cpp.o" "gcc" "src/baselines/CMakeFiles/dlb_baselines.dir/balancer.cpp.o.d"
+  "/root/repo/src/baselines/diffusion.cpp" "src/baselines/CMakeFiles/dlb_baselines.dir/diffusion.cpp.o" "gcc" "src/baselines/CMakeFiles/dlb_baselines.dir/diffusion.cpp.o.d"
+  "/root/repo/src/baselines/dimension_exchange.cpp" "src/baselines/CMakeFiles/dlb_baselines.dir/dimension_exchange.cpp.o" "gcc" "src/baselines/CMakeFiles/dlb_baselines.dir/dimension_exchange.cpp.o.d"
+  "/root/repo/src/baselines/gradient.cpp" "src/baselines/CMakeFiles/dlb_baselines.dir/gradient.cpp.o" "gcc" "src/baselines/CMakeFiles/dlb_baselines.dir/gradient.cpp.o.d"
+  "/root/repo/src/baselines/rsu.cpp" "src/baselines/CMakeFiles/dlb_baselines.dir/rsu.cpp.o" "gcc" "src/baselines/CMakeFiles/dlb_baselines.dir/rsu.cpp.o.d"
+  "/root/repo/src/baselines/simple.cpp" "src/baselines/CMakeFiles/dlb_baselines.dir/simple.cpp.o" "gcc" "src/baselines/CMakeFiles/dlb_baselines.dir/simple.cpp.o.d"
+  "/root/repo/src/baselines/stealing.cpp" "src/baselines/CMakeFiles/dlb_baselines.dir/stealing.cpp.o" "gcc" "src/baselines/CMakeFiles/dlb_baselines.dir/stealing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dlb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dlb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dlb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dlb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dlb_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_baselines.dir/adapter.cpp.o"
+  "CMakeFiles/dlb_baselines.dir/adapter.cpp.o.d"
+  "CMakeFiles/dlb_baselines.dir/balancer.cpp.o"
+  "CMakeFiles/dlb_baselines.dir/balancer.cpp.o.d"
+  "CMakeFiles/dlb_baselines.dir/diffusion.cpp.o"
+  "CMakeFiles/dlb_baselines.dir/diffusion.cpp.o.d"
+  "CMakeFiles/dlb_baselines.dir/dimension_exchange.cpp.o"
+  "CMakeFiles/dlb_baselines.dir/dimension_exchange.cpp.o.d"
+  "CMakeFiles/dlb_baselines.dir/gradient.cpp.o"
+  "CMakeFiles/dlb_baselines.dir/gradient.cpp.o.d"
+  "CMakeFiles/dlb_baselines.dir/rsu.cpp.o"
+  "CMakeFiles/dlb_baselines.dir/rsu.cpp.o.d"
+  "CMakeFiles/dlb_baselines.dir/simple.cpp.o"
+  "CMakeFiles/dlb_baselines.dir/simple.cpp.o.d"
+  "CMakeFiles/dlb_baselines.dir/stealing.cpp.o"
+  "CMakeFiles/dlb_baselines.dir/stealing.cpp.o.d"
+  "libdlb_baselines.a"
+  "libdlb_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

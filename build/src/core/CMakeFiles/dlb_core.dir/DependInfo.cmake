@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/async_system.cpp" "src/core/CMakeFiles/dlb_core.dir/async_system.cpp.o" "gcc" "src/core/CMakeFiles/dlb_core.dir/async_system.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/dlb_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/dlb_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/dlb_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/dlb_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/dlb_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/dlb_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/ledger.cpp" "src/core/CMakeFiles/dlb_core.dir/ledger.cpp.o" "gcc" "src/core/CMakeFiles/dlb_core.dir/ledger.cpp.o.d"
+  "/root/repo/src/core/one_processor.cpp" "src/core/CMakeFiles/dlb_core.dir/one_processor.cpp.o" "gcc" "src/core/CMakeFiles/dlb_core.dir/one_processor.cpp.o.d"
+  "/root/repo/src/core/snake.cpp" "src/core/CMakeFiles/dlb_core.dir/snake.cpp.o" "gcc" "src/core/CMakeFiles/dlb_core.dir/snake.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/dlb_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/dlb_core.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dlb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dlb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dlb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dlb_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_core.dir/async_system.cpp.o"
+  "CMakeFiles/dlb_core.dir/async_system.cpp.o.d"
+  "CMakeFiles/dlb_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/dlb_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/dlb_core.dir/config.cpp.o"
+  "CMakeFiles/dlb_core.dir/config.cpp.o.d"
+  "CMakeFiles/dlb_core.dir/experiment.cpp.o"
+  "CMakeFiles/dlb_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/dlb_core.dir/ledger.cpp.o"
+  "CMakeFiles/dlb_core.dir/ledger.cpp.o.d"
+  "CMakeFiles/dlb_core.dir/one_processor.cpp.o"
+  "CMakeFiles/dlb_core.dir/one_processor.cpp.o.d"
+  "CMakeFiles/dlb_core.dir/snake.cpp.o"
+  "CMakeFiles/dlb_core.dir/snake.cpp.o.d"
+  "CMakeFiles/dlb_core.dir/system.cpp.o"
+  "CMakeFiles/dlb_core.dir/system.cpp.o.d"
+  "libdlb_core.a"
+  "libdlb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

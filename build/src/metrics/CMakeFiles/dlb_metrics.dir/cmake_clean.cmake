@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_metrics.dir/imbalance.cpp.o"
+  "CMakeFiles/dlb_metrics.dir/imbalance.cpp.o.d"
+  "CMakeFiles/dlb_metrics.dir/recorder.cpp.o"
+  "CMakeFiles/dlb_metrics.dir/recorder.cpp.o.d"
+  "libdlb_metrics.a"
+  "libdlb_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

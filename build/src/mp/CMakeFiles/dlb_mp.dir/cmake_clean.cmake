@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_mp.dir/communicator.cpp.o"
+  "CMakeFiles/dlb_mp.dir/communicator.cpp.o.d"
+  "libdlb_mp.a"
+  "libdlb_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

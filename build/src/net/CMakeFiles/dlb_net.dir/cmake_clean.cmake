@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_net.dir/cost_model.cpp.o"
+  "CMakeFiles/dlb_net.dir/cost_model.cpp.o.d"
+  "CMakeFiles/dlb_net.dir/topology.cpp.o"
+  "CMakeFiles/dlb_net.dir/topology.cpp.o.d"
+  "libdlb_net.a"
+  "libdlb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_runtime.dir/threaded_system.cpp.o"
+  "CMakeFiles/dlb_runtime.dir/threaded_system.cpp.o.d"
+  "libdlb_runtime.a"
+  "libdlb_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_support.dir/cli.cpp.o"
+  "CMakeFiles/dlb_support.dir/cli.cpp.o.d"
+  "CMakeFiles/dlb_support.dir/plot.cpp.o"
+  "CMakeFiles/dlb_support.dir/plot.cpp.o.d"
+  "CMakeFiles/dlb_support.dir/rng.cpp.o"
+  "CMakeFiles/dlb_support.dir/rng.cpp.o.d"
+  "CMakeFiles/dlb_support.dir/stats.cpp.o"
+  "CMakeFiles/dlb_support.dir/stats.cpp.o.d"
+  "CMakeFiles/dlb_support.dir/table.cpp.o"
+  "CMakeFiles/dlb_support.dir/table.cpp.o.d"
+  "libdlb_support.a"
+  "libdlb_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

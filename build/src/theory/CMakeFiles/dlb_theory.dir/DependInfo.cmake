@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/theory/bounds.cpp" "src/theory/CMakeFiles/dlb_theory.dir/bounds.cpp.o" "gcc" "src/theory/CMakeFiles/dlb_theory.dir/bounds.cpp.o.d"
+  "/root/repo/src/theory/computation_graph.cpp" "src/theory/CMakeFiles/dlb_theory.dir/computation_graph.cpp.o" "gcc" "src/theory/CMakeFiles/dlb_theory.dir/computation_graph.cpp.o.d"
+  "/root/repo/src/theory/operators.cpp" "src/theory/CMakeFiles/dlb_theory.dir/operators.cpp.o" "gcc" "src/theory/CMakeFiles/dlb_theory.dir/operators.cpp.o.d"
+  "/root/repo/src/theory/variation.cpp" "src/theory/CMakeFiles/dlb_theory.dir/variation.cpp.o" "gcc" "src/theory/CMakeFiles/dlb_theory.dir/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dlb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dlb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dlb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dlb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dlb_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_theory.dir/bounds.cpp.o"
+  "CMakeFiles/dlb_theory.dir/bounds.cpp.o.d"
+  "CMakeFiles/dlb_theory.dir/computation_graph.cpp.o"
+  "CMakeFiles/dlb_theory.dir/computation_graph.cpp.o.d"
+  "CMakeFiles/dlb_theory.dir/operators.cpp.o"
+  "CMakeFiles/dlb_theory.dir/operators.cpp.o.d"
+  "CMakeFiles/dlb_theory.dir/variation.cpp.o"
+  "CMakeFiles/dlb_theory.dir/variation.cpp.o.d"
+  "libdlb_theory.a"
+  "libdlb_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_workload.dir/trace.cpp.o"
+  "CMakeFiles/dlb_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/dlb_workload.dir/workload.cpp.o"
+  "CMakeFiles/dlb_workload.dir/workload.cpp.o.d"
+  "libdlb_workload.a"
+  "libdlb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/async_system_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/async_system_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/borrow_protocol_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/borrow_protocol_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/checkpoint_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/checkpoint_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/config_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/config_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/experiment_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/experiment_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/item_system_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/item_system_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/ledger_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/ledger_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/one_processor_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/one_processor_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/snake_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/snake_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/system_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/system_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/metrics/imbalance_test.cpp" "tests/CMakeFiles/metrics_tests.dir/metrics/imbalance_test.cpp.o" "gcc" "tests/CMakeFiles/metrics_tests.dir/metrics/imbalance_test.cpp.o.d"
+  "/root/repo/tests/metrics/recorder_test.cpp" "tests/CMakeFiles/metrics_tests.dir/metrics/recorder_test.cpp.o" "gcc" "tests/CMakeFiles/metrics_tests.dir/metrics/recorder_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/theory/CMakeFiles/dlb_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dlb_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dlb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dlb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dlb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dlb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dlb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/dlb_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dlb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_tests.dir/mp/communicator_test.cpp.o"
+  "CMakeFiles/mp_tests.dir/mp/communicator_test.cpp.o.d"
+  "mp_tests"
+  "mp_tests.pdb"
+  "mp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_tests.dir/theory/bounds_test.cpp.o"
+  "CMakeFiles/theory_tests.dir/theory/bounds_test.cpp.o.d"
+  "CMakeFiles/theory_tests.dir/theory/computation_graph_test.cpp.o"
+  "CMakeFiles/theory_tests.dir/theory/computation_graph_test.cpp.o.d"
+  "CMakeFiles/theory_tests.dir/theory/operators_test.cpp.o"
+  "CMakeFiles/theory_tests.dir/theory/operators_test.cpp.o.d"
+  "CMakeFiles/theory_tests.dir/theory/variation_test.cpp.o"
+  "CMakeFiles/theory_tests.dir/theory/variation_test.cpp.o.d"
+  "theory_tests"
+  "theory_tests.pdb"
+  "theory_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

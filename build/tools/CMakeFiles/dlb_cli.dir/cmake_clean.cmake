@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_cli.dir/dlb_cli.cpp.o"
+  "CMakeFiles/dlb_cli.dir/dlb_cli.cpp.o.d"
+  "dlb"
+  "dlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
