@@ -99,12 +99,18 @@ System load_checkpoint(std::istream& is, const Topology* topology) {
   for (std::uint32_t p = 0; p < processors; ++p) {
     ProcessorState& st = system.procs_[p];
     is >> st.l_old >> st.local_time;
-    std::vector<std::int64_t> d(processors);
-    std::vector<std::int64_t> b(processors);
-    for (auto& v : d) is >> v;
-    for (auto& v : b) is >> v;
+    // Stream the cells straight into the ledger; set_d/set_b maintain the
+    // active/marked indexes incrementally, so no temporary n-vectors.
+    std::int64_t v = 0;
+    for (std::uint32_t j = 0; j < processors; ++j) {
+      is >> v;
+      st.ledger.set_d(j, v);
+    }
+    for (std::uint32_t j = 0; j < processors; ++j) {
+      is >> v;
+      st.ledger.set_b(j, v);
+    }
     DLB_REQUIRE(is.good(), "checkpoint ledger malformed");
-    st.ledger.replace(std::move(d), std::move(b));
   }
   system.check_invariants();
   return system;

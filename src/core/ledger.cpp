@@ -1,54 +1,158 @@
 #include "core/ledger.hpp"
 
-#include <numeric>
+#include <algorithm>
 
 #include "support/check.hpp"
 
 namespace dlb {
 
+namespace {
+
+void insert_sorted(std::vector<std::uint32_t>& v, std::uint32_t j) {
+  v.insert(std::lower_bound(v.begin(), v.end(), j), j);
+}
+
+void erase_sorted(std::vector<std::uint32_t>& v, std::uint32_t j) {
+  const auto it = std::lower_bound(v.begin(), v.end(), j);
+  DLB_ENSURE(it != v.end() && *it == j, "sparse index out of sync");
+  v.erase(it);
+}
+
+}  // namespace
+
 Ledger::Ledger(std::uint32_t classes) : d_(classes, 0), b_(classes, 0) {
   DLB_REQUIRE(classes >= 1, "ledger needs at least one load class");
+}
+
+void Ledger::update_active(std::uint32_t j, bool was) {
+  const bool now = is_active(j);
+  if (was == now) return;
+  if (now) {
+    insert_sorted(active_, j);
+  } else {
+    erase_sorted(active_, j);
+  }
 }
 
 void Ledger::add_real(std::uint32_t j, std::int64_t count) {
   DLB_REQUIRE(j < classes(), "load class out of range");
   DLB_REQUIRE(count >= 0, "cannot add a negative packet count");
+  const bool was = is_active(j);
   d_[j] += count;
   real_ += count;
+  update_active(j, was);
 }
 
 void Ledger::remove_real(std::uint32_t j, std::int64_t count) {
   DLB_REQUIRE(j < classes(), "load class out of range");
   DLB_REQUIRE(count >= 0, "cannot remove a negative packet count");
   DLB_REQUIRE(d_[j] >= count, "not enough real packets of this class");
+  const bool was = is_active(j);
   d_[j] -= count;
   real_ -= count;
+  update_active(j, was);
 }
 
 void Ledger::borrow(std::uint32_t j) {
   DLB_REQUIRE(j < classes(), "load class out of range");
   DLB_REQUIRE(d_[j] > 0, "borrow needs a real packet of the class");
   DLB_REQUIRE(b_[j] == 0, "at most one marker per class (paper, §4)");
+  // d + b goes 1 packet -> 1 marker: j stays active throughout.
   d_[j] -= 1;
   real_ -= 1;
   b_[j] += 1;
   borrowed_ += 1;
+  insert_sorted(marked_, j);
 }
 
 void Ledger::clear_marker(std::uint32_t j) {
   DLB_REQUIRE(j < classes(), "load class out of range");
   DLB_REQUIRE(b_[j] > 0, "no marker of this class to clear");
+  const bool was = is_active(j);
   b_[j] -= 1;
   borrowed_ -= 1;
+  if (b_[j] == 0) erase_sorted(marked_, j);
+  update_active(j, was);
 }
 
 void Ledger::repay_with_generation(std::uint32_t j) {
   DLB_REQUIRE(j < classes(), "load class out of range");
   DLB_REQUIRE(b_[j] > 0, "no outstanding debt of this class");
+  // Marker -> real packet: j stays active throughout.
   b_[j] -= 1;
   borrowed_ -= 1;
+  if (b_[j] == 0) erase_sorted(marked_, j);
   d_[j] += 1;
   real_ += 1;
+}
+
+void Ledger::set_d(std::uint32_t j, std::int64_t value) {
+  DLB_REQUIRE(j < classes(), "load class out of range");
+  DLB_REQUIRE(value >= 0, "negative real count");
+  const bool was = is_active(j);
+  real_ += value - d_[j];
+  d_[j] = value;
+  update_active(j, was);
+}
+
+void Ledger::set_b(std::uint32_t j, std::int64_t value) {
+  DLB_REQUIRE(j < classes(), "load class out of range");
+  DLB_REQUIRE(value == 0 || value == 1,
+              "marker counts are 0 or 1 (paper, §4)");
+  if (b_[j] == value) return;
+  const bool was = is_active(j);
+  borrowed_ += value - b_[j];
+  b_[j] = value;
+  if (value > 0) {
+    insert_sorted(marked_, j);
+  } else {
+    erase_sorted(marked_, j);
+  }
+  update_active(j, was);
+}
+
+void Ledger::apply_dealt(const std::uint32_t* cls, std::size_t k,
+                         const std::int64_t* d_vals,
+                         const std::int64_t* b_vals) {
+  DLB_REQUIRE(cls != nullptr || k == 0, "null class list");
+  active_merge_.clear();
+  marked_merge_.clear();
+  std::size_t ai = 0;
+  std::size_t mi = 0;
+  std::uint32_t prev = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    const std::uint32_t j = cls[c];
+    DLB_REQUIRE(j < classes(), "load class out of range");
+    DLB_REQUIRE(c == 0 || j > prev, "class list must be strictly ascending");
+    prev = j;
+    DLB_REQUIRE(d_vals[c] >= 0, "negative real count");
+    DLB_REQUIRE(b_vals[c] == 0 || b_vals[c] == 1,
+                "marker counts are 0 or 1 (paper, §4)");
+    // Carry over index entries for classes below j, then drop j's own
+    // (re-added below if it remains active/marked).
+    while (ai < active_.size() && active_[ai] < j)
+      active_merge_.push_back(active_[ai++]);
+    const bool was_active = ai < active_.size() && active_[ai] == j;
+    if (was_active) ++ai;
+    while (mi < marked_.size() && marked_[mi] < j)
+      marked_merge_.push_back(marked_[mi++]);
+    if (mi < marked_.size() && marked_[mi] == j) ++mi;
+    const bool now_active = d_vals[c] > 0 || b_vals[c] > 0;
+    // An inactive class has d[j] == b[j] == 0; when it stays zero the
+    // dense cells need not be touched at all (avoids pulling their cache
+    // lines in for nothing — the common case in sparse deals).
+    if (!was_active && !now_active) continue;
+    real_ += d_vals[c] - d_[j];
+    borrowed_ += b_vals[c] - b_[j];
+    d_[j] = d_vals[c];
+    b_[j] = b_vals[c];
+    if (now_active) active_merge_.push_back(j);
+    if (b_vals[c] > 0) marked_merge_.push_back(j);
+  }
+  while (ai < active_.size()) active_merge_.push_back(active_[ai++]);
+  while (mi < marked_.size()) marked_merge_.push_back(marked_[mi++]);
+  active_.swap(active_merge_);
+  marked_.swap(marked_merge_);
 }
 
 void Ledger::replace(std::vector<std::int64_t> d_new,
@@ -67,23 +171,50 @@ void Ledger::replace(std::vector<std::int64_t> d_new,
   b_ = std::move(b_new);
   real_ = real;
   borrowed_ = borrowed;
+  rebuild_indexes();
+}
+
+void Ledger::rebuild_indexes() {
+  active_.clear();
+  marked_.clear();
+  for (std::uint32_t j = 0; j < classes(); ++j) {
+    if (is_active(j)) active_.push_back(j);
+    if (b_[j] > 0) marked_.push_back(j);
+  }
 }
 
 std::uint32_t Ledger::first_marked_class() const {
-  for (std::uint32_t j = 0; j < classes(); ++j)
-    if (b_[j] > 0) return j;
-  return classes();
+  return marked_.empty() ? classes() : marked_.front();
 }
 
 void Ledger::check(std::uint32_t borrow_cap) const {
   std::int64_t real = 0;
   std::int64_t borrowed = 0;
+  std::size_t active_count = 0;
+  std::size_t marked_count = 0;
   for (std::size_t j = 0; j < d_.size(); ++j) {
     DLB_ENSURE(d_[j] >= 0, "negative real count");
     DLB_ENSURE(b_[j] >= 0, "negative marker count");
     real += d_[j];
     borrowed += b_[j];
+    const auto cls = static_cast<std::uint32_t>(j);
+    if (d_[j] > 0 || b_[j] > 0) {
+      DLB_ENSURE(active_count < active_.size() &&
+                     active_[active_count] == cls,
+                 "active-class index out of sync (L3)");
+      ++active_count;
+    }
+    if (b_[j] > 0) {
+      DLB_ENSURE(marked_count < marked_.size() &&
+                     marked_[marked_count] == cls,
+                 "marked-class index out of sync (L4)");
+      ++marked_count;
+    }
   }
+  DLB_ENSURE(active_count == active_.size(),
+             "stale entries in the active-class index (L3)");
+  DLB_ENSURE(marked_count == marked_.size(),
+             "stale entries in the marked-class index (L4)");
   DLB_ENSURE(real == real_, "cached real load out of sync (L1)");
   DLB_ENSURE(borrowed == borrowed_, "cached borrow total out of sync");
   DLB_ENSURE(borrowed_ <= static_cast<std::int64_t>(borrow_cap),

@@ -10,6 +10,18 @@
 // class maintains and can verify:
 //   (L1) real load of i  ==  sum_j d[j]        (tracked incrementally)
 //   (L2) sum_j b[j] <= C  and  b[j] in {0,1}   (the borrow cap)
+//
+// The dense d_/b_ arrays are the source of truth; alongside them the
+// ledger maintains two sparse indexes so the balancing hot path never
+// scans all n classes:
+//   (L3) active_classes() is exactly {j : d[j] > 0 || b[j] > 0}, sorted
+//        ascending, and
+//   (L4) marked_classes() is exactly {j : b[j] > 0}, sorted ascending
+//        (at most C entries by L2).
+// Ascending order matters: callers draw uniformly from these lists, and
+// the pre-sparse-path implementation enumerated candidates by scanning
+// j = 0..n-1 — keeping the same order keeps the RNG-to-class mapping (and
+// therefore the whole simulation) bit-identical.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +49,14 @@ class Ledger {
   /// bounds.
   std::int64_t virtual_load() const { return real_ + borrowed_; }
 
+  /// Classes with d[j] > 0 || b[j] > 0, ascending (L3).  The reference is
+  /// invalidated by any mutating call.
+  const std::vector<std::uint32_t>& active_classes() const { return active_; }
+
+  /// Classes with b[j] > 0, ascending (L4); at most C entries.  The
+  /// reference is invalidated by any mutating call.
+  const std::vector<std::uint32_t>& marked_classes() const { return marked_; }
+
   /// Adds `count` real packets of class j.
   void add_real(std::uint32_t j, std::int64_t count);
   /// Removes `count` real packets of class j (must be available).
@@ -55,28 +75,53 @@ class Ledger {
   /// against an outstanding debt).  Requires b[j] > 0.
   void repay_with_generation(std::uint32_t j);
 
-  /// Wholesale replacement used by the balancing operation's snake
-  /// redistribution.  Vectors must have size classes(); entries must be
-  /// non-negative and new b entries in {0,1}... b entries may exceed 1
-  /// transiently only if the previous state had them (never, by L2), so
-  /// {0,1} is enforced.
+  /// Sets d[j] to an absolute value (balancing write-back).  O(A) in the
+  /// active-class count; totals and indexes are maintained incrementally.
+  void set_d(std::uint32_t j, std::int64_t value);
+
+  /// Sets b[j] to an absolute value in {0, 1} (balancing write-back).
+  void set_b(std::uint32_t j, std::int64_t value);
+
+  /// Batch write-back for a balancing operation: assigns
+  /// d[cls[c]] = d_vals[c] and b[cls[c]] = b_vals[c] for c in [0, k).
+  /// `cls` must be sorted ascending with no duplicates; d values
+  /// non-negative, b values in {0, 1}.  The sparse indexes are updated in
+  /// one merge pass — O(A + k) total, instead of the O(A) per-class cost
+  /// of k individual set_d/set_b calls.
+  void apply_dealt(const std::uint32_t* cls, std::size_t k,
+                   const std::int64_t* d_vals, const std::int64_t* b_vals);
+
+  /// Wholesale replacement (checkpoint restore, tests).  Vectors must
+  /// have size classes(); entries must be non-negative and new b entries
+  /// in {0,1}.  O(n): totals and sparse indexes are rebuilt.
   void replace(std::vector<std::int64_t> d_new,
                std::vector<std::int64_t> b_new);
 
-  /// Smallest class index with b[j] > 0, or classes() if none.
+  /// Smallest class index with b[j] > 0, or classes() if none.  O(1).
   std::uint32_t first_marked_class() const;
 
-  /// Verifies L1/L2 and non-negativity; throws contract_error on failure.
+  /// Verifies L1-L4 and non-negativity; throws contract_error on failure.
   void check(std::uint32_t borrow_cap) const;
 
   const std::vector<std::int64_t>& d_vector() const { return d_; }
   const std::vector<std::int64_t>& b_vector() const { return b_; }
 
  private:
+  bool is_active(std::uint32_t j) const { return d_[j] > 0 || b_[j] > 0; }
+  // Reconciles j's membership in active_ with the dense arrays; `was`
+  // is j's activity before the mutation.
+  void update_active(std::uint32_t j, bool was);
+  void rebuild_indexes();
+
   std::vector<std::int64_t> d_;
   std::vector<std::int64_t> b_;
   std::int64_t real_ = 0;
   std::int64_t borrowed_ = 0;
+  std::vector<std::uint32_t> active_;
+  std::vector<std::uint32_t> marked_;
+  // Merge buffers for apply_dealt (kept to avoid per-call allocation).
+  std::vector<std::uint32_t> active_merge_;
+  std::vector<std::uint32_t> marked_merge_;
 };
 
 }  // namespace dlb

@@ -50,19 +50,70 @@ std::size_t snake_redistribute(
   return ptr;
 }
 
-std::uint64_t count_moves(
-    const std::vector<std::vector<std::int64_t>>& before,
-    const std::vector<std::vector<std::int64_t>>& after) {
-  DLB_REQUIRE(before.size() == after.size(), "matrix shape mismatch");
-  std::uint64_t moves = 0;
-  for (std::size_t p = 0; p < before.size(); ++p) {
-    DLB_REQUIRE(before[p].size() == after[p].size(), "matrix shape mismatch");
-    for (std::size_t j = 0; j < before[p].size(); ++j) {
-      const std::int64_t diff = after[p][j] - before[p][j];
-      if (diff > 0) moves += static_cast<std::uint64_t>(diff);
+std::size_t snake_redistribute(std::int64_t* counts, std::size_t rows,
+                               std::size_t columns,
+                               const SnakeCompactOptions& options) {
+  DLB_REQUIRE(counts != nullptr, "null compact count matrix");
+  DLB_REQUIRE(rows >= 1, "snake_redistribute needs participants");
+  DLB_REQUIRE(options.start < rows, "dealing start out of range");
+
+  // Old column values for the flow accounting; rows is tiny (delta + 1)
+  // so a fixed-capacity stack buffer would also do, but delta is
+  // unbounded by the API.
+  std::vector<std::int64_t> old_col(options.flows != nullptr ? rows : 0);
+
+  std::size_t ptr = options.start;
+  for (std::size_t c = 0; c < columns; ++c) {
+    const std::size_t skip = options.excluded_row_per_column
+                                 ? options.excluded_row_per_column[c]
+                                 : static_cast<std::size_t>(-1);
+    std::int64_t pool = 0;
+    std::size_t dealt_to = 0;
+    for (std::size_t p = 0; p < rows; ++p) {
+      const std::int64_t v = counts[p * columns + c];
+      if (options.flows != nullptr) old_col[p] = v;
+      if (p == skip) continue;
+      DLB_REQUIRE(v >= 0, "negative packet count");
+      pool += v;
+      ++dealt_to;
+    }
+    if (dealt_to == 0) continue;  // every participant excluded (rows==1)
+    const std::int64_t base = pool / static_cast<std::int64_t>(dealt_to);
+    std::int64_t remainder = pool % static_cast<std::int64_t>(dealt_to);
+    for (std::size_t p = 0; p < rows; ++p) {
+      if (p == skip) continue;
+      counts[p * columns + c] = base;
+    }
+    while (remainder > 0) {
+      if (ptr != skip) {
+        counts[ptr * columns + c] += 1;
+        --remainder;
+      }
+      ptr = (ptr + 1) % rows;
+    }
+
+    if (options.flows == nullptr) continue;
+    // Delta accounting: greedily match this column's surplus rows to its
+    // deficit rows, both sides scanned in ascending row order — the same
+    // matching (and therefore the same flow sequence) the dense
+    // before/after diff used to produce.
+    std::size_t give = 0;
+    std::size_t take = 0;
+    while (true) {
+      while (give < rows && counts[give * columns + c] >= old_col[give])
+        ++give;
+      while (take < rows && counts[take * columns + c] <= old_col[take])
+        ++take;
+      if (give >= rows || take >= rows) break;
+      const std::int64_t lost = old_col[give] - counts[give * columns + c];
+      const std::int64_t gained = counts[take * columns + c] - old_col[take];
+      const std::int64_t amount = lost < gained ? lost : gained;
+      options.flows->on_flow(c, give, take, amount);
+      old_col[give] -= amount;
+      old_col[take] += amount;
     }
   }
-  return moves;
+  return ptr;
 }
 
 }  // namespace dlb

@@ -11,6 +11,17 @@
 // each participant receives floor(R/m) or ceil(R/m) extras — which is
 // exactly (S2), while each class individually satisfies (S1) by
 // construction.  (Property-tested in tests/core/snake_test.cpp.)
+//
+// Two entry points share that dealing logic:
+//   * the dense overload takes an m x n matrix over every load class —
+//     the reference implementation, kept for tests and small callers;
+//   * the compact overload takes a flat row-major m x k matrix whose k
+//     columns are an arbitrary (ascending) subset of the classes — the
+//     balancing hot path passes only the classes actually populated by
+//     some participant.  A column that is all zero never advances the
+//     circulating pointer (its pool and remainder are zero), so dealing
+//     over the nonzero subset is bit-identical to dealing over all n
+//     classes.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +45,34 @@ struct SnakeOptions {
   const std::vector<std::size_t>* excluded_participant_per_class = nullptr;
 };
 
+/// Receives the per-column packet flows of a compact deal: after each
+/// column is dealt, its surplus rows are greedily matched (both sides in
+/// ascending row order) against its deficit rows and each resulting flow
+/// is reported once.  This is the delta accounting that replaced the
+/// before/after matrix diff (count_moves): the flows are computed during
+/// the deal, so callers need no pre-deal copy of the matrix.
+class SnakeFlowSink {
+ public:
+  virtual ~SnakeFlowSink() = default;
+  /// `amount` (> 0) packets of column `col`'s class move from participant
+  /// row `from` to participant row `to`.
+  virtual void on_flow(std::size_t col, std::size_t from, std::size_t to,
+                       std::int64_t amount) = 0;
+};
+
+/// Options for the compact overload.
+struct SnakeCompactOptions {
+  /// Initial dealing position in [0, rows).
+  std::size_t start = 0;
+
+  /// [D7] per-column exclusion, SIZE_MAX = none; length = columns when
+  /// non-null.
+  const std::size_t* excluded_row_per_column = nullptr;
+
+  /// Optional flow observer (delta accounting during the deal).
+  SnakeFlowSink* flows = nullptr;
+};
+
 /// Redistributes counts[p][j] (participant p, class j) in place subject to
 /// (S1)/(S2).  All rows must have equal length; counts must be
 /// non-negative.  Returns the final dealing pointer (useful when chaining
@@ -42,9 +81,13 @@ struct SnakeOptions {
 std::size_t snake_redistribute(std::vector<std::vector<std::int64_t>>& counts,
                                const SnakeOptions& options = {});
 
-/// Number of packets that changed owner between `before` and `after`
-/// (counted at the receiving side); used for migration cost accounting.
-std::uint64_t count_moves(const std::vector<std::vector<std::int64_t>>& before,
-                          const std::vector<std::vector<std::int64_t>>& after);
+/// Compact overload: `counts` is a flat row-major `rows` x `columns`
+/// scratch matrix whose columns are the active-class subset.  Deals in
+/// place, reports flows through options.flows (if set), and returns the
+/// final dealing pointer.  Bit-identical to the dense overload restricted
+/// to the nonzero columns (see the header comment).
+std::size_t snake_redistribute(std::int64_t* counts, std::size_t rows,
+                               std::size_t columns,
+                               const SnakeCompactOptions& options);
 
 }  // namespace dlb

@@ -82,7 +82,14 @@ void System::step(std::uint32_t t, const std::vector<WorkEvent>& events) {
     if (events[p].generate) generate(p);
     if (events[p].consume) consume(p);
   }
-  if (recorder_ != nullptr) recorder_->on_loads(t, loads());
+  if (recorder_ != nullptr) {
+    // Reusable buffer: recorders only observe the loads for the duration
+    // of the call (see Recorder::on_loads), so no per-step allocation.
+    loads_scratch_.resize(processors());
+    for (std::uint32_t p = 0; p < processors(); ++p)
+      loads_scratch_[p] = procs_[p].ledger.real_load();
+    recorder_->on_loads(t, loads_scratch_);
+  }
 }
 
 void System::generate(std::uint32_t p) {
@@ -91,9 +98,9 @@ void System::generate(std::uint32_t p) {
   if (ledger.borrowed_total() > 0) {
     // Appendix generate path: a new packet is booked against an
     // outstanding debt (the marker becomes a real packet of its class).
-    std::vector<std::uint32_t> marked;
-    for (std::uint32_t j = 0; j < processors(); ++j)
-      if (ledger.b(j) > 0) marked.push_back(j);
+    // marked_classes() is ascending, matching the class order the dense
+    // scan produced, so the drawn index maps to the same class.
+    const std::vector<std::uint32_t>& marked = ledger.marked_classes();
     const std::uint32_t j =
         marked[static_cast<std::size_t>(rng_.below(marked.size()))];
     ledger.repay_with_generation(j);
@@ -120,11 +127,15 @@ bool System::consume(std::uint32_t p) {
 bool System::consume_via_borrow(std::uint32_t p) {
   Ledger& ledger = procs_[p].ledger;
   auto pick_borrowable = [&]() -> std::uint32_t {
-    std::vector<std::uint32_t> candidates;
-    for (std::uint32_t j = 0; j < processors(); ++j)
-      if (ledger.d(j) > 0 && ledger.b(j) == 0) candidates.push_back(j);
-    if (candidates.empty()) return processors();
-    return candidates[static_cast<std::size_t>(rng_.below(candidates.size()))];
+    // Candidates {j : d[j] > 0, b[j] == 0} enumerated over the active
+    // classes only — ascending, like the dense scan, so the drawn index
+    // maps to the same class.
+    candidate_classes_.clear();
+    for (std::uint32_t j : ledger.active_classes())
+      if (ledger.d(j) > 0 && ledger.b(j) == 0) candidate_classes_.push_back(j);
+    if (candidate_classes_.empty()) return processors();
+    return candidate_classes_[static_cast<std::size_t>(
+        rng_.below(candidate_classes_.size()))];
   };
 
   auto try_borrow = [&]() -> bool {
@@ -152,9 +163,7 @@ bool System::consume_via_borrow(std::uint32_t p) {
 
 void System::settle_debts(std::uint32_t p) {
   Ledger& ledger = procs_[p].ledger;
-  std::vector<std::uint32_t> marked;
-  for (std::uint32_t j = 0; j < processors(); ++j)
-    if (ledger.b(j) > 0) marked.push_back(j);
+  const std::vector<std::uint32_t>& marked = ledger.marked_classes();
   DLB_ENSURE(!marked.empty(), "settle_debts without outstanding markers");
   const std::uint32_t j =
       marked[static_cast<std::size_t>(rng_.below(marked.size()))];
@@ -193,13 +202,14 @@ void System::remote_exchange(std::uint32_t p, std::uint32_t j) {
     debtor.clear_marker(j);
     --to_clear;
   }
-  for (std::uint32_t k = 0; k < processors() && to_clear > 0; ++k) {
-    while (debtor.b(k) > 0 && to_clear > 0) {
-      debtor.clear_marker(k);
-      --to_clear;
-    }
+  // Remaining markers are cleared smallest class first, the order the
+  // dense ascending scan used.
+  while (to_clear > 0) {
+    const std::uint32_t k = debtor.first_marked_class();
+    DLB_ENSURE(k < processors(), "failed to clear the exchanged markers");
+    debtor.clear_marker(k);
+    --to_clear;
   }
-  DLB_ENSURE(to_clear == 0, "failed to clear the exchanged markers");
   // j's self-generated load dropped by x: simulate the workload decrease
   // (at most one balancing operation, as required by §4).
   emit_borrow_event(BorrowEvent::DecreaseSim);
@@ -261,6 +271,46 @@ void System::maybe_balance(std::uint32_t p) {
   balance(p, draw_partners(p));
 }
 
+namespace {
+
+// Streams the compact deal's per-column flows into the cost ledger and
+// recorder, and accumulates the per-row load deltas for the net-flow
+// accounting — the replacement for diffing a full before_d matrix copy.
+class BalanceFlowSink final : public SnakeFlowSink {
+ public:
+  BalanceFlowSink(CostLedger& costs, Recorder* recorder,
+                  const std::vector<ProcId>& participants,
+                  std::vector<std::int64_t>& row_delta)
+      : costs_(costs),
+        recorder_(recorder),
+        participants_(participants),
+        row_delta_(row_delta) {}
+
+  void on_flow(std::size_t col, std::size_t from, std::size_t to,
+               std::int64_t amount) override {
+    (void)col;
+    costs_.record_migration(participants_[from], participants_[to],
+                            static_cast<std::uint64_t>(amount));
+    if (recorder_ != nullptr)
+      recorder_->on_migration(participants_[from], participants_[to],
+                              static_cast<std::uint64_t>(amount));
+    moves_ += static_cast<std::uint64_t>(amount);
+    row_delta_[from] -= amount;
+    row_delta_[to] += amount;
+  }
+
+  std::uint64_t moves() const { return moves_; }
+
+ private:
+  CostLedger& costs_;
+  Recorder* recorder_;
+  const std::vector<ProcId>& participants_;
+  std::vector<std::int64_t>& row_delta_;
+  std::uint64_t moves_ = 0;
+};
+
+}  // namespace
+
 void System::balance(std::uint32_t initiator,
                      const std::vector<ProcId>& partners) {
   const std::uint32_t n = processors();
@@ -273,70 +323,74 @@ void System::balance(std::uint32_t initiator,
   }
   const std::size_t m = participants.size();
 
-  // Gather the participants' ledgers into the scratch matrices.
-  scratch_d_.assign(m, {});
-  scratch_b_.assign(m, {});
+  // Union of the participants' active classes, ascending.  Classes
+  // outside the union are zero in every participant's ledger: dealing
+  // them would move nothing and never advance the snake pointer, so
+  // restricting the deal to the union is bit-identical to dealing over
+  // all n classes.
+  union_classes_.clear();
   for (std::size_t r = 0; r < m; ++r) {
-    scratch_d_[r] = procs_[participants[r]].ledger.d_vector();
-    scratch_b_[r] = procs_[participants[r]].ledger.b_vector();
+    const auto& active = procs_[participants[r]].ledger.active_classes();
+    if (r == 0) {
+      union_classes_.assign(active.begin(), active.end());
+      continue;
+    }
+    // Each active list is already sorted, so the union is a linear merge.
+    union_scratch_.clear();
+    std::set_union(union_classes_.begin(), union_classes_.end(),
+                   active.begin(), active.end(),
+                   std::back_inserter(union_scratch_));
+    union_classes_.swap(union_scratch_);
   }
-  const std::vector<std::vector<std::int64_t>> before_d = scratch_d_;
+  const std::size_t k = union_classes_.size();
+
+  // Gather the participants' ledgers into the compact scratch matrices.
+  // Walking each participant's active list (rather than indexing all k
+  // union columns) touches only the nonzero dense cells — the rest of the
+  // scratch row is zero-filled sequentially.
+  scratch_d_.assign(m * k, 0);
+  scratch_b_.assign(m * k, 0);
+  for (std::size_t r = 0; r < m; ++r) {
+    const Ledger& ledger = procs_[participants[r]].ledger;
+    std::size_t c = 0;
+    for (std::uint32_t j : ledger.active_classes()) {
+      while (union_classes_[c] < j) ++c;  // j is in the union by construction
+      scratch_d_[r * k + c] = ledger.d(j);
+      scratch_b_[r * k + c] = ledger.b(j);
+    }
+  }
 
   // [D7] analysis mode: a non-initiating participant's own class is dealt
   // only among the other participants.
-  std::vector<std::size_t> excluded;
-  SnakeOptions opts;
+  SnakeCompactOptions opts;
   opts.start = static_cast<std::size_t>(rng_.below(m));
   if (config_.analysis_mode) {
-    excluded.assign(n, static_cast<std::size_t>(-1));
+    excluded_cols_.assign(k, static_cast<std::size_t>(-1));
     for (std::size_t r = 0; r < m; ++r) {
-      if (participants[r] != initiator)
-        excluded[participants[r]] = r;
+      if (participants[r] == initiator) continue;
+      const auto it = std::lower_bound(union_classes_.begin(),
+                                       union_classes_.end(), participants[r]);
+      if (it != union_classes_.end() && *it == participants[r])
+        excluded_cols_[static_cast<std::size_t>(
+            it - union_classes_.begin())] = r;
     }
-    opts.excluded_participant_per_class = &excluded;
+    opts.excluded_row_per_column = excluded_cols_.data();
   }
-  SnakeOptions marker_opts = opts;
-  marker_opts.start = snake_redistribute(scratch_d_, opts);
-  snake_redistribute(scratch_b_, marker_opts);
 
-  // Hop-accurate migration accounting: per class, greedily match surplus
-  // participants to deficit participants.
-  std::uint64_t moves = 0;
-  std::vector<std::int64_t> delta(m);
-  for (std::uint32_t j = 0; j < n; ++j) {
-    std::size_t give = 0;
-    std::size_t take = 0;
-    for (std::size_t r = 0; r < m; ++r)
-      delta[r] = scratch_d_[r][j] - before_d[r][j];
-    while (true) {
-      while (give < m && delta[give] >= 0) ++give;
-      while (take < m && delta[take] <= 0) ++take;
-      if (give >= m || take >= m) break;
-      const std::int64_t amount = std::min(-delta[give], delta[take]);
-      costs_.record_migration(participants[give], participants[take],
-                              static_cast<std::uint64_t>(amount));
-      if (recorder_ != nullptr)
-        recorder_->on_migration(participants[give], participants[take],
-                                static_cast<std::uint64_t>(amount));
-      moves += static_cast<std::uint64_t>(amount);
-      delta[give] += amount;
-      delta[take] -= amount;
-    }
-  }
+  row_delta_.assign(m, 0);
+  BalanceFlowSink flows(costs_, recorder_, participants, row_delta_);
+  opts.flows = &flows;
+  SnakeCompactOptions marker_opts = opts;
+  marker_opts.flows = nullptr;  // marker moves are not migration traffic
+  marker_opts.start = snake_redistribute(scratch_d_.data(), m, k, opts);
+  snake_redistribute(scratch_b_.data(), m, k, marker_opts);
 
   // Net physical flow: positive row-total changes (what a label-free
-  // implementation would actually ship).
+  // implementation would actually ship), accumulated from the flows.
   std::uint64_t net_moves = 0;
-  for (std::size_t r = 0; r < m; ++r) {
-    std::int64_t before_total = 0;
-    std::int64_t after_total = 0;
-    for (std::uint32_t j = 0; j < n; ++j) {
-      before_total += before_d[r][j];
-      after_total += scratch_d_[r][j];
-    }
-    if (after_total > before_total)
-      net_moves += static_cast<std::uint64_t>(after_total - before_total);
-  }
+  for (std::size_t r = 0; r < m; ++r)
+    if (row_delta_[r] > 0)
+      net_moves += static_cast<std::uint64_t>(row_delta_[r]);
   costs_.record_net_migration(net_moves);
 
   // Write back; every participant's local clock ticks and its trigger
@@ -344,7 +398,9 @@ void System::balance(std::uint32_t initiator,
   // operations initiated by each participant).
   for (std::size_t r = 0; r < m; ++r) {
     ProcessorState& st = procs_[participants[r]];
-    st.ledger.replace(std::move(scratch_d_[r]), std::move(scratch_b_[r]));
+    st.ledger.apply_dealt(union_classes_.data(), k,
+                          scratch_d_.data() + r * k,
+                          scratch_b_.data() + r * k);
     st.l_old = st.ledger.d(participants[r]);
     ++st.local_time;
   }
@@ -352,7 +408,7 @@ void System::balance(std::uint32_t initiator,
   ++balance_ops_;
   costs_.record_operation(initiator, partners.size());
   if (recorder_ != nullptr)
-    recorder_->on_balance_op(initiator, partners.size(), moves);
+    recorder_->on_balance_op(initiator, partners.size(), flows.moves());
 
   // [D6] markers of a participant's own class are settled on the spot.
   for (std::size_t r = 0; r < m; ++r) cancel_self_markers(participants[r]);
@@ -379,7 +435,7 @@ void System::check_invariants() const {
   std::int64_t total = 0;
   for (std::uint32_t p = 0; p < processors(); ++p) {
     procs_[p].ledger.check(config_.borrow_cap);
-    for (std::uint32_t j = 0; j < processors(); ++j) {
+    for (std::uint32_t j : procs_[p].ledger.marked_classes()) {
       DLB_ENSURE(procs_[p].ledger.b(j) <= 1,
                  "more than one marker per class");
     }

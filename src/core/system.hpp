@@ -152,9 +152,19 @@ class System {
   std::uint64_t consumed_ = 0;
   std::uint64_t balance_ops_ = 0;
   std::optional<unsigned> partner_radius_;
-  // Scratch buffers reused across balancing operations.
-  std::vector<std::vector<std::int64_t>> scratch_d_;
-  std::vector<std::vector<std::int64_t>> scratch_b_;
+  // Scratch buffers reused across balancing operations.  A balancing
+  // operation works on compact row-major (delta+1) x k matrices whose k
+  // columns are union_classes_ — the union of the participants' active
+  // classes — instead of full (delta+1) x n matrices, making its cost
+  // O((delta+1) * k) rather than O((delta+1) * n).
+  std::vector<std::int64_t> scratch_d_;
+  std::vector<std::int64_t> scratch_b_;
+  std::vector<std::uint32_t> union_classes_;
+  std::vector<std::uint32_t> union_scratch_;
+  std::vector<std::size_t> excluded_cols_;
+  std::vector<std::int64_t> row_delta_;
+  std::vector<std::uint32_t> candidate_classes_;
+  std::vector<std::int64_t> loads_scratch_;
 };
 
 }  // namespace dlb

@@ -47,6 +47,8 @@ class Recorder {
   virtual void end_run() {}
 
   /// Called once per global step with the real load of every processor.
+  /// `loads` may reference a buffer the caller reuses across steps:
+  /// observe or copy during the call, never retain the reference.
   virtual void on_loads(std::uint32_t t,
                         const std::vector<std::int64_t>& loads) {
     (void)t;

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "support/check.hpp"
+#include "support/rng.hpp"
 
 namespace dlb {
 namespace {
@@ -113,6 +117,98 @@ TEST(Ledger, OutOfRangeClassThrows) {
   Ledger ledger(2);
   EXPECT_THROW(ledger.add_real(2, 1), contract_error);
   EXPECT_THROW(ledger.borrow(5), contract_error);
+}
+
+// ---- Sparse-index property test ----------------------------------------
+//
+// The incrementally maintained indexes must stay consistent with the dense
+// arrays under any interleaving of mutators:
+//   (L3) active_classes() == { j : d[j] > 0 || b[j] > 0 }, ascending;
+//   (L4) marked_classes() == { j : b[j] > 0 }, ascending.
+// Exercises every mutator (add/remove/borrow/clear/repay/set_d/set_b/
+// replace) against a dense reference model with randomized operations.
+
+void expect_indexes_match_dense(const Ledger& ledger, std::uint32_t classes) {
+  std::vector<std::uint32_t> want_active;
+  std::vector<std::uint32_t> want_marked;
+  for (std::uint32_t j = 0; j < classes; ++j) {
+    if (ledger.d(j) > 0 || ledger.b(j) > 0) want_active.push_back(j);
+    if (ledger.b(j) > 0) want_marked.push_back(j);
+  }
+  EXPECT_EQ(ledger.active_classes(), want_active);
+  EXPECT_EQ(ledger.marked_classes(), want_marked);
+}
+
+TEST(LedgerProperty, SparseIndexesTrackDenseArraysUnderRandomOps) {
+  constexpr std::uint32_t kClasses = 24;
+  constexpr std::uint32_t kCap = 6;
+  Rng rng(0x1eadbeef);
+  Ledger ledger(kClasses);
+  for (int op = 0; op < 4000; ++op) {
+    const auto j = static_cast<std::uint32_t>(rng.below(kClasses));
+    switch (rng.below(8)) {
+      case 0:
+        ledger.add_real(j, 1 + static_cast<std::int64_t>(rng.below(3)));
+        break;
+      case 1:
+        if (ledger.d(j) > 0)
+          ledger.remove_real(
+              j, 1 + static_cast<std::int64_t>(
+                         rng.below(static_cast<std::uint64_t>(ledger.d(j)))));
+        break;
+      case 2:
+        if (ledger.d(j) > 0 && ledger.b(j) == 0 &&
+            ledger.borrowed_total() < kCap)
+          ledger.borrow(j);
+        break;
+      case 3:
+        if (ledger.b(j) > 0) ledger.clear_marker(j);
+        break;
+      case 4:
+        if (ledger.b(j) > 0) ledger.repay_with_generation(j);
+        break;
+      case 5:
+        ledger.set_d(j, static_cast<std::int64_t>(rng.below(4)));
+        break;
+      case 6:
+        ledger.set_b(j, ledger.b(j) == 0 && ledger.borrowed_total() < kCap
+                            ? 1
+                            : 0);
+        break;
+      case 7: {
+        // Full replace with a fresh random state (the checkpoint path).
+        std::vector<std::int64_t> d(kClasses);
+        std::vector<std::int64_t> b(kClasses);
+        std::int64_t markers = 0;
+        for (std::uint32_t c = 0; c < kClasses; ++c) {
+          d[c] = static_cast<std::int64_t>(rng.below(3));
+          if (markers < kCap && rng.below(4) == 0) {
+            b[c] = 1;
+            ++markers;
+          }
+        }
+        ledger.replace(std::move(d), std::move(b));
+        break;
+      }
+    }
+    ledger.check(kCap);
+    expect_indexes_match_dense(ledger, kClasses);
+  }
+}
+
+TEST(LedgerProperty, FirstMarkedClassMatchesMarkedListHead) {
+  Ledger ledger(8);
+  EXPECT_EQ(ledger.first_marked_class(), 8u);
+  ledger.add_real(5, 2);
+  ledger.add_real(2, 1);
+  ledger.borrow(5);
+  EXPECT_EQ(ledger.first_marked_class(), 5u);
+  ledger.borrow(2);
+  EXPECT_EQ(ledger.first_marked_class(), 2u);
+  ledger.clear_marker(2);
+  EXPECT_EQ(ledger.first_marked_class(), 5u);
+  ledger.clear_marker(5);
+  EXPECT_EQ(ledger.first_marked_class(), 8u);
 }
 
 }  // namespace

@@ -64,12 +64,61 @@ TEST(Snake, ConservesEveryClass) {
   expect_s1_s2(counts);
 }
 
+// Captures on_flow callbacks for inspection.
+struct RecordingSink final : SnakeFlowSink {
+  struct Flow {
+    std::size_t col;
+    std::size_t from;
+    std::size_t to;
+    std::int64_t amount;
+    bool operator==(const Flow& o) const {
+      return col == o.col && from == o.from && to == o.to &&
+             amount == o.amount;
+    }
+  };
+  std::vector<Flow> flows;
+  std::uint64_t total = 0;
+
+  void on_flow(std::size_t col, std::size_t from, std::size_t to,
+               std::int64_t amount) override {
+    flows.push_back({col, from, to, amount});
+    total += static_cast<std::uint64_t>(amount);
+  }
+};
+
+// Runs the compact overload on a copy of `m`, returning the flat result,
+// the continuation pointer and the recorded flows.
+struct CompactRun {
+  std::vector<std::int64_t> counts;
+  std::size_t ptr;
+  RecordingSink sink;
+};
+
+CompactRun run_compact(const Matrix& m, std::size_t start,
+                       const std::vector<std::size_t>* excluded = nullptr) {
+  CompactRun out;
+  const std::size_t rows = m.size();
+  const std::size_t cols = m[0].size();
+  out.counts.reserve(rows * cols);
+  for (const auto& row : m)
+    out.counts.insert(out.counts.end(), row.begin(), row.end());
+  SnakeCompactOptions opts;
+  opts.start = start;
+  opts.flows = &out.sink;
+  if (excluded != nullptr) opts.excluded_row_per_column = excluded->data();
+  out.ptr = snake_redistribute(out.counts.data(), rows, cols, opts);
+  return out;
+}
+
 TEST(Snake, AlreadyBalancedIsStable) {
   Matrix counts{{2, 2}, {2, 2}, {2, 2}};
   const Matrix before = counts;
   snake_redistribute(counts);
   EXPECT_EQ(counts, before);
-  EXPECT_EQ(count_moves(before, counts), 0u);
+  // ... and the compact deal reports no flows on balanced input.
+  const CompactRun run = run_compact(before, 0);
+  EXPECT_TRUE(run.sink.flows.empty());
+  EXPECT_EQ(run.sink.total, 0u);
 }
 
 TEST(Snake, SingleParticipantIsIdentity) {
@@ -130,14 +179,52 @@ TEST(Snake, RejectsBadInputs) {
   EXPECT_THROW(snake_redistribute(ok, opts), contract_error);
 }
 
-TEST(CountMoves, CountsReceivedPackets) {
+TEST(SnakeFlows, ReportsReceivedPackets) {
+  // {4,0} / {0,2} with start 0 deals class 0 as 2/2 and class 1 as 1/1:
+  // 2 class-0 packets flow row0 -> row1 and 1 class-1 packet row1 -> row0.
   const Matrix before{{4, 0}, {0, 2}};
-  const Matrix after{{2, 1}, {2, 1}};
-  EXPECT_EQ(count_moves(before, after), 3u);  // +2 class0 row1, +1 class1 row0
+  const CompactRun run = run_compact(before, 0);
+  ASSERT_EQ(run.sink.flows.size(), 2u);
+  EXPECT_EQ(run.sink.flows[0], (RecordingSink::Flow{0, 0, 1, 2}));
+  EXPECT_EQ(run.sink.flows[1], (RecordingSink::Flow{1, 1, 0, 1}));
+  EXPECT_EQ(run.sink.total, 3u);
 }
 
-TEST(CountMoves, ShapeMismatchThrows) {
-  EXPECT_THROW(count_moves({{1}}, {{1}, {2}}), contract_error);
+TEST(SnakeFlows, CompactRejectsBadInputs) {
+  std::vector<std::int64_t> counts{1, 2};
+  SnakeCompactOptions opts;
+  EXPECT_THROW(snake_redistribute(nullptr, 1, 2, opts), contract_error);
+  EXPECT_THROW(snake_redistribute(counts.data(), 0, 2, opts), contract_error);
+  opts.start = 3;
+  EXPECT_THROW(snake_redistribute(counts.data(), 2, 1, opts), contract_error);
+  opts.start = 0;
+  counts[0] = -1;
+  EXPECT_THROW(snake_redistribute(counts.data(), 2, 1, opts), contract_error);
+}
+
+// All-zero columns must be invisible to the deal: same results for the
+// surviving columns, same continuation pointer, same flows.  This is the
+// property System::balance relies on when it restricts the deal to the
+// union of the participants' active classes.
+TEST(SnakeFlows, ZeroColumnsDoNotAffectDealOrPointer) {
+  const Matrix dense{{0, 4, 0, 0, 1}, {0, 0, 0, 2, 0}, {0, 7, 0, 0, 0}};
+  const Matrix compact{{4, 0, 1}, {0, 2, 0}, {7, 0, 0}};  // columns 1, 3, 4
+  const std::vector<std::size_t> col_map{1, 3, 4};
+  for (std::size_t start = 0; start < 3; ++start) {
+    const CompactRun dense_run = run_compact(dense, start);
+    const CompactRun compact_run = run_compact(compact, start);
+    EXPECT_EQ(dense_run.ptr, compact_run.ptr) << "start " << start;
+    ASSERT_EQ(dense_run.sink.flows.size(), compact_run.sink.flows.size());
+    for (std::size_t i = 0; i < dense_run.sink.flows.size(); ++i) {
+      RecordingSink::Flow mapped = compact_run.sink.flows[i];
+      mapped.col = col_map[mapped.col];
+      EXPECT_EQ(dense_run.sink.flows[i], mapped) << "flow " << i;
+    }
+    for (std::size_t r = 0; r < 3; ++r)
+      for (std::size_t c = 0; c < 3; ++c)
+        EXPECT_EQ(dense_run.counts[r * 5 + col_map[c]],
+                  compact_run.counts[r * 3 + c]);
+  }
 }
 
 // ---- Property sweep: random matrices, all sizes ------------------------
@@ -161,10 +248,25 @@ TEST_P(SnakeProperty, S1AndS2HoldAndMassIsConserved) {
   const Matrix before = counts;
   SnakeOptions opts;
   opts.start = static_cast<std::size_t>(rng.below(param.participants));
-  snake_redistribute(counts, opts);
+  const std::size_t dense_ptr = snake_redistribute(counts, opts);
   for (std::size_t j = 0; j < param.classes; ++j)
     EXPECT_EQ(column_total(counts, j), column_total(before, j));
   expect_s1_s2(counts);
+
+  // The compact overload must agree cell-for-cell with the dense one, hand
+  // back the same continuation pointer, and report flows whose total
+  // matches the packets actually received.
+  const CompactRun run = run_compact(before, opts.start);
+  EXPECT_EQ(run.ptr, dense_ptr);
+  std::uint64_t received = 0;
+  for (std::size_t r = 0; r < param.participants; ++r)
+    for (std::size_t j = 0; j < param.classes; ++j) {
+      EXPECT_EQ(run.counts[r * param.classes + j], counts[r][j]);
+      if (run.counts[r * param.classes + j] > before[r][j])
+        received += static_cast<std::uint64_t>(
+            run.counts[r * param.classes + j] - before[r][j]);
+    }
+  EXPECT_EQ(run.sink.total, received);
 }
 
 // Exclusion ([D7]) property sweep: excluded rows keep their class count,
@@ -191,7 +293,14 @@ TEST_P(SnakeExclusionProperty, ExcludedRowsUntouchedAndMassConserved) {
   SnakeOptions opts;
   opts.start = static_cast<std::size_t>(rng.below(param.participants));
   opts.excluded_participant_per_class = &excluded;
-  snake_redistribute(counts, opts);
+  const std::size_t dense_ptr = snake_redistribute(counts, opts);
+
+  // Dense/compact agreement under exclusions as well.
+  const CompactRun run = run_compact(before, opts.start, &excluded);
+  EXPECT_EQ(run.ptr, dense_ptr);
+  for (std::size_t r = 0; r < param.participants; ++r)
+    for (std::size_t j = 0; j < param.classes; ++j)
+      EXPECT_EQ(run.counts[r * param.classes + j], counts[r][j]);
 
   for (std::size_t j = 0; j < param.classes; ++j) {
     EXPECT_EQ(column_total(counts, j), column_total(before, j));

@@ -1,0 +1,144 @@
+// Determinism gate for the sparse-class fast path.
+//
+// The balancing hot path is allowed to change its internal bookkeeping
+// (compact active-class views instead of dense O(n) scans) only if the
+// simulation stays bit-identical: same RNG draw sequence, same packet
+// movements, same costs.  These tests pin that down twice over:
+//   1. a (seed, workload) pair run twice must produce identical load
+//      vectors, operation counts, cost totals and full ledger state;
+//   2. the same runs must match golden values recorded from the dense
+//      reference implementation (the pre-sparse-path simulator), at both
+//      n = 64 (the paper's size) and n = 1024 (the scaling target).
+// A mismatch here means the optimization changed observable behaviour —
+// which the §4 analysis (and every EXPERIMENTS.md number) forbids.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace dlb {
+namespace {
+
+struct RunSummary {
+  std::vector<std::int64_t> loads;
+  std::uint64_t balance_ops = 0;
+  std::uint64_t generated = 0;
+  std::uint64_t consumed = 0;
+  CostTotals costs;
+  // FNV-1a over every ledger cell (d and b), l_old and local_time of
+  // every processor — the full observable simulator state.
+  std::uint64_t state_hash = 0;
+};
+
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xffu;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+RunSummary run_paper_workload(std::uint32_t n, std::uint32_t steps,
+                              std::uint64_t seed) {
+  BalancerConfig cfg;
+  cfg.f = 1.1;
+  cfg.delta = 4;
+  cfg.borrow_cap = 4;
+  System sys(n, cfg, seed);
+  Rng wl_rng(seed ^ 0x9e3779b97f4a7c15ull);
+  sys.run(Workload::paper_benchmark(n, steps, WorkloadParams{}, wl_rng));
+  sys.check_invariants();
+
+  RunSummary out;
+  out.loads = sys.loads();
+  out.balance_ops = sys.balance_operations();
+  out.generated = sys.total_generated();
+  out.consumed = sys.total_consumed();
+  out.costs = sys.costs().totals();
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    const ProcessorState& st = sys.processor(p);
+    h = fnv1a(h, static_cast<std::uint64_t>(st.l_old));
+    h = fnv1a(h, st.local_time);
+    for (std::uint32_t j = 0; j < n; ++j) {
+      h = fnv1a(h, static_cast<std::uint64_t>(st.ledger.d(j)));
+      h = fnv1a(h, static_cast<std::uint64_t>(st.ledger.b(j)));
+    }
+  }
+  out.state_hash = h;
+  return out;
+}
+
+void expect_identical(const RunSummary& a, const RunSummary& b) {
+  EXPECT_EQ(a.loads, b.loads);
+  EXPECT_EQ(a.balance_ops, b.balance_ops);
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.consumed, b.consumed);
+  EXPECT_EQ(a.costs.balance_ops, b.costs.balance_ops);
+  EXPECT_EQ(a.costs.messages, b.costs.messages);
+  EXPECT_EQ(a.costs.packets_moved, b.costs.packets_moved);
+  EXPECT_EQ(a.costs.packets_moved_net, b.costs.packets_moved_net);
+  EXPECT_EQ(a.costs.packet_hops, b.costs.packet_hops);
+  EXPECT_EQ(a.costs.partner_links, b.costs.partner_links);
+  EXPECT_EQ(a.state_hash, b.state_hash);
+}
+
+// The summaries are reused by the golden tests below; computing each
+// workload once keeps the suite fast at n = 1024.
+const RunSummary& summary64() {
+  static const RunSummary s = run_paper_workload(64, 400, 1993);
+  return s;
+}
+
+const RunSummary& summary1024() {
+  static const RunSummary s = run_paper_workload(1024, 100, 1993);
+  return s;
+}
+
+TEST(Determinism, PaperWorkload64RunsTwiceIdentically) {
+  expect_identical(summary64(), run_paper_workload(64, 400, 1993));
+}
+
+TEST(Determinism, PaperWorkload1024RunsTwiceIdentically) {
+  expect_identical(summary1024(), run_paper_workload(1024, 100, 1993));
+}
+
+// Golden values recorded from the dense reference implementation (the
+// simulator before the sparse-class fast path).  Any drift here means the
+// optimization changed packet movements or the RNG draw sequence.
+TEST(Determinism, GoldenTrace64) {
+  const RunSummary& s = summary64();
+  std::int64_t load_sum = 0;
+  for (std::int64_t l : s.loads) load_sum += l;
+  EXPECT_EQ(load_sum, static_cast<std::int64_t>(s.generated) -
+                          static_cast<std::int64_t>(s.consumed));
+  EXPECT_EQ(s.balance_ops, 9484ull);
+  EXPECT_EQ(s.generated, 12990ull);
+  EXPECT_EQ(s.consumed, 10444ull);
+  EXPECT_EQ(s.costs.packets_moved, 425427ull);
+  EXPECT_EQ(s.costs.packets_moved_net, 14016ull);
+  EXPECT_EQ(s.costs.messages, 75872ull);
+  EXPECT_EQ(s.costs.partner_links, 37936ull);
+  EXPECT_EQ(s.state_hash, 1213408750952030548ull);
+}
+
+TEST(Determinism, GoldenTrace1024) {
+  const RunSummary& s = summary1024();
+  std::int64_t load_sum = 0;
+  for (std::int64_t l : s.loads) load_sum += l;
+  EXPECT_EQ(load_sum, static_cast<std::int64_t>(s.generated) -
+                          static_cast<std::int64_t>(s.consumed));
+  EXPECT_EQ(s.balance_ops, 16206ull);
+  EXPECT_EQ(s.generated, 51108ull);
+  EXPECT_EQ(s.consumed, 39832ull);
+  EXPECT_EQ(s.costs.packets_moved, 356702ull);
+  EXPECT_EQ(s.costs.packets_moved_net, 33110ull);
+  EXPECT_EQ(s.costs.messages, 129648ull);
+  EXPECT_EQ(s.costs.partner_links, 64824ull);
+  EXPECT_EQ(s.state_hash, 8698541309493278188ull);
+}
+
+}  // namespace
+}  // namespace dlb

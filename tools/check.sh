@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Full local gate: build + test the release preset, then again under
+# ASan/UBSan.  Run from the repository root:
+#
+#   tools/check.sh            # both presets
+#   tools/check.sh default    # release only
+#   tools/check.sh asan       # sanitizers only
+set -eu
+
+cd "$(dirname "$0")/.."
+
+presets="${1:-default asan}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+for preset in $presets; do
+  echo "==> preset: $preset"
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$jobs"
+  ctest --preset "$preset"
+done
+
+echo "==> all checks passed"
