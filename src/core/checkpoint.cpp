@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "support/check.hpp"
 
@@ -11,7 +12,12 @@ namespace dlb {
 
 namespace {
 constexpr const char* kMagic = "dlb-checkpoint";
-constexpr int kVersion = 1;
+// Version 2: sparse ledgers.  Each processor stores its active-entry
+// count followed by ascending (class, d, b) triples — O(active) bytes
+// per processor instead of the version-1 dense 2n-cell rows, which at
+// n = 65536 would be ~2.5 GB of text per checkpoint.  Version 1 files
+// are still readable (restore only; saving always writes version 2).
+constexpr int kVersion = 2;
 }  // namespace
 
 void save_checkpoint(const System& system, std::ostream& os) {
@@ -40,15 +46,14 @@ void save_checkpoint(const System& system, std::ostream& os) {
 
   for (std::uint32_t p = 0; p < system.processors(); ++p) {
     const ProcessorState& st = system.procs_[p];
-    os << st.l_old << ' ' << st.local_time << '\n';
-    for (std::uint32_t j = 0; j < system.processors(); ++j) {
-      if (j) os << ' ';
-      os << st.ledger.d(j);
-    }
-    os << '\n';
-    for (std::uint32_t j = 0; j < system.processors(); ++j) {
-      if (j) os << ' ';
-      os << st.ledger.b(j);
+    const Ledger& ledger = st.ledger;
+    const auto& active = ledger.active_classes();
+    const auto& d_counts = ledger.active_d();
+    const auto& b_counts = ledger.active_b();
+    os << st.l_old << ' ' << st.local_time << ' ' << active.size() << '\n';
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (i) os << ' ';
+      os << active[i] << ' ' << d_counts[i] << ' ' << b_counts[i];
     }
     os << '\n';
   }
@@ -59,7 +64,8 @@ System load_checkpoint(std::istream& is, const Topology* topology) {
   int version = 0;
   is >> magic >> version;
   DLB_REQUIRE(is.good() && magic == kMagic, "not a dlb checkpoint");
-  DLB_REQUIRE(version == kVersion, "unsupported checkpoint version");
+  DLB_REQUIRE(version == 1 || version == kVersion,
+              "unsupported checkpoint version");
 
   std::uint32_t processors = 0;
   BalancerConfig cfg;
@@ -96,19 +102,38 @@ System load_checkpoint(std::istream& is, const Topology* topology) {
     system.partner_radius_ = static_cast<unsigned>(radius);
   }
 
+  std::vector<std::uint32_t> cls;
+  std::vector<std::int64_t> d_vals;
+  std::vector<std::int64_t> b_vals;
   for (std::uint32_t p = 0; p < processors; ++p) {
     ProcessorState& st = system.procs_[p];
     is >> st.l_old >> st.local_time;
-    // Stream the cells straight into the ledger; set_d/set_b maintain the
-    // active/marked indexes incrementally, so no temporary n-vectors.
-    std::int64_t v = 0;
-    for (std::uint32_t j = 0; j < processors; ++j) {
-      is >> v;
-      st.ledger.set_d(j, v);
-    }
-    for (std::uint32_t j = 0; j < processors; ++j) {
-      is >> v;
-      st.ledger.set_b(j, v);
+    if (version == 1) {
+      // Dense rows: stream the cells into the ledger; only the nonzero
+      // ones are stored (ascending order makes each insert an append).
+      std::int64_t v = 0;
+      for (std::uint32_t j = 0; j < processors; ++j) {
+        is >> v;
+        st.ledger.set_d(j, v);
+      }
+      for (std::uint32_t j = 0; j < processors; ++j) {
+        is >> v;
+        st.ledger.set_b(j, v);
+      }
+    } else {
+      std::size_t entries = 0;
+      is >> entries;
+      DLB_REQUIRE(is.good() && entries <= processors,
+                  "checkpoint ledger malformed");
+      cls.resize(entries);
+      d_vals.resize(entries);
+      b_vals.resize(entries);
+      for (std::size_t i = 0; i < entries; ++i)
+        is >> cls[i] >> d_vals[i] >> b_vals[i];
+      // apply_dealt on the fresh (empty) ledger installs the entries in
+      // one pass and validates ascending order and value ranges.
+      st.ledger.apply_dealt(cls.data(), entries, d_vals.data(),
+                            b_vals.data());
     }
     DLB_REQUIRE(is.good(), "checkpoint ledger malformed");
   }

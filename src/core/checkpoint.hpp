@@ -8,8 +8,11 @@
 // restored System continues bit-identically to an uninterrupted one
 // (tested in tests/core/checkpoint_test.cpp).
 //
-// Format: versioned line-oriented text ("dlb-checkpoint 1"), endianness-
-// and locale-independent.
+// Format: versioned line-oriented text ("dlb-checkpoint 2"), endianness-
+// and locale-independent.  Version 2 serializes each ledger sparsely as
+// ascending (class, d, b) triples — O(active) bytes per processor, the
+// on-disk mirror of the in-memory compact storage.  Version 1 files
+// (dense 2n-cell rows) are still restorable.
 #pragma once
 
 #include <iosfwd>

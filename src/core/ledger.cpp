@@ -20,144 +20,284 @@ void erase_sorted(std::vector<std::uint32_t>& v, std::uint32_t j) {
 
 }  // namespace
 
-Ledger::Ledger(std::uint32_t classes) : d_(classes, 0), b_(classes, 0) {
+Ledger::Ledger(std::uint32_t classes) : classes_(classes) {
   DLB_REQUIRE(classes >= 1, "ledger needs at least one load class");
 }
 
-void Ledger::update_active(std::uint32_t j, bool was) {
-  const bool now = is_active(j);
-  if (was == now) return;
-  if (now) {
-    insert_sorted(active_, j);
-  } else {
-    erase_sorted(active_, j);
+std::size_t Ledger::lower_slot(std::uint32_t j) const {
+  return static_cast<std::size_t>(
+      std::lower_bound(active_.begin(), active_.end(), j) - active_.begin());
+}
+
+std::size_t Ledger::slot(std::uint32_t j) const {
+  if (hint_ < active_.size() && active_[hint_] == j) return hint_;
+  const std::size_t pos = lower_slot(j);
+  if (pos < active_.size() && active_[pos] == j) {
+    hint_ = pos;
+    return pos;
   }
+  return active_.size();
+}
+
+std::int64_t Ledger::d(std::uint32_t j) const {
+  const std::size_t pos = slot(j);
+  return pos < active_.size() ? d_counts_[pos] : 0;
+}
+
+std::int64_t Ledger::b(std::uint32_t j) const {
+  const std::size_t pos = slot(j);
+  return pos < active_.size() ? b_counts_[pos] : 0;
+}
+
+void Ledger::insert_entry(std::size_t pos, std::uint32_t j,
+                          std::int64_t d_val, std::int64_t b_val) {
+  active_.insert(active_.begin() + static_cast<std::ptrdiff_t>(pos), j);
+  d_counts_.insert(d_counts_.begin() + static_cast<std::ptrdiff_t>(pos),
+                   d_val);
+  b_counts_.insert(b_counts_.begin() + static_cast<std::ptrdiff_t>(pos),
+                   b_val);
+}
+
+void Ledger::erase_entry(std::size_t pos) {
+  active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(pos));
+  d_counts_.erase(d_counts_.begin() + static_cast<std::ptrdiff_t>(pos));
+  b_counts_.erase(b_counts_.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+void Ledger::drop_if_zero(std::size_t pos) {
+  if (d_counts_[pos] == 0 && b_counts_[pos] == 0) erase_entry(pos);
 }
 
 void Ledger::add_real(std::uint32_t j, std::int64_t count) {
-  DLB_REQUIRE(j < classes(), "load class out of range");
+  DLB_REQUIRE(j < classes_, "load class out of range");
   DLB_REQUIRE(count >= 0, "cannot add a negative packet count");
-  const bool was = is_active(j);
-  d_[j] += count;
+  const std::size_t pos = lower_slot(j);
+  if (pos < active_.size() && active_[pos] == j) {
+    d_counts_[pos] += count;
+  } else if (count > 0) {
+    insert_entry(pos, j, count, 0);
+  }
   real_ += count;
-  update_active(j, was);
 }
 
 void Ledger::remove_real(std::uint32_t j, std::int64_t count) {
-  DLB_REQUIRE(j < classes(), "load class out of range");
+  DLB_REQUIRE(j < classes_, "load class out of range");
   DLB_REQUIRE(count >= 0, "cannot remove a negative packet count");
-  DLB_REQUIRE(d_[j] >= count, "not enough real packets of this class");
-  const bool was = is_active(j);
-  d_[j] -= count;
+  const std::size_t pos = slot(j);
+  const std::int64_t held = pos < active_.size() ? d_counts_[pos] : 0;
+  DLB_REQUIRE(held >= count, "not enough real packets of this class");
+  if (pos < active_.size()) {
+    d_counts_[pos] -= count;
+    drop_if_zero(pos);
+  }
   real_ -= count;
-  update_active(j, was);
 }
 
 void Ledger::borrow(std::uint32_t j) {
-  DLB_REQUIRE(j < classes(), "load class out of range");
-  DLB_REQUIRE(d_[j] > 0, "borrow needs a real packet of the class");
-  DLB_REQUIRE(b_[j] == 0, "at most one marker per class (paper, §4)");
-  // d + b goes 1 packet -> 1 marker: j stays active throughout.
-  d_[j] -= 1;
+  DLB_REQUIRE(j < classes_, "load class out of range");
+  const std::size_t pos = slot(j);
+  DLB_REQUIRE(pos < active_.size() && d_counts_[pos] > 0,
+              "borrow needs a real packet of the class");
+  DLB_REQUIRE(b_counts_[pos] == 0, "at most one marker per class (paper, §4)");
+  // d + b goes 1 packet -> 1 marker: the entry stays active throughout.
+  d_counts_[pos] -= 1;
+  b_counts_[pos] += 1;
   real_ -= 1;
-  b_[j] += 1;
   borrowed_ += 1;
   insert_sorted(marked_, j);
 }
 
 void Ledger::clear_marker(std::uint32_t j) {
-  DLB_REQUIRE(j < classes(), "load class out of range");
-  DLB_REQUIRE(b_[j] > 0, "no marker of this class to clear");
-  const bool was = is_active(j);
-  b_[j] -= 1;
+  DLB_REQUIRE(j < classes_, "load class out of range");
+  const std::size_t pos = slot(j);
+  DLB_REQUIRE(pos < active_.size() && b_counts_[pos] > 0,
+              "no marker of this class to clear");
+  b_counts_[pos] -= 1;
   borrowed_ -= 1;
-  if (b_[j] == 0) erase_sorted(marked_, j);
-  update_active(j, was);
+  if (b_counts_[pos] == 0) erase_sorted(marked_, j);
+  drop_if_zero(pos);
 }
 
 void Ledger::repay_with_generation(std::uint32_t j) {
-  DLB_REQUIRE(j < classes(), "load class out of range");
-  DLB_REQUIRE(b_[j] > 0, "no outstanding debt of this class");
-  // Marker -> real packet: j stays active throughout.
-  b_[j] -= 1;
+  DLB_REQUIRE(j < classes_, "load class out of range");
+  const std::size_t pos = slot(j);
+  DLB_REQUIRE(pos < active_.size() && b_counts_[pos] > 0,
+              "no outstanding debt of this class");
+  // Marker -> real packet: the entry stays active throughout.
+  b_counts_[pos] -= 1;
   borrowed_ -= 1;
-  if (b_[j] == 0) erase_sorted(marked_, j);
-  d_[j] += 1;
+  if (b_counts_[pos] == 0) erase_sorted(marked_, j);
+  d_counts_[pos] += 1;
   real_ += 1;
 }
 
 void Ledger::set_d(std::uint32_t j, std::int64_t value) {
-  DLB_REQUIRE(j < classes(), "load class out of range");
+  DLB_REQUIRE(j < classes_, "load class out of range");
   DLB_REQUIRE(value >= 0, "negative real count");
-  const bool was = is_active(j);
-  real_ += value - d_[j];
-  d_[j] = value;
-  update_active(j, was);
+  const std::size_t pos = lower_slot(j);
+  if (pos < active_.size() && active_[pos] == j) {
+    real_ += value - d_counts_[pos];
+    d_counts_[pos] = value;
+    drop_if_zero(pos);
+  } else if (value > 0) {
+    insert_entry(pos, j, value, 0);
+    real_ += value;
+  }
 }
 
 void Ledger::set_b(std::uint32_t j, std::int64_t value) {
-  DLB_REQUIRE(j < classes(), "load class out of range");
+  DLB_REQUIRE(j < classes_, "load class out of range");
   DLB_REQUIRE(value == 0 || value == 1,
               "marker counts are 0 or 1 (paper, §4)");
-  if (b_[j] == value) return;
-  const bool was = is_active(j);
-  borrowed_ += value - b_[j];
-  b_[j] = value;
-  if (value > 0) {
+  const std::size_t pos = lower_slot(j);
+  if (pos < active_.size() && active_[pos] == j) {
+    if (b_counts_[pos] == value) return;
+    borrowed_ += value - b_counts_[pos];
+    b_counts_[pos] = value;
+    if (value > 0) {
+      insert_sorted(marked_, j);
+    } else {
+      erase_sorted(marked_, j);
+      drop_if_zero(pos);
+    }
+  } else if (value > 0) {
+    insert_entry(pos, j, 0, 1);
+    borrowed_ += 1;
     insert_sorted(marked_, j);
-  } else {
-    erase_sorted(marked_, j);
   }
-  update_active(j, was);
 }
 
 void Ledger::apply_dealt(const std::uint32_t* cls, std::size_t k,
                          const std::int64_t* d_vals,
                          const std::int64_t* b_vals) {
   DLB_REQUIRE(cls != nullptr || k == 0, "null class list");
+  // Shared merge scratch: one warm buffer set per thread instead of four
+  // growth-cascading vectors per ledger.  The final swap donates the
+  // merged buffers to this ledger and parks its old vectors here, so
+  // capacities circulate and reach the steady-state maximum after a few
+  // balancing operations — after which the write-back allocates nothing.
+  thread_local std::vector<std::uint32_t> active_merge_;
+  thread_local std::vector<std::int64_t> d_merge_;
+  thread_local std::vector<std::int64_t> b_merge_;
+  thread_local std::vector<std::uint32_t> marked_merge_;
   active_merge_.clear();
+  d_merge_.clear();
+  b_merge_.clear();
   marked_merge_.clear();
+  const std::size_t max_entries = active_.size() + k;
+  if (active_merge_.capacity() < max_entries) {
+    const std::size_t cap =
+        std::max(max_entries, 2 * active_merge_.capacity());
+    active_merge_.reserve(cap);
+    d_merge_.reserve(cap);
+    b_merge_.reserve(cap);
+    marked_merge_.reserve(cap);
+  }
   std::size_t ai = 0;
   std::size_t mi = 0;
   std::uint32_t prev = 0;
   for (std::size_t c = 0; c < k; ++c) {
     const std::uint32_t j = cls[c];
-    DLB_REQUIRE(j < classes(), "load class out of range");
+    DLB_REQUIRE(j < classes_, "load class out of range");
     DLB_REQUIRE(c == 0 || j > prev, "class list must be strictly ascending");
     prev = j;
     DLB_REQUIRE(d_vals[c] >= 0, "negative real count");
     DLB_REQUIRE(b_vals[c] == 0 || b_vals[c] == 1,
                 "marker counts are 0 or 1 (paper, §4)");
-    // Carry over index entries for classes below j, then drop j's own
-    // (re-added below if it remains active/marked).
-    while (ai < active_.size() && active_[ai] < j)
-      active_merge_.push_back(active_[ai++]);
-    const bool was_active = ai < active_.size() && active_[ai] == j;
-    if (was_active) ++ai;
+    // Carry over entries for classes below j, then drop j's own (re-added
+    // below if it remains active/marked).
+    while (ai < active_.size() && active_[ai] < j) {
+      active_merge_.push_back(active_[ai]);
+      d_merge_.push_back(d_counts_[ai]);
+      b_merge_.push_back(b_counts_[ai]);
+      ++ai;
+    }
+    std::int64_t old_d = 0;
+    std::int64_t old_b = 0;
+    if (ai < active_.size() && active_[ai] == j) {
+      old_d = d_counts_[ai];
+      old_b = b_counts_[ai];
+      ++ai;
+    }
     while (mi < marked_.size() && marked_[mi] < j)
       marked_merge_.push_back(marked_[mi++]);
     if (mi < marked_.size() && marked_[mi] == j) ++mi;
-    const bool now_active = d_vals[c] > 0 || b_vals[c] > 0;
-    // An inactive class has d[j] == b[j] == 0; when it stays zero the
-    // dense cells need not be touched at all (avoids pulling their cache
-    // lines in for nothing — the common case in sparse deals).
-    if (!was_active && !now_active) continue;
-    real_ += d_vals[c] - d_[j];
-    borrowed_ += b_vals[c] - b_[j];
-    d_[j] = d_vals[c];
-    b_[j] = b_vals[c];
-    if (now_active) active_merge_.push_back(j);
+    real_ += d_vals[c] - old_d;
+    borrowed_ += b_vals[c] - old_b;
+    if (d_vals[c] > 0 || b_vals[c] > 0) {
+      active_merge_.push_back(j);
+      d_merge_.push_back(d_vals[c]);
+      b_merge_.push_back(b_vals[c]);
+    }
     if (b_vals[c] > 0) marked_merge_.push_back(j);
   }
-  while (ai < active_.size()) active_merge_.push_back(active_[ai++]);
+  while (ai < active_.size()) {
+    active_merge_.push_back(active_[ai]);
+    d_merge_.push_back(d_counts_[ai]);
+    b_merge_.push_back(b_counts_[ai]);
+    ++ai;
+  }
   while (mi < marked_.size()) marked_merge_.push_back(marked_[mi++]);
   active_.swap(active_merge_);
+  d_counts_.swap(d_merge_);
+  b_counts_.swap(b_merge_);
   marked_.swap(marked_merge_);
+}
+
+void Ledger::replace_dealt(const std::uint32_t* cls, std::size_t k,
+                           const std::int64_t* d_vals,
+                           const std::int64_t* b_vals) {
+  DLB_REQUIRE(cls != nullptr || k == 0, "null class list");
+  // Pass 1 (pure reads): validate the dealt columns, verify the superset
+  // precondition by walking the old active list alongside cls, and sum the
+  // new totals.  Because cls covers every active class, the post state is
+  // determined by the dealt arrays alone: real_/borrowed_ are plain sums
+  // and no old entry survives outside cls.
+  std::size_t ai = 0;
+  std::uint32_t prev = 0;
+  std::int64_t real = 0;
+  std::int64_t borrowed = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    const std::uint32_t j = cls[c];
+    DLB_REQUIRE(j < classes_, "load class out of range");
+    DLB_REQUIRE(c == 0 || j > prev, "class list must be strictly ascending");
+    prev = j;
+    DLB_REQUIRE(d_vals[c] >= 0, "negative real count");
+    DLB_REQUIRE(b_vals[c] == 0 || b_vals[c] == 1,
+                "marker counts are 0 or 1 (paper, §4)");
+    if (ai < active_.size() && active_[ai] == j) ++ai;
+    real += d_vals[c];
+    borrowed += b_vals[c];
+  }
+  DLB_REQUIRE(ai == active_.size(),
+              "replace_dealt needs cls to cover every active class");
+  // Pass 2: rebuild the compact storage in place — the old contents are
+  // fully superseded, so no merge (and no scratch buffer) is needed.
+  active_.clear();
+  d_counts_.clear();
+  b_counts_.clear();
+  marked_.clear();
+  if (active_.capacity() < k) {
+    const std::size_t cap = std::max(k, 2 * active_.capacity());
+    active_.reserve(cap);
+    d_counts_.reserve(cap);
+    b_counts_.reserve(cap);
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (d_vals[c] > 0 || b_vals[c] > 0) {
+      active_.push_back(cls[c]);
+      d_counts_.push_back(d_vals[c]);
+      b_counts_.push_back(b_vals[c]);
+      if (b_vals[c] > 0) marked_.push_back(cls[c]);
+    }
+  }
+  real_ = real;
+  borrowed_ = borrowed;
 }
 
 void Ledger::replace(std::vector<std::int64_t> d_new,
                      std::vector<std::int64_t> b_new) {
-  DLB_REQUIRE(d_new.size() == d_.size() && b_new.size() == b_.size(),
+  DLB_REQUIRE(d_new.size() == classes_ && b_new.size() == classes_,
               "replacement vectors must match the class count");
   std::int64_t real = 0;
   std::int64_t borrowed = 0;
@@ -167,58 +307,77 @@ void Ledger::replace(std::vector<std::int64_t> d_new,
     real += d_new[j];
     borrowed += b_new[j];
   }
-  d_ = std::move(d_new);
-  b_ = std::move(b_new);
+  active_.clear();
+  d_counts_.clear();
+  b_counts_.clear();
+  marked_.clear();
+  for (std::uint32_t j = 0; j < classes_; ++j) {
+    if (d_new[j] > 0 || b_new[j] > 0) {
+      active_.push_back(j);
+      d_counts_.push_back(d_new[j]);
+      b_counts_.push_back(b_new[j]);
+    }
+    if (b_new[j] > 0) marked_.push_back(j);
+  }
   real_ = real;
   borrowed_ = borrowed;
-  rebuild_indexes();
-}
-
-void Ledger::rebuild_indexes() {
-  active_.clear();
-  marked_.clear();
-  for (std::uint32_t j = 0; j < classes(); ++j) {
-    if (is_active(j)) active_.push_back(j);
-    if (b_[j] > 0) marked_.push_back(j);
-  }
 }
 
 std::uint32_t Ledger::first_marked_class() const {
-  return marked_.empty() ? classes() : marked_.front();
+  return marked_.empty() ? classes_ : marked_.front();
 }
 
 void Ledger::check(std::uint32_t borrow_cap) const {
+  DLB_ENSURE(d_counts_.size() == active_.size() &&
+                 b_counts_.size() == active_.size(),
+             "parallel count vectors out of shape (S2)");
   std::int64_t real = 0;
   std::int64_t borrowed = 0;
-  std::size_t active_count = 0;
   std::size_t marked_count = 0;
-  for (std::size_t j = 0; j < d_.size(); ++j) {
-    DLB_ENSURE(d_[j] >= 0, "negative real count");
-    DLB_ENSURE(b_[j] >= 0, "negative marker count");
-    real += d_[j];
-    borrowed += b_[j];
-    const auto cls = static_cast<std::uint32_t>(j);
-    if (d_[j] > 0 || b_[j] > 0) {
-      DLB_ENSURE(active_count < active_.size() &&
-                     active_[active_count] == cls,
-                 "active-class index out of sync (L3)");
-      ++active_count;
-    }
-    if (b_[j] > 0) {
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    DLB_ENSURE(active_[i] < classes_, "active class out of range (S1)");
+    DLB_ENSURE(i == 0 || active_[i] > active_[i - 1],
+               "active classes not strictly ascending (S1/L3)");
+    DLB_ENSURE(d_counts_[i] >= 0, "negative real count");
+    DLB_ENSURE(b_counts_[i] >= 0, "negative marker count");
+    DLB_ENSURE(d_counts_[i] > 0 || b_counts_[i] > 0,
+               "zero entry stored in the compact ledger (S1)");
+    real += d_counts_[i];
+    borrowed += b_counts_[i];
+    if (b_counts_[i] > 0) {
       DLB_ENSURE(marked_count < marked_.size() &&
-                     marked_[marked_count] == cls,
+                     marked_[marked_count] == active_[i],
                  "marked-class index out of sync (L4)");
       ++marked_count;
     }
   }
-  DLB_ENSURE(active_count == active_.size(),
-             "stale entries in the active-class index (L3)");
   DLB_ENSURE(marked_count == marked_.size(),
              "stale entries in the marked-class index (L4)");
   DLB_ENSURE(real == real_, "cached real load out of sync (L1)");
   DLB_ENSURE(borrowed == borrowed_, "cached borrow total out of sync");
   DLB_ENSURE(borrowed_ <= static_cast<std::int64_t>(borrow_cap),
              "borrow cap exceeded (L2)");
+}
+
+std::vector<std::int64_t> Ledger::dense_d() const {
+  std::vector<std::int64_t> out(classes_, 0);
+  for (std::size_t i = 0; i < active_.size(); ++i)
+    out[active_[i]] = d_counts_[i];
+  return out;
+}
+
+std::vector<std::int64_t> Ledger::dense_b() const {
+  std::vector<std::int64_t> out(classes_, 0);
+  for (std::size_t i = 0; i < active_.size(); ++i)
+    out[active_[i]] = b_counts_[i];
+  return out;
+}
+
+std::size_t Ledger::memory_bytes() const {
+  return active_.capacity() * sizeof(std::uint32_t) +
+         d_counts_.capacity() * sizeof(std::int64_t) +
+         b_counts_.capacity() * sizeof(std::int64_t) +
+         marked_.capacity() * sizeof(std::uint32_t);
 }
 
 }  // namespace dlb

@@ -11,19 +11,31 @@
 //   (L1) real load of i  ==  sum_j d[j]        (tracked incrementally)
 //   (L2) sum_j b[j] <= C  and  b[j] in {0,1}   (the borrow cap)
 //
-// The dense d_/b_ arrays are the source of truth; alongside them the
-// ledger maintains two sparse indexes so the balancing hot path never
-// scans all n classes:
+// Storage is *sparse*: the ledger holds no O(n) arrays.  The source of
+// truth is three parallel vectors keyed by the sorted active-class list —
+// active_[i] is a class with a nonzero ledger entry, d_counts_[i] and
+// b_counts_[i] are its counts — plus the marked-class list.  A ledger
+// therefore costs O(A) memory in the number A of active classes, not
+// O(n); with every processor holding a handful of classes the whole
+// n-processor simulator is O(n·A) bytes instead of the former O(n²)
+// (which at n = 65536 would be ~64 GB of dense arrays).  Structural
+// invariants of the compact form:
+//   (S1) active_ is strictly ascending and every listed class satisfies
+//        d > 0 || b > 0 — no zero entries are stored;
+//   (S2) d_counts_/b_counts_ have exactly one slot per active_ entry and
+//        hold non-negative counts.
+// The derived views keep their PR-1 contracts:
 //   (L3) active_classes() is exactly {j : d[j] > 0 || b[j] > 0}, sorted
 //        ascending, and
 //   (L4) marked_classes() is exactly {j : b[j] > 0}, sorted ascending
 //        (at most C entries by L2).
 // Ascending order matters: callers draw uniformly from these lists, and
-// the pre-sparse-path implementation enumerated candidates by scanning
+// the original dense implementation enumerated candidates by scanning
 // j = 0..n-1 — keeping the same order keeps the RNG-to-class mapping (and
 // therefore the whole simulation) bit-identical.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -32,14 +44,15 @@ namespace dlb {
 class Ledger {
  public:
   /// Creates an empty ledger over `classes` load classes (= network size).
+  /// O(1) memory regardless of `classes`.
   explicit Ledger(std::uint32_t classes);
 
-  std::uint32_t classes() const {
-    return static_cast<std::uint32_t>(d_.size());
-  }
+  std::uint32_t classes() const { return classes_; }
 
-  std::int64_t d(std::uint32_t j) const { return d_[j]; }
-  std::int64_t b(std::uint32_t j) const { return b_[j]; }
+  /// Count lookups by class: O(log A) binary search in the active list;
+  /// classes without an entry are zero.
+  std::int64_t d(std::uint32_t j) const;
+  std::int64_t b(std::uint32_t j) const;
 
   /// Real load: sum_j d[j] (O(1), maintained incrementally).
   std::int64_t real_load() const { return real_; }
@@ -52,6 +65,13 @@ class Ledger {
   /// Classes with d[j] > 0 || b[j] > 0, ascending (L3).  The reference is
   /// invalidated by any mutating call.
   const std::vector<std::uint32_t>& active_classes() const { return active_; }
+
+  /// Per-class counts parallel to active_classes(): active_d()[i] is
+  /// d[active_classes()[i]], active_b()[i] is b[active_classes()[i]].
+  /// Lets bulk readers (the balance gather) walk the compact storage
+  /// without per-class binary searches.  Invalidated by any mutation.
+  const std::vector<std::int64_t>& active_d() const { return d_counts_; }
+  const std::vector<std::int64_t>& active_b() const { return b_counts_; }
 
   /// Classes with b[j] > 0, ascending (L4); at most C entries.  The
   /// reference is invalidated by any mutating call.
@@ -75,53 +95,86 @@ class Ledger {
   /// against an outstanding debt).  Requires b[j] > 0.
   void repay_with_generation(std::uint32_t j);
 
-  /// Sets d[j] to an absolute value (balancing write-back).  O(A) in the
-  /// active-class count; totals and indexes are maintained incrementally.
+  /// Sets d[j] to an absolute value (balancing write-back, checkpoint
+  /// compat).  O(A) worst case (entry insert/erase); totals and the
+  /// marked list are maintained incrementally.
   void set_d(std::uint32_t j, std::int64_t value);
 
-  /// Sets b[j] to an absolute value in {0, 1} (balancing write-back).
+  /// Sets b[j] to an absolute value in {0, 1}.
   void set_b(std::uint32_t j, std::int64_t value);
 
   /// Batch write-back for a balancing operation: assigns
   /// d[cls[c]] = d_vals[c] and b[cls[c]] = b_vals[c] for c in [0, k).
   /// `cls` must be sorted ascending with no duplicates; d values
-  /// non-negative, b values in {0, 1}.  The sparse indexes are updated in
-  /// one merge pass — O(A + k) total, instead of the O(A) per-class cost
-  /// of k individual set_d/set_b calls.
+  /// non-negative, b values in {0, 1}.  One merge pass over the compact
+  /// storage and the k dealt columns — O(A + k) total, touching only
+  /// cache-resident vectors (no scattered dense cells exist anymore).
+  /// Also the sparse bulk-load path: on an empty ledger it installs the
+  /// nonzero entries directly (checkpoint restore).
   void apply_dealt(const std::uint32_t* cls, std::size_t k,
                    const std::int64_t* d_vals, const std::int64_t* b_vals);
 
-  /// Wholesale replacement (checkpoint restore, tests).  Vectors must
-  /// have size classes(); entries must be non-negative and new b entries
-  /// in {0,1}.  O(n): totals and sparse indexes are rebuilt.
+  /// apply_dealt for the balancing hot path, where `cls` covers every
+  /// currently active class (the deal spans the participants' class
+  /// union, a superset of each one's active list — verified here).  The
+  /// post state then depends on the dealt arrays alone: totals are plain
+  /// sums and the entry vectors rebuild in place with no merge against
+  /// the old storage.  O(A + k) like apply_dealt but with a much smaller
+  /// constant — this is the hottest write path in the simulator.
+  void replace_dealt(const std::uint32_t* cls, std::size_t k,
+                     const std::int64_t* d_vals, const std::int64_t* b_vals);
+
+  /// Wholesale replacement from dense vectors (tests, v1 checkpoints).
+  /// Vectors must have size classes(); entries must be non-negative.
+  /// O(n) input scan; only the nonzero entries are stored.
   void replace(std::vector<std::int64_t> d_new,
                std::vector<std::int64_t> b_new);
 
   /// Smallest class index with b[j] > 0, or classes() if none.  O(1).
   std::uint32_t first_marked_class() const;
 
-  /// Verifies L1-L4 and non-negativity; throws contract_error on failure.
+  /// Verifies L1-L4 and the compact-storage invariants S1/S2; throws
+  /// contract_error on failure.  O(A) — independent of classes().
   void check(std::uint32_t borrow_cap) const;
 
-  const std::vector<std::int64_t>& d_vector() const { return d_; }
-  const std::vector<std::int64_t>& b_vector() const { return b_; }
+  /// Dense materializations for tests and tools; O(n) each, allocates.
+  std::vector<std::int64_t> dense_d() const;
+  std::vector<std::int64_t> dense_b() const;
+
+  /// Heap bytes held by this ledger's sparse storage (capacities of the
+  /// entry, marked and merge vectors) — the bytes-per-processor metric
+  /// BENCH_core.json records.
+  std::size_t memory_bytes() const;
 
  private:
-  bool is_active(std::uint32_t j) const { return d_[j] > 0 || b_[j] > 0; }
-  // Reconciles j's membership in active_ with the dense arrays; `was`
-  // is j's activity before the mutation.
-  void update_active(std::uint32_t j, bool was);
-  void rebuild_indexes();
+  // lower_bound slot of class j in active_.
+  std::size_t lower_slot(std::uint32_t j) const;
+  // Slot of class j, or active_.size() when j has no entry.
+  std::size_t slot(std::uint32_t j) const;
+  void insert_entry(std::size_t pos, std::uint32_t j, std::int64_t d_val,
+                    std::int64_t b_val);
+  void erase_entry(std::size_t pos);
+  // Drops the entry at `pos` if both counts reached zero (S1).
+  void drop_if_zero(std::size_t pos);
 
-  std::vector<std::int64_t> d_;
-  std::vector<std::int64_t> b_;
+  std::uint32_t classes_;
   std::int64_t real_ = 0;
   std::int64_t borrowed_ = 0;
+  // Compact storage: parallel vectors keyed by the ascending active list.
   std::vector<std::uint32_t> active_;
+  std::vector<std::int64_t> d_counts_;
+  std::vector<std::int64_t> b_counts_;
   std::vector<std::uint32_t> marked_;
-  // Merge buffers for apply_dealt (kept to avoid per-call allocation).
-  std::vector<std::uint32_t> active_merge_;
-  std::vector<std::uint32_t> marked_merge_;
+  // apply_dealt merges through shared thread-local scratch buffers (see
+  // ledger.cpp): per-ledger buffers would re-pay the vector growth
+  // cascade on every balancing write-back, a malloc storm on the hot
+  // path; one warm buffer set per thread serves every ledger.
+  // Memo of the last slot() hit.  The event loop queries the same class
+  // many times in a row (generate/consume/trigger checks on the own
+  // class), so this turns most lookups into one comparison.  Safe against
+  // staleness: the cached slot is only used after re-verifying
+  // active_[hint_] == j.
+  mutable std::size_t hint_ = 0;
 };
 
 }  // namespace dlb

@@ -61,6 +61,8 @@ std::size_t snake_redistribute(std::int64_t* counts, std::size_t rows,
   // so a fixed-capacity stack buffer would also do, but delta is
   // unbounded by the API.
   std::vector<std::int64_t> old_col(options.flows != nullptr ? rows : 0);
+  const bool pair_flows =
+      options.flows != nullptr && options.flows->wants_pair_flows();
 
   std::size_t ptr = options.start;
   for (std::size_t c = 0; c < columns; ++c) {
@@ -78,8 +80,14 @@ std::size_t snake_redistribute(std::int64_t* counts, std::size_t rows,
       ++dealt_to;
     }
     if (dealt_to == 0) continue;  // every participant excluded (rows==1)
-    const std::int64_t base = pool / static_cast<std::int64_t>(dealt_to);
-    std::int64_t remainder = pool % static_cast<std::int64_t>(dealt_to);
+    // Empty pool: every dealt cell is already zero, nothing moves and the
+    // pointer does not advance — skipping the column is bit-identical.
+    // (This makes dealing an all-zero marker matrix near-free.)
+    if (pool == 0) continue;
+    // Common sparse case pool < dealt_to needs no division at all.
+    const std::int64_t parties = static_cast<std::int64_t>(dealt_to);
+    const std::int64_t base = pool < parties ? 0 : pool / parties;
+    std::int64_t remainder = pool - base * parties;
     for (std::size_t p = 0; p < rows; ++p) {
       if (p == skip) continue;
       counts[p * columns + c] = base;
@@ -89,10 +97,23 @@ std::size_t snake_redistribute(std::int64_t* counts, std::size_t rows,
         counts[ptr * columns + c] += 1;
         --remainder;
       }
-      ptr = (ptr + 1) % rows;
+      if (++ptr == rows) ptr = 0;
     }
 
     if (options.flows == nullptr) continue;
+    if (!pair_flows) {
+      // Aggregate accounting: the sink needs no (from, to) attribution,
+      // so report the column's surplus and per-row deltas in one call.
+      std::int64_t moved = 0;
+      for (std::size_t p = 0; p < rows; ++p) {
+        const std::int64_t delta = counts[p * columns + c] - old_col[p];
+        old_col[p] = delta;  // reuse the buffer for the delta report
+        if (delta < 0) moved -= delta;
+      }
+      if (moved > 0)
+        options.flows->on_column_moved(c, moved, old_col.data());
+      continue;
+    }
     // Delta accounting: greedily match this column's surplus rows to its
     // deficit rows, both sides scanned in ascending row order — the same
     // matching (and therefore the same flow sequence) the dense

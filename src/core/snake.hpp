@@ -58,6 +58,26 @@ class SnakeFlowSink {
   /// row `from` to participant row `to`.
   virtual void on_flow(std::size_t col, std::size_t from, std::size_t to,
                        std::int64_t amount) = 0;
+
+  /// When false, the kernel skips the greedy surplus/deficit matching and
+  /// reports each changed column once through on_column_moved instead of
+  /// per-pair on_flow calls.  Sinks that only aggregate totals (no
+  /// per-pair attribution: no migration recorder, no hop-weighted
+  /// topology) opt out of the matching this way — the aggregate numbers
+  /// are identical because every matched flow decomposes into the same
+  /// per-row deltas.
+  virtual bool wants_pair_flows() const { return true; }
+
+  /// Aggregate report for one dealt column (only when wants_pair_flows()
+  /// is false and something moved): `moved` (> 0) is the column's total
+  /// surplus = sum of the matched-flow amounts; delta_per_row[p] is the
+  /// signed count change of participant row p (sums to zero).
+  virtual void on_column_moved(std::size_t col, std::int64_t moved,
+                               const std::int64_t* delta_per_row) {
+    (void)col;
+    (void)moved;
+    (void)delta_per_row;
+  }
 };
 
 /// Options for the compact overload.

@@ -129,10 +129,15 @@ bool System::consume_via_borrow(std::uint32_t p) {
   auto pick_borrowable = [&]() -> std::uint32_t {
     // Candidates {j : d[j] > 0, b[j] == 0} enumerated over the active
     // classes only — ascending, like the dense scan, so the drawn index
-    // maps to the same class.
+    // maps to the same class.  One pass over the parallel count vectors,
+    // no per-class lookups.
+    const auto& active = ledger.active_classes();
+    const auto& d_counts = ledger.active_d();
+    const auto& b_counts = ledger.active_b();
     candidate_classes_.clear();
-    for (std::uint32_t j : ledger.active_classes())
-      if (ledger.d(j) > 0 && ledger.b(j) == 0) candidate_classes_.push_back(j);
+    for (std::size_t i = 0; i < active.size(); ++i)
+      if (d_counts[i] > 0 && b_counts[i] == 0)
+        candidate_classes_.push_back(active[i]);
     if (candidate_classes_.empty()) return processors();
     return candidate_classes_[static_cast<std::size_t>(
         rng_.below(candidate_classes_.size()))];
@@ -299,6 +304,31 @@ class BalanceFlowSink final : public SnakeFlowSink {
     row_delta_[to] += amount;
   }
 
+  // Pair attribution is only needed for hop weighting and the migration
+  // recorder; without either, the kernel reports whole columns at once
+  // (same totals, far fewer virtual calls and no matching pass).
+  bool wants_pair_flows() const override {
+    return recorder_ != nullptr || costs_.hop_weighted();
+  }
+
+  void on_column_moved(std::size_t col, std::int64_t moved,
+                       const std::int64_t* delta_per_row) override {
+    (void)col;
+    moves_ += static_cast<std::uint64_t>(moved);
+    bulk_moves_ += static_cast<std::uint64_t>(moved);
+    for (std::size_t r = 0; r < row_delta_.size(); ++r)
+      row_delta_[r] += delta_per_row[r];
+  }
+
+  /// Flushes aggregate-mode gross traffic into the cost ledger (no-op in
+  /// pair mode, where on_flow recorded each amount already).
+  void flush() {
+    if (bulk_moves_ > 0) {
+      costs_.record_migration_bulk(bulk_moves_);
+      bulk_moves_ = 0;
+    }
+  }
+
   std::uint64_t moves() const { return moves_; }
 
  private:
@@ -307,6 +337,7 @@ class BalanceFlowSink final : public SnakeFlowSink {
   const std::vector<ProcId>& participants_;
   std::vector<std::int64_t>& row_delta_;
   std::uint64_t moves_ = 0;
+  std::uint64_t bulk_moves_ = 0;
 };
 
 }  // namespace
@@ -330,35 +361,54 @@ void System::balance(std::uint32_t initiator,
   // all n classes.
   union_classes_.clear();
   for (std::size_t r = 0; r < m; ++r) {
-    const auto& active = procs_[participants[r]].ledger.active_classes();
+    const Ledger& ledger = procs_[participants[r]].ledger;
+    const auto& active = ledger.active_classes();
+    // The gather below streams each participant's count vectors; their
+    // first lines are cold (random partners), so start the loads now and
+    // let the union merge hide the latency.
+    __builtin_prefetch(ledger.active_d().data());
+    __builtin_prefetch(ledger.active_b().data());
     if (r == 0) {
       union_classes_.assign(active.begin(), active.end());
       continue;
     }
-    // Each active list is already sorted, so the union is a linear merge.
-    union_scratch_.clear();
-    std::set_union(union_classes_.begin(), union_classes_.end(),
-                   active.begin(), active.end(),
-                   std::back_inserter(union_scratch_));
+    // Each active list is already sorted, so the union is a linear merge
+    // into a pre-sized buffer (no per-element push_back bookkeeping).
+    union_scratch_.resize(union_classes_.size() + active.size());
+    const auto merged_end =
+        std::set_union(union_classes_.begin(), union_classes_.end(),
+                       active.begin(), active.end(), union_scratch_.begin());
+    union_scratch_.resize(
+        static_cast<std::size_t>(merged_end - union_scratch_.begin()));
     union_classes_.swap(union_scratch_);
   }
   const std::size_t k = union_classes_.size();
 
   // Gather the participants' ledgers into the compact scratch matrices.
-  // Walking each participant's active list (rather than indexing all k
-  // union columns) touches only the nonzero dense cells — the rest of the
-  // scratch row is zero-filled sequentially.
+  // Each participant's compact storage is copied in one sequential pass
+  // over its parallel count vectors — the rest of the scratch row is
+  // zero-filled sequentially; no scattered loads anywhere.
+  bool any_markers = false;
+  for (std::size_t r = 0; r < m && !any_markers; ++r)
+    any_markers = procs_[participants[r]].ledger.borrowed_total() > 0;
   scratch_d_.assign(m * k, 0);
   scratch_b_.assign(m * k, 0);
   for (std::size_t r = 0; r < m; ++r) {
     const Ledger& ledger = procs_[participants[r]].ledger;
+    const auto& active = ledger.active_classes();
+    const auto& d_counts = ledger.active_d();
+    const auto& b_counts = ledger.active_b();
     std::size_t c = 0;
-    for (std::uint32_t j : ledger.active_classes()) {
-      while (union_classes_[c] < j) ++c;  // j is in the union by construction
-      scratch_d_[r * k + c] = ledger.d(j);
-      scratch_b_[r * k + c] = ledger.b(j);
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      // active[i] is in the union by construction.
+      while (union_classes_[c] < active[i]) ++c;
+      scratch_d_[r * k + c] = d_counts[i];
+      // Without markers anywhere, every b count is zero — the zero fill
+      // above already wrote the row.
+      if (any_markers) scratch_b_[r * k + c] = b_counts[i];
     }
   }
+
 
   // [D7] analysis mode: a non-initiating participant's own class is dealt
   // only among the other participants.
@@ -383,7 +433,11 @@ void System::balance(std::uint32_t initiator,
   SnakeCompactOptions marker_opts = opts;
   marker_opts.flows = nullptr;  // marker moves are not migration traffic
   marker_opts.start = snake_redistribute(scratch_d_.data(), m, k, opts);
-  snake_redistribute(scratch_b_.data(), m, k, marker_opts);
+  flows.flush();
+  // Marker deal: skipped when no participant holds a marker — the matrix
+  // is all zero, so the deal would move nothing, report no flows and
+  // leave the pointer untouched (its return value is discarded anyway).
+  if (any_markers) snake_redistribute(scratch_b_.data(), m, k, marker_opts);
 
   // Net physical flow: positive row-total changes (what a label-free
   // implementation would actually ship), accumulated from the flows.
@@ -398,9 +452,11 @@ void System::balance(std::uint32_t initiator,
   // operations initiated by each participant).
   for (std::size_t r = 0; r < m; ++r) {
     ProcessorState& st = procs_[participants[r]];
-    st.ledger.apply_dealt(union_classes_.data(), k,
-                          scratch_d_.data() + r * k,
-                          scratch_b_.data() + r * k);
+    // The union covers every participant's active classes by
+    // construction, so the cheap rebuild path applies (no merge).
+    st.ledger.replace_dealt(union_classes_.data(), k,
+                            scratch_d_.data() + r * k,
+                            scratch_b_.data() + r * k);
     st.l_old = st.ledger.d(participants[r]);
     ++st.local_time;
   }
@@ -424,7 +480,8 @@ void System::cancel_self_markers(std::uint32_t p) {
 
 void System::force_balance(std::uint32_t p) {
   DLB_REQUIRE(p < processors(), "processor id out of range");
-  balance(p, draw_partners(p));
+  auto partners = draw_partners(p);
+  balance(p, partners);
 }
 
 void System::emit_borrow_event(BorrowEvent event) {

@@ -28,6 +28,11 @@ void CostLedger::record_migration(ProcId from, ProcId to,
   totals_.packet_hops += hops * count;
 }
 
+void CostLedger::record_migration_bulk(std::uint64_t count) {
+  totals_.packets_moved += count;
+  totals_.packet_hops += count;  // distance 1 per packet without a topology
+}
+
 void CostLedger::record_net_migration(std::uint64_t count) {
   totals_.packets_moved_net += count;
 }

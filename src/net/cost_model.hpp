@@ -43,6 +43,15 @@ class CostLedger {
   /// Records `count` class-labeled packets migrating from -> to (gross).
   void record_migration(ProcId from, ProcId to, std::uint64_t count);
 
+  /// Bulk form for hop-unweighted accounting (no topology): `count`
+  /// packets moved between distinct processors in single hops.  Equal to
+  /// the sum of the per-pair record_migration calls it replaces.
+  void record_migration_bulk(std::uint64_t count);
+
+  /// True when migrations are hop-weighted by a topology — per-pair
+  /// record_migration calls are then required for exact packet_hops.
+  bool hop_weighted() const { return topology_ != nullptr; }
+
   /// Records net load flow (physical migration implied by total-load
   /// changes; always <= the gross class-level traffic of the same op).
   void record_net_migration(std::uint64_t count);

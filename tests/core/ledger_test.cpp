@@ -98,6 +98,34 @@ TEST(Ledger, ReplaceValidatesShapeAndSign) {
   EXPECT_THROW(ledger.replace({0, 0}, {0, -2}), contract_error);
 }
 
+TEST(Ledger, ReplaceDealtRequiresSupersetOfActive) {
+  Ledger ledger(6);
+  ledger.add_real(2, 3);
+  ledger.add_real(4, 1);
+  // Covering {2, 4} works and fully replaces the state (class 2 keeps
+  // only a marker, class 1 is newly inserted).
+  const std::uint32_t cls[] = {1, 2, 4};
+  const std::int64_t d_vals[] = {5, 0, 2};
+  const std::int64_t b_vals[] = {0, 1, 0};
+  ledger.replace_dealt(cls, 3, d_vals, b_vals);
+  EXPECT_EQ(ledger.d(1), 5);
+  EXPECT_EQ(ledger.d(2), 0);
+  EXPECT_EQ(ledger.b(2), 1);
+  EXPECT_EQ(ledger.d(4), 2);
+  EXPECT_EQ(ledger.real_load(), 7);
+  EXPECT_EQ(ledger.borrowed_total(), 1);
+  ledger.check(1);
+  // Omitting an active class (2 still holds a marker) breaks the
+  // superset precondition; the contract check fires before any mutation.
+  const std::uint32_t missing[] = {1, 4};
+  const std::int64_t dv[] = {1, 1};
+  const std::int64_t bv[] = {0, 0};
+  EXPECT_THROW(ledger.replace_dealt(missing, 2, dv, bv), contract_error);
+  EXPECT_EQ(ledger.real_load(), 7);  // untouched by the rejected call
+  EXPECT_EQ(ledger.borrowed_total(), 1);
+  ledger.check(1);
+}
+
 TEST(Ledger, FirstMarkedClass) {
   Ledger ledger(4);
   EXPECT_EQ(ledger.first_marked_class(), 4u);
@@ -119,80 +147,208 @@ TEST(Ledger, OutOfRangeClassThrows) {
   EXPECT_THROW(ledger.borrow(5), contract_error);
 }
 
-// ---- Sparse-index property test ----------------------------------------
+// ---- Sparse-storage property test --------------------------------------
 //
-// The incrementally maintained indexes must stay consistent with the dense
-// arrays under any interleaving of mutators:
-//   (L3) active_classes() == { j : d[j] > 0 || b[j] > 0 }, ascending;
-//   (L4) marked_classes() == { j : b[j] > 0 }, ascending.
-// Exercises every mutator (add/remove/borrow/clear/repay/set_d/set_b/
-// replace) against a dense reference model with randomized operations.
+// The compact (class, d, b) storage is now the source of truth, so the
+// test maintains its own trivial dense reference model (two plain O(n)
+// vectors updated alongside every mutation) and checks the full ledger
+// surface against it after every step:
+//   - d(j)/b(j) point lookups, real/borrowed/virtual totals (L1, L2);
+//   - active_classes()/marked_classes() order and content (L3, L4);
+//   - the parallel count vectors active_d()/active_b() and the dense
+//     materializations dense_d()/dense_b();
+//   - Ledger::check, which verifies the storage invariants S1/S2 (no
+//     zero entries, strictly ascending keys, parallel shapes).
+// Exercises every mutator: add/remove/borrow/clear (settle)/repay/
+// set_d/set_b/replace, the general merge write-back apply_dealt with
+// random ascending class subsets, and the hot-path rebuild write-back
+// replace_dealt with random supersets of the active list.
 
-void expect_indexes_match_dense(const Ledger& ledger, std::uint32_t classes) {
+struct DenseReference {
+  std::vector<std::int64_t> d;
+  std::vector<std::int64_t> b;
+
+  explicit DenseReference(std::uint32_t classes) : d(classes, 0), b(classes, 0) {}
+
+  std::int64_t borrowed() const {
+    std::int64_t total = 0;
+    for (std::int64_t v : b) total += v;
+    return total;
+  }
+};
+
+void expect_matches_reference(const Ledger& ledger,
+                              const DenseReference& ref,
+                              std::uint32_t cap) {
+  ledger.check(cap);  // L1-L4 plus the storage invariants S1/S2
+  const auto classes = static_cast<std::uint32_t>(ref.d.size());
+  std::int64_t real = 0;
+  std::int64_t borrowed = 0;
   std::vector<std::uint32_t> want_active;
   std::vector<std::uint32_t> want_marked;
   for (std::uint32_t j = 0; j < classes; ++j) {
-    if (ledger.d(j) > 0 || ledger.b(j) > 0) want_active.push_back(j);
-    if (ledger.b(j) > 0) want_marked.push_back(j);
+    ASSERT_EQ(ledger.d(j), ref.d[j]) << "class " << j;
+    ASSERT_EQ(ledger.b(j), ref.b[j]) << "class " << j;
+    real += ref.d[j];
+    borrowed += ref.b[j];
+    if (ref.d[j] > 0 || ref.b[j] > 0) want_active.push_back(j);
+    if (ref.b[j] > 0) want_marked.push_back(j);
   }
+  EXPECT_EQ(ledger.real_load(), real);
+  EXPECT_EQ(ledger.borrowed_total(), borrowed);
+  EXPECT_EQ(ledger.virtual_load(), real + borrowed);
   EXPECT_EQ(ledger.active_classes(), want_active);
   EXPECT_EQ(ledger.marked_classes(), want_marked);
+  const auto& active = ledger.active_classes();
+  const auto& d_counts = ledger.active_d();
+  const auto& b_counts = ledger.active_b();
+  ASSERT_EQ(d_counts.size(), active.size());
+  ASSERT_EQ(b_counts.size(), active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    EXPECT_EQ(d_counts[i], ref.d[active[i]]);
+    EXPECT_EQ(b_counts[i], ref.b[active[i]]);
+  }
+  EXPECT_EQ(ledger.dense_d(), ref.d);
+  EXPECT_EQ(ledger.dense_b(), ref.b);
 }
 
-TEST(LedgerProperty, SparseIndexesTrackDenseArraysUnderRandomOps) {
+TEST(LedgerProperty, SparseStorageTracksDenseReferenceUnderRandomOps) {
   constexpr std::uint32_t kClasses = 24;
   constexpr std::uint32_t kCap = 6;
   Rng rng(0x1eadbeef);
   Ledger ledger(kClasses);
+  DenseReference ref(kClasses);
   for (int op = 0; op < 4000; ++op) {
     const auto j = static_cast<std::uint32_t>(rng.below(kClasses));
-    switch (rng.below(8)) {
-      case 0:
-        ledger.add_real(j, 1 + static_cast<std::int64_t>(rng.below(3)));
+    switch (rng.below(10)) {
+      case 0: {
+        const auto count = 1 + static_cast<std::int64_t>(rng.below(3));
+        ledger.add_real(j, count);
+        ref.d[j] += count;
         break;
+      }
       case 1:
-        if (ledger.d(j) > 0)
-          ledger.remove_real(
-              j, 1 + static_cast<std::int64_t>(
-                         rng.below(static_cast<std::uint64_t>(ledger.d(j)))));
+        if (ledger.d(j) > 0) {
+          const auto count =
+              1 + static_cast<std::int64_t>(
+                      rng.below(static_cast<std::uint64_t>(ledger.d(j))));
+          ledger.remove_real(j, count);
+          ref.d[j] -= count;
+        }
         break;
       case 2:
         if (ledger.d(j) > 0 && ledger.b(j) == 0 &&
-            ledger.borrowed_total() < kCap)
+            ledger.borrowed_total() < kCap) {
           ledger.borrow(j);
+          ref.d[j] -= 1;
+          ref.b[j] += 1;
+        }
         break;
       case 3:
-        if (ledger.b(j) > 0) ledger.clear_marker(j);
+        if (ledger.b(j) > 0) {
+          ledger.clear_marker(j);
+          ref.b[j] -= 1;
+        }
         break;
       case 4:
-        if (ledger.b(j) > 0) ledger.repay_with_generation(j);
+        if (ledger.b(j) > 0) {
+          ledger.repay_with_generation(j);
+          ref.b[j] -= 1;
+          ref.d[j] += 1;
+        }
         break;
-      case 5:
-        ledger.set_d(j, static_cast<std::int64_t>(rng.below(4)));
+      case 5: {
+        const auto v = static_cast<std::int64_t>(rng.below(4));
+        ledger.set_d(j, v);
+        ref.d[j] = v;
         break;
-      case 6:
-        ledger.set_b(j, ledger.b(j) == 0 && ledger.borrowed_total() < kCap
-                            ? 1
-                            : 0);
+      }
+      case 6: {
+        const std::int64_t v =
+            ledger.b(j) == 0 && ledger.borrowed_total() < kCap ? 1 : 0;
+        ledger.set_b(j, v);
+        ref.b[j] = v;
         break;
+      }
       case 7: {
-        // Full replace with a fresh random state (the checkpoint path).
-        std::vector<std::int64_t> d(kClasses);
-        std::vector<std::int64_t> b(kClasses);
+        // Full replace with a fresh random state (test/restore path).
+        DenseReference next(kClasses);
         std::int64_t markers = 0;
         for (std::uint32_t c = 0; c < kClasses; ++c) {
-          d[c] = static_cast<std::int64_t>(rng.below(3));
+          next.d[c] = static_cast<std::int64_t>(rng.below(3));
           if (markers < kCap && rng.below(4) == 0) {
-            b[c] = 1;
+            next.b[c] = 1;
             ++markers;
           }
         }
-        ledger.replace(std::move(d), std::move(b));
+        ledger.replace(next.d, next.b);
+        ref = next;
+        break;
+      }
+      case 8: {
+        // Balancing write-back over a random ascending class subset,
+        // including zero assignments (entry drops) and absent classes
+        // (entry inserts) — the sparse merge path's full case space.
+        std::vector<std::uint32_t> cls;
+        std::vector<std::int64_t> d_vals;
+        std::vector<std::int64_t> b_vals;
+        std::int64_t budget = kCap - ref.borrowed();
+        for (std::uint32_t c = 0; c < kClasses; ++c) {
+          if (rng.below(3) != 0) continue;
+          cls.push_back(c);
+          d_vals.push_back(static_cast<std::int64_t>(rng.below(4)));
+          budget += ref.b[c];  // c's old marker is overwritten
+          if (budget > 0 && rng.below(4) == 0) {
+            b_vals.push_back(1);
+            --budget;
+          } else {
+            b_vals.push_back(0);
+          }
+        }
+        ledger.apply_dealt(cls.data(), cls.size(), d_vals.data(),
+                           b_vals.data());
+        for (std::size_t i = 0; i < cls.size(); ++i) {
+          ref.d[cls[i]] = d_vals[i];
+          ref.b[cls[i]] = b_vals[i];
+        }
+        break;
+      }
+      case 9: {
+        // Hot-path write-back: cls must cover every active class.  Build
+        // it as the current active list plus random extra classes, with
+        // fresh random values — zeros included, so covered entries drop
+        // and extra classes may insert.  The old state is irrelevant to
+        // the result, so the reference resets wholesale.
+        std::vector<std::uint32_t> cls;
+        std::vector<std::int64_t> d_vals;
+        std::vector<std::int64_t> b_vals;
+        const auto& active = ledger.active_classes();
+        std::size_t ai = 0;
+        std::int64_t budget = kCap;  // every old marker is overwritten
+        for (std::uint32_t c = 0; c < kClasses; ++c) {
+          const bool required = ai < active.size() && active[ai] == c;
+          if (required) ++ai;
+          if (!required && rng.below(3) != 0) continue;
+          cls.push_back(c);
+          d_vals.push_back(static_cast<std::int64_t>(rng.below(4)));
+          if (budget > 0 && rng.below(4) == 0) {
+            b_vals.push_back(1);
+            --budget;
+          } else {
+            b_vals.push_back(0);
+          }
+        }
+        ledger.replace_dealt(cls.data(), cls.size(), d_vals.data(),
+                             b_vals.data());
+        ref = DenseReference(kClasses);
+        for (std::size_t i = 0; i < cls.size(); ++i) {
+          ref.d[cls[i]] = d_vals[i];
+          ref.b[cls[i]] = b_vals[i];
+        }
         break;
       }
     }
-    ledger.check(kCap);
-    expect_indexes_match_dense(ledger, kClasses);
+    expect_matches_reference(ledger, ref, kCap);
   }
 }
 

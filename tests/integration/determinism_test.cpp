@@ -7,8 +7,11 @@
 //   1. a (seed, workload) pair run twice must produce identical load
 //      vectors, operation counts, cost totals and full ledger state;
 //   2. the same runs must match golden values recorded from the dense
-//      reference implementation (the pre-sparse-path simulator), at both
-//      n = 64 (the paper's size) and n = 1024 (the scaling target).
+//      reference implementation (the pre-sparse-path simulator), at
+//      n = 64 (the paper's size), n = 1024 (the first scaling target)
+//      and n = 4096 (the regime the O(active)-memory sparse ledger
+//      storage targets; golden recorded from the dense-storage simulator
+//      immediately before the storage rewrite).
 // A mismatch here means the optimization changed observable behaviour —
 // which the §4 analysis (and every EXPERIMENTS.md number) forbids.
 #include <gtest/gtest.h>
@@ -97,12 +100,21 @@ const RunSummary& summary1024() {
   return s;
 }
 
+const RunSummary& summary4096() {
+  static const RunSummary s = run_paper_workload(4096, 60, 1993);
+  return s;
+}
+
 TEST(Determinism, PaperWorkload64RunsTwiceIdentically) {
   expect_identical(summary64(), run_paper_workload(64, 400, 1993));
 }
 
 TEST(Determinism, PaperWorkload1024RunsTwiceIdentically) {
   expect_identical(summary1024(), run_paper_workload(1024, 100, 1993));
+}
+
+TEST(Determinism, PaperWorkload4096RunsTwiceIdentically) {
+  expect_identical(summary4096(), run_paper_workload(4096, 60, 1993));
 }
 
 // Golden values recorded from the dense reference implementation (the
@@ -138,6 +150,22 @@ TEST(Determinism, GoldenTrace1024) {
   EXPECT_EQ(s.costs.messages, 129648ull);
   EXPECT_EQ(s.costs.partner_links, 64824ull);
   EXPECT_EQ(s.state_hash, 8698541309493278188ull);
+}
+
+TEST(Determinism, GoldenTrace4096) {
+  const RunSummary& s = summary4096();
+  std::int64_t load_sum = 0;
+  for (std::int64_t l : s.loads) load_sum += l;
+  EXPECT_EQ(load_sum, static_cast<std::int64_t>(s.generated) -
+                          static_cast<std::int64_t>(s.consumed));
+  EXPECT_EQ(s.balance_ops, 41203ull);
+  EXPECT_EQ(s.generated, 122673ull);
+  EXPECT_EQ(s.consumed, 94687ull);
+  EXPECT_EQ(s.costs.packets_moved, 571386ull);
+  EXPECT_EQ(s.costs.packets_moved_net, 80664ull);
+  EXPECT_EQ(s.costs.messages, 329624ull);
+  EXPECT_EQ(s.costs.partner_links, 164812ull);
+  EXPECT_EQ(s.state_hash, 8169236399539953127ull);
 }
 
 }  // namespace

@@ -26,10 +26,10 @@ TEST(Replay, SystemFullStateDeterminism) {
   b.run(wl);
   // Not only loads: the entire ledger state must match.
   for (std::uint32_t p = 0; p < 8; ++p) {
-    EXPECT_EQ(a.processor(p).ledger.d_vector(),
-              b.processor(p).ledger.d_vector());
-    EXPECT_EQ(a.processor(p).ledger.b_vector(),
-              b.processor(p).ledger.b_vector());
+    EXPECT_EQ(a.processor(p).ledger.dense_d(),
+              b.processor(p).ledger.dense_d());
+    EXPECT_EQ(a.processor(p).ledger.dense_b(),
+              b.processor(p).ledger.dense_b());
     EXPECT_EQ(a.processor(p).l_old, b.processor(p).l_old);
     EXPECT_EQ(a.processor(p).local_time, b.processor(p).local_time);
   }

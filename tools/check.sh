@@ -5,6 +5,11 @@
 #   tools/check.sh            # both presets
 #   tools/check.sh default    # release only
 #   tools/check.sh asan       # sanitizers only
+#
+# Opt-in perf gate (compares bench/micro_core against the committed
+# BENCH_core.json baseline, ±30% tolerance — see tools/perf_check.sh):
+#
+#   DLB_PERF_CHECK=1 tools/check.sh default
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,5 +23,10 @@ for preset in $presets; do
   cmake --build --preset "$preset" -j "$jobs"
   ctest --preset "$preset"
 done
+
+if [ "${DLB_PERF_CHECK:-0}" = "1" ]; then
+  echo "==> perf gate"
+  tools/perf_check.sh
+fi
 
 echo "==> all checks passed"

@@ -1,0 +1,91 @@
+#!/usr/bin/env sh
+# Perf regression gate for the core hot paths.
+#
+# Rebuilds the release preset, re-runs bench/micro_core (which measures
+# generate/consume/balance ns-per-op and writes BENCH_core.json into the
+# current directory), and compares every metric against the committed
+# baseline BENCH_core.json at the repository root.
+#
+# The comparison is common-mode normalized: on a shared/virtualized box
+# the whole benchmark drifts ±20-30% run to run, and all metrics drift
+# *together* (a noisy neighbor slows the machine, not one code path).  A
+# real regression is the opposite shape — one path moves, the rest
+# don't.  So the gate computes each metric's fresh/baseline ratio,
+# takes the median ratio across all metrics as the machine-speed factor,
+# and fails a metric only when its ratio exceeds the median by more than
+# the tolerance.  Blind spot: a change that slows *every* metric by the
+# same factor cancels out — that shape is almost always a build-type
+# mistake (e.g. a debug build), which the build presets gate separately.
+#
+# Usage: tools/perf_check.sh [tolerance_pct]     (default 30)
+# Opt-in from the full gate:  DLB_PERF_CHECK=1 tools/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+repo="$(pwd)"
+tol="${1:-30}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "perf_check: python3 not available, skipping" >&2
+  exit 0
+fi
+
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$jobs" --target micro_core
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+(cd "$workdir" && "$repo/build/bench/micro_core" --benchmark_filter=NONE)
+
+python3 - "$repo/BENCH_core.json" "$workdir/BENCH_core.json" "$tol" <<'EOF'
+import json
+import statistics
+import sys
+
+base_path, fresh_path, tol_pct = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(base_path) as f:
+    base = json.load(f)
+with open(fresh_path) as f:
+    fresh = json.load(f)
+
+def key(row):
+    return (row.get("workload", "sparse"), row["n"])
+
+baseline = {key(r): r for r in base["results"]}
+metrics = ("generate_ns", "consume_ns", "balance_ns")
+
+ratios = {}  # (workload, n, metric) -> (fresh, base, fresh/base)
+for row in fresh["results"]:
+    ref = baseline.get(key(row))
+    if ref is None:
+        print(f"  [new ] {key(row)}: no baseline row, skipping")
+        continue
+    for m in metrics:
+        if m in ref and m in row and ref[m] > 0:
+            ratios[key(row) + (m,)] = (row[m], ref[m], row[m] / ref[m])
+
+if not ratios:
+    print("perf_check: no comparable metrics found", file=sys.stderr)
+    sys.exit(1)
+
+machine = statistics.median(r for _, _, r in ratios.values())
+limit = machine * (1.0 + tol_pct / 100.0)
+print(f"  machine-speed factor (median fresh/baseline): {machine:.2f}, "
+      f"per-metric limit {limit:.2f}")
+
+failures = []
+for (wl, n, m), (got, ref, ratio) in sorted(ratios.items()):
+    status = "FAIL" if ratio > limit else "ok"
+    print(f"  [{status:>4}] {wl}/n={n} {m}: {got:.1f} vs baseline "
+          f"{ref:.1f} (x{ratio:.2f})")
+    if ratio > limit:
+        failures.append((wl, n, m))
+
+if failures:
+    print(f"perf_check: {len(failures)} metric(s) regressed more than "
+          f"+{tol_pct:.0f}% beyond the common-mode drift", file=sys.stderr)
+    sys.exit(1)
+print(f"perf_check: all metrics within +{tol_pct:.0f}% of baseline "
+      f"(common-mode normalized)")
+EOF
