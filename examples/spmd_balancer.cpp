@@ -1,178 +1,111 @@
 // The balancing algorithm in SPMD message-passing style — the shape of
 // the paper's transputer implementations [7, 8], written against the
-// bundled mini message-passing interface (src/mp).
+// bundled mini message-passing interface (src/mp).  The protocol itself
+// lives in src/mp/spmd_balance.{hpp,cpp} (shared with bench/fault_sweep
+// and the mp fault tests); this example is its command line.
 //
-// Bulk-synchronous variant: each global step every rank applies its
-// local demand, then the machine runs one *deterministic replicated*
-// balancing round — every rank allgathers (trigger?, load) pairs, runs
-// the same seeded RNG to draw partners for each triggered initiator, and
-// computes identical assignments; only the actual packet transfers use
-// point-to-point messages.  Replicated deterministic decisions are a
-// classic SPMD trick: no coordinator and no races, at the cost of a
-// collective per step.
+// The run is failure-tolerant: message drops and rank crashes can be
+// injected deterministically and the report shows conservation modulo
+// declared loss (see mp/fault.hpp and DESIGN.md §7).
 //
-//   $ ./build/examples/spmd_balancer
-#include <algorithm>
+//   $ ./build/examples/spmd_balancer                       # fault-free
+//   $ ./build/examples/spmd_balancer --drop=0.1 --kill=3@200 --seed=7
+#include <cstdio>
 #include <iostream>
-#include <mutex>
+#include <string>
 
-#include "mp/communicator.hpp"
-#include "support/rng.hpp"
+#include "mp/spmd_balance.hpp"
+#include "support/cli.hpp"
 #include "support/table.hpp"
 #include "workload/trace.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dlb;
 
-  const int n = 8;
-  const std::uint32_t steps = 400;
-  const double f = 1.2;
-  const std::uint32_t delta = 2;
+  CliOptions cli;
+  cli.add_int("ranks", 8, "number of ranks (>= 2)")
+      .add_int("steps", 400, "global steps to run")
+      .add_double("f", 1.2, "trigger factor (> 1)")
+      .add_int("delta", 2, "partners per balancing operation")
+      .add_double("drop", 0.0, "per-message drop probability [0, 1]")
+      .add_double("dup", 0.0, "per-message duplication probability [0, 1]")
+      .add_string("kill", "", "crash schedule, e.g. 3@200 (rank@step)")
+      .add_int("seed", 7, "fault-plan seed")
+      .add_int("ckpt", 25, "journal checkpoint interval (steps)")
+      .add_int("timeout-ms", 50, "p2p receive deadline (ms)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const int n = static_cast<int>(cli.get_int("ranks"));
+  const auto steps = static_cast<std::uint32_t>(cli.get_int("steps"));
+  if (n < 2 || steps == 0) {
+    std::cerr << "need --ranks >= 2 and --steps >= 1\n";
+    return 1;
+  }
+
+  SpmdParams params;
+  params.f = cli.get_double("f");
+  params.delta = static_cast<std::uint32_t>(cli.get_int("delta"));
+  params.recv_timeout =
+      std::chrono::milliseconds(cli.get_int("timeout-ms"));
+
+  FaultPlan plan;
+  plan.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  plan.default_link.drop = cli.get_double("drop");
+  plan.default_link.duplicate = cli.get_double("dup");
+  plan.journal_interval = static_cast<std::uint32_t>(cli.get_int("ckpt"));
+  const std::string kill = cli.get_string("kill");
+  if (!kill.empty()) {
+    const std::size_t at = kill.find('@');
+    if (at == std::string::npos) {
+      std::cerr << "--kill expects rank@step, e.g. --kill=3@200\n";
+      return 1;
+    }
+    plan.kill(std::stoi(kill.substr(0, at)),
+              static_cast<std::uint32_t>(std::stoul(kill.substr(at + 1))));
+  }
 
   // Shared, read-only demand.
   Rng wl_rng(31);
-  const Workload wl =
-      Workload::paper_benchmark(n, steps, WorkloadParams{}, wl_rng);
+  const Workload wl = Workload::paper_benchmark(
+      static_cast<std::uint32_t>(n), steps, WorkloadParams{}, wl_rng);
   Rng trace_rng(32);
   const Trace trace = Trace::record(wl, trace_rng);
 
   World world(n);
-  std::mutex report_mutex;
-  std::int64_t final_min = 0;
-  std::int64_t final_max = 0;
-  std::int64_t final_total = 0;
-  std::int64_t total_ops = 0;
-  std::int64_t total_moved = 0;
-
-  world.launch([&](Comm& comm) {
-    const auto me = static_cast<std::uint32_t>(comm.rank());
-    std::int64_t load = 0;
-    std::int64_t l_old = 0;
-    std::int64_t generated = 0;
-    std::int64_t consumed = 0;
-    std::int64_t ops = 0;
-    std::int64_t moved = 0;
-    // Every rank runs the SAME decision RNG: decisions are replicated,
-    // so no coordination messages are needed to agree on partners.
-    Rng decisions(4711);
-
-    for (std::uint32_t t = 0; t < steps; ++t) {
-      const WorkEvent ev = trace.at(me, t);
-      if (ev.generate) {
-        ++load;
-        ++generated;
-      }
-      if (ev.consume && load > 0) {
-        --load;
-        ++consumed;
-      }
-
-      // Replicated balancing round.
-      const bool grew = load > l_old &&
-                        static_cast<double>(load) >=
-                            f * static_cast<double>(l_old);
-      const bool shrank = load < l_old && l_old >= 1 &&
-                          static_cast<double>(load) <=
-                              static_cast<double>(l_old) / f;
-      const auto triggers = comm.allgather(grew || shrank ? 1 : 0);
-      auto loads = comm.allgather(load);
-
-      for (int initiator = 0; initiator < n; ++initiator) {
-        if (!triggers[static_cast<std::size_t>(initiator)]) continue;
-        // All ranks draw the same partners from the replicated RNG.
-        auto partners = decisions.sample_distinct(
-            static_cast<std::uint32_t>(n), delta,
-            static_cast<std::uint32_t>(initiator));
-        std::vector<std::uint32_t> group{
-            static_cast<std::uint32_t>(initiator)};
-        group.insert(group.end(), partners.begin(), partners.end());
-        std::int64_t pool = 0;
-        for (std::uint32_t g : group) pool += loads[g];
-        const auto m = static_cast<std::int64_t>(group.size());
-        const std::int64_t base = pool / m;
-        std::int64_t rem = pool % m;
-        // Deal shares deterministically (rotation from the replicated
-        // RNG keeps the remainder fair).
-        const std::size_t start = static_cast<std::size_t>(
-            decisions.below(group.size()));
-        std::vector<std::int64_t> share(group.size(), base);
-        for (std::int64_t k = 0; k < rem; ++k)
-          share[(start + static_cast<std::size_t>(k)) % group.size()] += 1;
-        // Point-to-point transfers: surplus members ship packets to
-        // deficit members (every rank computes the same flow plan, but
-        // only the endpoints act on it).
-        std::size_t give = 0;
-        std::size_t take = 0;
-        std::vector<std::int64_t> delta_v(group.size());
-        for (std::size_t i = 0; i < group.size(); ++i)
-          delta_v[i] = share[i] - loads[group[i]];
-        while (true) {
-          while (give < group.size() && delta_v[give] >= 0) ++give;
-          while (take < group.size() && delta_v[take] <= 0) ++take;
-          if (give >= group.size() || take >= group.size()) break;
-          const std::int64_t amount =
-              std::min(-delta_v[give], delta_v[take]);
-          if (group[give] == me)
-            comm.send(static_cast<int>(group[take]),
-                      static_cast<int>(t), {amount});
-          if (group[take] == me) {
-            const MpMessage msg =
-                comm.recv(static_cast<int>(group[give]),
-                          static_cast<int>(t));
-            moved += msg.payload[0];
-          }
-          delta_v[give] += amount;
-          delta_v[take] -= amount;
-        }
-        // Commit the replicated assignment; participants also reset
-        // their trigger baseline (§4: an operation counts as delta+1
-        // independent operations).
-        for (std::size_t i = 0; i < group.size(); ++i) {
-          loads[group[i]] = share[i];
-          if (group[i] == me) {
-            load = share[i];
-            l_old = share[i];
-          }
-        }
-        if (static_cast<std::uint32_t>(initiator) == me) ++ops;
-      }
-    }
-
-    // Machine-wide report via collectives.
-    const std::int64_t total = comm.allreduce_sum(load);
-    const std::int64_t lo = comm.allreduce_min(load);
-    const std::int64_t hi = comm.allreduce_max(load);
-    const std::int64_t all_ops = comm.allreduce_sum(ops);
-    const std::int64_t all_moved = comm.allreduce_sum(moved);
-    const std::int64_t all_gen = comm.allreduce_sum(generated);
-    const std::int64_t all_con = comm.allreduce_sum(consumed);
-    if (comm.rank() == 0) {
-      std::lock_guard<std::mutex> lock(report_mutex);
-      final_min = lo;
-      final_max = hi;
-      final_total = total;
-      total_ops = all_ops;
-      total_moved = all_moved;
-      if (total != all_gen - all_con)
-        std::cerr << "CONSERVATION VIOLATED\n";
-    }
-  });
+  world.set_fault_plan(plan);
+  const SpmdReport report = run_spmd_balancer(world, trace, params);
 
   TextTable table({"metric", "value"});
-  table.row().cell("ranks").cell(static_cast<long long>(n));
-  table.row().cell("final total load").cell(
-      static_cast<long long>(final_total));
-  table.row().cell("final min load").cell(
-      static_cast<long long>(final_min));
-  table.row().cell("final max load").cell(
-      static_cast<long long>(final_max));
-  table.row().cell("balancing rounds initiated").cell(
-      static_cast<long long>(total_ops));
-  table.row().cell("packets shipped (p2p)").cell(
-      static_cast<long long>(total_moved));
+  const auto row = [&](const char* name, long long value) {
+    table.row().cell(name).cell(value);
+  };
+  row("ranks", n);
+  row("ranks dead", report.ranks_dead);
+  row("final total load", report.total_load);
+  row("final min load (live)", report.min_live_load);
+  row("final max load (live)", report.max_live_load);
+  row("balancing rounds initiated", report.rounds_initiated);
+  row("packets shipped (p2p)", report.packets_shipped);
+  row("messages dropped", static_cast<long long>(report.messages_dropped));
+  row("messages duplicated",
+      static_cast<long long>(report.messages_duplicated));
+  row("recv timeouts", static_cast<long long>(report.recv_timeouts));
+  row("degraded rounds", static_cast<long long>(report.degraded_rounds));
+  row("transfer load declared lost", report.transfer_lost);
+  row("crash load lost (journal drift)", report.crash_lost);
   table.print(std::cout);
-  std::cout << "\nReplicated-decision SPMD balancing: collectives carry "
+
+  std::printf("\nconservation: %lld == %lld generated - %lld consumed - "
+              "%lld declared lost  =>  %s\n",
+              static_cast<long long>(report.total_load),
+              static_cast<long long>(report.generated),
+              static_cast<long long>(report.consumed),
+              static_cast<long long>(report.transfer_lost +
+                                     report.crash_lost),
+              report.conserved ? "HOLDS" : "VIOLATED");
+  std::cout << "Replicated-decision SPMD balancing: collectives carry "
                "the control plane, point-to-point messages carry the "
-               "packets.\n";
-  return 0;
+               "packets; faults degrade the imbalance, never the "
+               "ledger.\n";
+  return report.conserved ? 0 : 2;
 }

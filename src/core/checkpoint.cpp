@@ -141,4 +141,68 @@ System load_checkpoint(std::istream& is, const Topology* topology) {
   return system;
 }
 
+LoadJournal::LoadJournal(std::uint32_t ranks, std::uint32_t interval)
+    : interval_(interval), slots_(ranks) {
+  DLB_REQUIRE(interval >= 1, "journal interval must be >= 1");
+}
+
+void LoadJournal::reset() {
+  for (Slot& slot : slots_) slot = Slot{};
+}
+
+void LoadJournal::observe(std::uint32_t rank, std::uint32_t step,
+                          std::int64_t load, std::int64_t generated,
+                          std::int64_t consumed) {
+  DLB_REQUIRE(rank < slots_.size(), "journal rank out of range");
+  Slot& slot = slots_[rank];
+  if (slot.crashed) return;  // a dead rank's slot is frozen
+  slot.shadow_load = load;
+  slot.generated = generated;
+  slot.consumed = consumed;
+  if (step % interval_ == 0) {
+    slot.committed_load = load;
+    slot.committed_once = true;
+  }
+}
+
+std::int64_t LoadJournal::on_crash(std::uint32_t rank) {
+  DLB_REQUIRE(rank < slots_.size(), "journal rank out of range");
+  Slot& slot = slots_[rank];
+  if (slot.crashed) return 0;
+  slot.crashed = true;
+  // A rank that never reached a boundary recovers as empty; everything
+  // it held is drift.
+  if (!slot.committed_once) slot.committed_load = 0;
+  slot.crash_loss = slot.shadow_load - slot.committed_load;
+  return slot.crash_loss;
+}
+
+std::int64_t LoadJournal::recovered_load(std::uint32_t rank) const {
+  DLB_REQUIRE(rank < slots_.size(), "journal rank out of range");
+  const Slot& slot = slots_[rank];
+  return slot.crashed ? slot.committed_load : slot.shadow_load;
+}
+
+std::int64_t LoadJournal::generated(std::uint32_t rank) const {
+  DLB_REQUIRE(rank < slots_.size(), "journal rank out of range");
+  return slots_[rank].generated;
+}
+
+std::int64_t LoadJournal::consumed(std::uint32_t rank) const {
+  DLB_REQUIRE(rank < slots_.size(), "journal rank out of range");
+  return slots_[rank].consumed;
+}
+
+bool LoadJournal::crashed(std::uint32_t rank) const {
+  DLB_REQUIRE(rank < slots_.size(), "journal rank out of range");
+  return slots_[rank].crashed;
+}
+
+std::int64_t LoadJournal::total_crash_loss() const {
+  std::int64_t loss = 0;
+  for (const Slot& slot : slots_)
+    if (slot.crashed) loss += slot.crash_loss;
+  return loss;
+}
+
 }  // namespace dlb

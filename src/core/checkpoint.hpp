@@ -15,7 +15,9 @@
 // (dense 2n-cell rows) are still restorable.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <vector>
 
 #include "core/system.hpp"
 
@@ -28,5 +30,66 @@ void save_checkpoint(const System& system, std::ostream& os);
 /// network the saved system used (pass nullptr if none was used); it is
 /// NOT serialized because Topology is shared, immutable context.
 System load_checkpoint(std::istream& is, const Topology* topology = nullptr);
+
+/// Crash-recovery journal for the distributed runtimes.
+///
+/// Each rank reports (load, generated, consumed) once per step; the
+/// journal commits the load at every `interval`-step checkpoint boundary
+/// and keeps an always-current shadow.  When a rank crashes, its
+/// recovered load is the last *committed* value and the drift since that
+/// boundary — work the crash destroyed — is returned as declared loss,
+/// so conservation checks can hold modulo declared loss:
+///
+///   sum(final loads) == generated - consumed - declared_lost
+///
+/// Concurrency contract: each rank slot has exactly one writer (that
+/// rank's thread); aggregate readers run only after the threads joined.
+class LoadJournal {
+ public:
+  LoadJournal() = default;
+  LoadJournal(std::uint32_t ranks, std::uint32_t interval);
+
+  /// Re-arms the journal for a fresh run (same shape).
+  void reset();
+
+  /// Called by rank `rank`'s thread once per step, after applying the
+  /// step's demand.  Commits at boundaries (step % interval == 0).
+  void observe(std::uint32_t rank, std::uint32_t step, std::int64_t load,
+               std::int64_t generated, std::int64_t consumed);
+
+  /// Called by the crashing rank's thread as it dies.  Freezes the slot
+  /// and returns the load lost since the last checkpoint boundary
+  /// (shadow - committed; may be negative if load shrank since).
+  std::int64_t on_crash(std::uint32_t rank);
+
+  std::uint32_t ranks() const {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+  std::uint32_t interval() const { return interval_; }
+
+  /// The recovered load of `rank`: last committed value for crashed
+  /// ranks, current shadow for live ones.
+  std::int64_t recovered_load(std::uint32_t rank) const;
+  /// Exact counters at the last observe() (crash-exact for dead ranks).
+  std::int64_t generated(std::uint32_t rank) const;
+  std::int64_t consumed(std::uint32_t rank) const;
+  bool crashed(std::uint32_t rank) const;
+
+  /// Sum over crashed ranks of (load at death - last committed load).
+  std::int64_t total_crash_loss() const;
+
+ private:
+  struct Slot {
+    std::int64_t shadow_load = 0;
+    std::int64_t committed_load = 0;
+    std::int64_t generated = 0;
+    std::int64_t consumed = 0;
+    std::int64_t crash_loss = 0;
+    bool committed_once = false;
+    bool crashed = false;
+  };
+  std::uint32_t interval_ = 1;
+  std::vector<Slot> slots_;
+};
 
 }  // namespace dlb

@@ -16,7 +16,7 @@ void Comm::send(int dest, int tag, std::vector<std::int64_t> payload) {
   msg.source = rank_;
   msg.tag = tag;
   msg.payload = std::move(payload);
-  world_->post(dest, std::move(msg));
+  world_->faulty_send(rank_, dest, std::move(msg));
 }
 
 MpMessage Comm::recv(int source, int tag) {
@@ -27,31 +27,76 @@ std::optional<MpMessage> Comm::try_recv(int source, int tag) {
   return world_->poll_recv(rank_, source, tag);
 }
 
+std::optional<MpMessage> Comm::recv_for(int source, int tag,
+                                        std::chrono::milliseconds timeout) {
+  return world_->timed_recv(rank_, source, tag, timeout);
+}
+
 void Comm::barrier() { (void)world_->gather_all(rank_, 0); }
+
+bool Comm::barrier_checked() {
+  return world_->gather_all(rank_, 0).degraded;
+}
 
 std::int64_t Comm::broadcast(std::int64_t value, int root) {
   DLB_REQUIRE(root >= 0 && root < world_->size(), "invalid root");
-  return world_->gather_all(rank_, value)[static_cast<std::size_t>(root)];
+  return world_->gather_all(rank_, value)
+      .values[static_cast<std::size_t>(root)];
 }
 
 std::int64_t Comm::allreduce_sum(std::int64_t value) {
   std::int64_t total = 0;
-  for (std::int64_t v : world_->gather_all(rank_, value)) total += v;
+  for (std::int64_t v : world_->gather_all(rank_, value).values) total += v;
   return total;
 }
 
 std::int64_t Comm::allreduce_min(std::int64_t value) {
-  const auto all = world_->gather_all(rank_, value);
-  return *std::min_element(all.begin(), all.end());
+  const GatherResult all = world_->gather_all(rank_, value);
+  std::int64_t best = value;
+  for (std::size_t r = 0; r < all.values.size(); ++r)
+    if (all.alive[r]) best = std::min(best, all.values[r]);
+  return best;
 }
 
 std::int64_t Comm::allreduce_max(std::int64_t value) {
-  const auto all = world_->gather_all(rank_, value);
-  return *std::max_element(all.begin(), all.end());
+  const GatherResult all = world_->gather_all(rank_, value);
+  std::int64_t best = value;
+  for (std::size_t r = 0; r < all.values.size(); ++r)
+    if (all.alive[r]) best = std::max(best, all.values[r]);
+  return best;
 }
 
 std::vector<std::int64_t> Comm::allgather(std::int64_t value) {
+  return world_->gather_all(rank_, value).values;
+}
+
+GatherResult Comm::allgather_checked(std::int64_t value) {
   return world_->gather_all(rank_, value);
+}
+
+void Comm::tick() {
+  if (world_->faults_armed_ &&
+      world_->plan_.crash_step(rank_) == static_cast<std::int64_t>(step_)) {
+    world_->mark_dead(rank_, step_);
+    throw RankCrashed{rank_, step_};
+  }
+  ++step_;
+}
+
+void Comm::journal(std::int64_t load, std::int64_t generated,
+                   std::int64_t consumed) {
+  world_->journal_.observe(static_cast<std::uint32_t>(rank_), step_, load,
+                           generated, consumed);
+}
+
+void Comm::declare_lost(std::int64_t amount) {
+  std::lock_guard<std::mutex> lock(world_->stats_mutex_);
+  world_->stats_.declared_lost_load += amount;
+}
+
+bool Comm::rank_alive(int rank) const {
+  DLB_REQUIRE(rank >= 0 && rank < world_->size(), "invalid rank");
+  return world_->status(rank) == World::RankStatus::Alive;
 }
 
 World::World(int size) : size_(size) {
@@ -60,10 +105,66 @@ World::World(int size) : size_(size) {
   for (int r = 0; r < size; ++r)
     mailboxes_.push_back(std::make_unique<Mailbox>());
   collective_.slots.assign(static_cast<std::size_t>(size), 0);
+  collective_.alive_snapshot.assign(static_cast<std::size_t>(size), 1);
+  statuses_ =
+      std::make_unique<std::atomic<std::uint8_t>[]>(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r)
+    statuses_[static_cast<std::size_t>(r)].store(
+        static_cast<std::uint8_t>(RankStatus::Alive),
+        std::memory_order_relaxed);
+  journal_ = LoadJournal(static_cast<std::uint32_t>(size), 1);
+}
+
+void World::set_fault_plan(FaultPlan plan) {
+  DLB_REQUIRE(plan.journal_interval >= 1, "journal interval must be >= 1");
+  for (const CrashEvent& c : plan.crashes)
+    DLB_REQUIRE(c.rank >= 0 && c.rank < size_, "crash rank out of range");
+  plan_ = std::move(plan);
+}
+
+void World::arm_launch() {
+  faults_armed_ = plan_.enabled();
+  for (int r = 0; r < size_; ++r)
+    statuses_[static_cast<std::size_t>(r)].store(
+        static_cast<std::uint8_t>(RankStatus::Alive),
+        std::memory_order_release);
+  // A crashed launch can strand messages and leave a round half-open;
+  // re-arm from a clean slate so launches are independent.
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mutex);
+    box->messages.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(collective_.mutex);
+    collective_.arrived = 0;
+    collective_.departing = 0;
+    collective_.generation = 0;
+    std::fill(collective_.slots.begin(), collective_.slots.end(), 0);
+    std::fill(collective_.alive_snapshot.begin(),
+              collective_.alive_snapshot.end(), 1);
+    collective_.degraded_snapshot = false;
+  }
+  journal_ = LoadJournal(static_cast<std::uint32_t>(size_),
+                         plan_.journal_interval);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_ = FaultStats{};
+  }
+  links_.clear();
+  if (faults_armed_) {
+    links_.resize(static_cast<std::size_t>(size_) *
+                  static_cast<std::size_t>(size_));
+    for (int s = 0; s < size_; ++s)
+      for (int d = 0; d < size_; ++d)
+        links_[static_cast<std::size_t>(s) * static_cast<std::size_t>(size_) +
+               static_cast<std::size_t>(d)]
+            .faults.reset(plan_.seed, s, d, plan_.default_link);
+  }
 }
 
 void World::launch(const std::function<void(Comm&)>& body) {
   DLB_REQUIRE(static_cast<bool>(body), "launch needs a body");
+  arm_launch();
   std::exception_ptr first_error;
   std::mutex error_mutex;
   std::vector<std::thread> threads;
@@ -73,14 +174,41 @@ void World::launch(const std::function<void(Comm&)>& body) {
       Comm comm(*this, r);
       try {
         body(comm);
+        // Normal completion: release any delayed in-flight messages
+        // (fault-free semantics must not lose traffic), then announce
+        // termination so peers error out instead of waiting forever.
+        flush_held(r);
+        mark_terminated(r);
+      } catch (const RankCrashed&) {
+        // Scheduled death, already marked dead in tick(); in-flight
+        // (held) packets strand with the crash.
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        mark_terminated(r);
       }
     });
   }
   for (auto& thread : threads) thread.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+FaultStats World::fault_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+bool World::rank_dead(int rank) const {
+  DLB_REQUIRE(rank >= 0 && rank < size_, "invalid rank");
+  return status(rank) == RankStatus::Dead;
+}
+
+World::RankStatus World::status(int rank) const {
+  return static_cast<RankStatus>(
+      statuses_[static_cast<std::size_t>(rank)].load(
+          std::memory_order_acquire));
 }
 
 void World::post(int dest, MpMessage message) {
@@ -92,24 +220,140 @@ void World::post(int dest, MpMessage message) {
   box.cv.notify_all();
 }
 
+void World::faulty_send(int source, int dest, MpMessage message) {
+  if (!faults_armed_) {
+    post(dest, std::move(message));
+    return;
+  }
+  if (status(dest) == RankStatus::Dead) {
+    // The wire to a dead rank leads nowhere; count it so protocols'
+    // accounting can reconcile.
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.sends_to_dead;
+    return;
+  }
+  Link& link = links_[static_cast<std::size_t>(source) *
+                          static_cast<std::size_t>(size_) +
+                      static_cast<std::size_t>(dest)];
+  const FaultDecision decision = link.faults.next();
+  if (decision.drop) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.messages_dropped;
+    return;
+  }
+  // A message marked `delay` is stashed and released just after the next
+  // message that actually flows on this link (a deterministic reorder);
+  // a previously held message is released now.
+  std::optional<MpMessage> release = std::move(link.held);
+  link.held.reset();
+  if (decision.delay) {
+    link.held = std::move(message);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.messages_delayed;
+    }
+    if (release) post(dest, std::move(*release));
+    return;
+  }
+  if (decision.duplicate) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.messages_duplicated;
+    }
+    post(dest, message);  // copy
+  }
+  post(dest, std::move(message));
+  if (release) post(dest, std::move(*release));
+}
+
+void World::flush_held(int source) {
+  if (!faults_armed_) return;
+  for (int d = 0; d < size_; ++d) {
+    Link& link = links_[static_cast<std::size_t>(source) *
+                            static_cast<std::size_t>(size_) +
+                        static_cast<std::size_t>(d)];
+    if (link.held && status(d) != RankStatus::Dead)
+      post(d, std::move(*link.held));
+    link.held.reset();
+  }
+}
+
+void World::wake_all_mailboxes() {
+  for (auto& box : mailboxes_) {
+    { std::lock_guard<std::mutex> lock(box->mutex); }
+    box->cv.notify_all();
+  }
+}
+
+void World::mark_dead(int rank, std::uint32_t step) {
+  (void)step;
+  const std::int64_t drift =
+      journal_.on_crash(static_cast<std::uint32_t>(rank));
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.ranks_dead;
+    stats_.declared_lost_load += drift;
+  }
+  {
+    std::lock_guard<std::mutex> lock(collective_.mutex);
+    statuses_[static_cast<std::size_t>(rank)].store(
+        static_cast<std::uint8_t>(RankStatus::Dead),
+        std::memory_order_release);
+    // Our absence may be exactly what an open round was waiting for.
+    maybe_complete_round_locked();
+  }
+  collective_.cv.notify_all();
+  wake_all_mailboxes();
+}
+
+void World::mark_terminated(int rank) {
+  {
+    std::lock_guard<std::mutex> lock(collective_.mutex);
+    statuses_[static_cast<std::size_t>(rank)].store(
+        static_cast<std::uint8_t>(RankStatus::Terminated),
+        std::memory_order_release);
+  }
+  collective_.cv.notify_all();
+  wake_all_mailboxes();
+}
+
 namespace {
 bool matches(const MpMessage& msg, int source, int tag) {
   return (source < 0 || msg.source == source) &&
          (tag < 0 || msg.tag == tag);
 }
+
+template <typename Deque>
+std::optional<MpMessage> take_match(Deque& messages, int source, int tag) {
+  for (auto it = messages.begin(); it != messages.end(); ++it) {
+    if (matches(*it, source, tag)) {
+      MpMessage out = std::move(*it);
+      messages.erase(it);
+      return out;
+    }
+  }
+  return std::nullopt;
+}
 }  // namespace
 
+bool World::can_still_arrive(int receiver, int source) const {
+  if (source >= 0) return status(source) == RankStatus::Alive;
+  for (int r = 0; r < size_; ++r) {
+    if (r == receiver) continue;
+    if (status(r) == RankStatus::Alive) return true;
+  }
+  return false;
+}
+
 MpMessage World::wait_recv(int rank, int source, int tag) {
+  DLB_REQUIRE(source < size_, "invalid source");
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
   std::unique_lock<std::mutex> lock(box.mutex);
   while (true) {
-    for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
-      if (matches(*it, source, tag)) {
-        MpMessage out = std::move(*it);
-        box.messages.erase(it);
-        return out;
-      }
-    }
+    if (auto out = take_match(box.messages, source, tag)) return *out;
+    DLB_ENSURE(can_still_arrive(rank, source),
+               "recv would block forever: source terminated or crashed "
+               "with no matching message queued");
     box.cv.wait(lock);
   }
 }
@@ -117,35 +361,95 @@ MpMessage World::wait_recv(int rank, int source, int tag) {
 std::optional<MpMessage> World::poll_recv(int rank, int source, int tag) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
   std::lock_guard<std::mutex> lock(box.mutex);
-  for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
-    if (matches(*it, source, tag)) {
-      MpMessage out = std::move(*it);
-      box.messages.erase(it);
-      return out;
-    }
-  }
-  return std::nullopt;
+  return take_match(box.messages, source, tag);
 }
 
-std::vector<std::int64_t> World::gather_all(int rank, std::int64_t value) {
+std::optional<MpMessage> World::timed_recv(int rank, int source, int tag,
+                                           std::chrono::milliseconds timeout) {
+  DLB_REQUIRE(source < size_, "invalid source");
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(box.mutex);
+  while (true) {
+    if (auto out = take_match(box.messages, source, tag)) return out;
+    if (!can_still_arrive(rank, source)) return std::nullopt;
+    if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return take_match(box.messages, source, tag);
+    }
+  }
+}
+
+int World::live_count_locked() const {
+  int live = 0;
+  for (int r = 0; r < size_; ++r)
+    if (status(r) == RankStatus::Alive) ++live;
+  return live;
+}
+
+void World::maybe_complete_round_locked() {
+  CollectiveState& c = collective_;
+  if (c.arrived == 0) return;
+  // Only *crashed* (Dead) ranks may be absent from a closing round --
+  // that is the tolerated, degraded case.  A rank that *terminated*
+  // (ran off the end of its program) signals a mismatched SPMD program:
+  // leave the round open so every waiter hits the mismatch error
+  // instead of silently closing a degraded round over its absence.
+  for (int r = 0; r < size_; ++r)
+    if (status(r) == RankStatus::Terminated) return;
+  if (c.arrived < live_count_locked()) return;
+  // Everyone who can still arrive has: snapshot, mark dead slots, turn
+  // the round over.  (Arrivers are necessarily alive — ranks only die at
+  // their own tick(), never inside a collective.)
+  c.snapshot = c.slots;
+  c.degraded_snapshot = false;
+  for (int r = 0; r < size_; ++r) {
+    const bool alive = status(r) == RankStatus::Alive;
+    c.alive_snapshot[static_cast<std::size_t>(r)] = alive ? 1 : 0;
+    if (!alive) {
+      c.snapshot[static_cast<std::size_t>(r)] = 0;
+      c.degraded_snapshot = true;
+    }
+  }
+  c.departing = c.arrived;
+  c.arrived = 0;
+  ++c.generation;
+  c.cv.notify_all();
+}
+
+GatherResult World::gather_all(int rank, std::int64_t value) {
   CollectiveState& c = collective_;
   std::unique_lock<std::mutex> lock(c.mutex);
+  const auto mismatched_peer = [&] {
+    for (int r = 0; r < size_; ++r)
+      if (r != rank && status(r) == RankStatus::Terminated) return true;
+    return false;
+  };
   // Entry gate: a new round may not start while the previous round's
   // participants are still reading its snapshot.
-  c.cv.wait(lock, [&] { return c.departing == 0; });
+  c.cv.wait(lock, [&] { return c.departing == 0 || mismatched_peer(); });
+  DLB_ENSURE(!mismatched_peer(),
+             "collective entered after a peer terminated: mismatched "
+             "SPMD program (this used to deadlock)");
   const std::uint64_t generation = c.generation;
   c.slots[static_cast<std::size_t>(rank)] = value;
   ++c.arrived;
-  if (c.arrived == size_) {
-    c.snapshot = c.slots;
-    c.arrived = 0;
-    c.departing = size_;
-    ++c.generation;
-    c.cv.notify_all();
-  } else {
-    c.cv.wait(lock, [&] { return c.generation != generation; });
+  maybe_complete_round_locked();
+  while (c.generation == generation) {
+    // A peer's death may have made the open round completable; any
+    // waiter may promote itself to completer.  Check completion before
+    // the mismatch check: a peer terminating right after this round
+    // closed must not read as abandonment.
+    maybe_complete_round_locked();
+    if (c.generation != generation) break;
+    DLB_ENSURE(!mismatched_peer(),
+               "collective abandoned: a peer terminated mid-round "
+               "(this used to deadlock)");
+    c.cv.wait(lock);
   }
-  std::vector<std::int64_t> result = c.snapshot;
+  GatherResult result;
+  result.values = c.snapshot;
+  result.alive = c.alive_snapshot;
+  result.degraded = c.degraded_snapshot;
   if (--c.departing == 0) c.cv.notify_all();
   return result;
 }

@@ -10,6 +10,30 @@
 // the API mirrors the message-passing model so the SPMD balancer in
 // examples/spmd_balancer.cpp reads like its historical counterpart.
 //
+// Fault model (mp/fault.hpp): a seeded FaultPlan may be installed on the
+// World before launch.  Point-to-point traffic is then subject to
+// per-link message drop/duplication/delay, and every rank to the crash
+// schedule.  Collectives are crash-aware — they complete over the live
+// ranks and report degradation — but their control plane is modeled as
+// reliable (real MPI collectives sit on retransmitting transports; the
+// interesting failure is a *participant* dying, not a lost token):
+//   - Comm::tick() advances the rank's step clock and throws RankCrashed
+//     at the scheduled step; World::launch absorbs the throw and marks
+//     the rank dead (not an error).
+//   - recv_for() is the deadline-based receive for protocols that must
+//     survive a silent partner.
+//   - *_checked collectives complete without dead ranks and report a
+//     `degraded` flag plus a per-rank alive mask instead of hanging.
+//   - Comm::journal() feeds the crash-recovery LoadJournal so a dead
+//     rank's load is recovered from its last checkpoint boundary.
+// Without a plan (or with an inert one) every path is byte-identical to
+// the fault-free implementation.
+//
+// Liveness contract: a blocking recv() whose source can no longer send
+// (terminated or crashed peer, no matching message) and a collective
+// entered after any peer *terminated* raise contract_error instead of
+// blocking forever — a mismatched SPMD program is a bug, not a hang.
+//
 // Usage:
 //   World world(8);                     // 8 ranks
 //   world.launch([](Comm& comm) {       // SPMD: every rank runs this
@@ -20,6 +44,8 @@
 //   });
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -29,6 +55,9 @@
 #include <optional>
 #include <vector>
 
+#include "core/checkpoint.hpp"
+#include "mp/fault.hpp"
+
 namespace dlb {
 
 /// A point-to-point message: a small vector of 64-bit words.
@@ -36,6 +65,27 @@ struct MpMessage {
   int source = -1;
   int tag = 0;
   std::vector<std::int64_t> payload;
+};
+
+/// Control-flow signal thrown by Comm::tick() when the fault plan kills
+/// the rank.  Deliberately NOT derived from std::exception: application
+/// catch(std::exception&) blocks must not swallow a scheduled crash.
+struct RankCrashed {
+  int rank = -1;
+  std::uint32_t step = 0;
+};
+
+/// Result of a crash-aware collective.
+struct GatherResult {
+  std::vector<std::int64_t> values;  // dead ranks contribute 0
+  std::vector<std::uint8_t> alive;   // liveness mask at round completion
+  bool degraded = false;             // true iff any rank was dead
+
+  int live_count() const {
+    int n = 0;
+    for (std::uint8_t a : alive) n += a;
+    return n;
+  }
 };
 
 class World;
@@ -51,18 +101,31 @@ class Comm {
 
   /// Receives the oldest matching message; blocks until one arrives.
   /// source == -1 matches any source; tag == -1 matches any tag.
+  /// Raises contract_error when no matching message can ever arrive
+  /// (the source — or, for any-source, every peer — has terminated or
+  /// crashed and nothing matching is queued).
   MpMessage recv(int source = -1, int tag = -1);
 
   /// Non-blocking probe-and-receive; nullopt when nothing matches.
   std::optional<MpMessage> try_recv(int source = -1, int tag = -1);
 
-  /// Collective: all ranks must call; returns when everyone arrived.
+  /// Deadline-based receive: waits up to `timeout` for a matching
+  /// message.  Returns nullopt on timeout, and returns nullopt early
+  /// when the source is dead/terminated with nothing matching queued.
+  std::optional<MpMessage> recv_for(int source, int tag,
+                                    std::chrono::milliseconds timeout);
+
+  /// Collective: all live ranks must call; returns when everyone arrived.
   void barrier();
+  /// Crash-aware barrier: returns true when the round was degraded
+  /// (some rank dead) instead of hanging on the dead rank.
+  bool barrier_checked();
 
   /// Collective: rank `root`'s value is returned on every rank.
+  /// (0 when `root` is dead.)
   std::int64_t broadcast(std::int64_t value, int root);
 
-  /// Collectives over one int64 per rank.
+  /// Collectives over one int64 per rank (live ranks only).
   std::int64_t allreduce_sum(std::int64_t value);
   std::int64_t allreduce_min(std::int64_t value);
   std::int64_t allreduce_max(std::int64_t value);
@@ -70,12 +133,32 @@ class Comm {
   /// Collective: every rank receives the full vector of contributions,
   /// indexed by rank.
   std::vector<std::int64_t> allgather(std::int64_t value);
+  /// Crash-aware allgather: values plus alive mask plus degraded flag.
+  GatherResult allgather_checked(std::int64_t value);
+
+  /// Advances this rank's step clock; throws RankCrashed when the fault
+  /// plan schedules this rank's death at the current step.
+  void tick();
+  std::uint32_t step() const { return step_; }
+
+  /// Records this rank's (load, generated, consumed) into the crash
+  /// journal for the current step (see LoadJournal).
+  void journal(std::int64_t load, std::int64_t generated = 0,
+               std::int64_t consumed = 0);
+
+  /// Protocol-level loss accounting: adds `amount` to the world's
+  /// declared-lost ledger (e.g. a transfer the receiver timed out on).
+  void declare_lost(std::int64_t amount);
+
+  /// Current liveness of a rank (true until it crashes or terminates).
+  bool rank_alive(int rank) const;
 
  private:
   friend class World;
   Comm(World& world, int rank) : world_(&world), rank_(rank) {}
   World* world_;
   int rank_;
+  std::uint32_t step_ = 0;
 };
 
 /// The SPMD "machine": owns the mailboxes and collective state.
@@ -85,13 +168,30 @@ class World {
 
   int size() const { return size_; }
 
+  /// Installs the fault schedule applied by the next launch().  Must not
+  /// be called while a launch is running.  An inert (default) plan
+  /// leaves behaviour byte-identical to the fault-free implementation.
+  void set_fault_plan(FaultPlan plan);
+  const FaultPlan& fault_plan() const { return plan_; }
+
   /// Runs `body` on every rank concurrently (one thread per rank) and
-  /// joins.  Exceptions thrown by any rank are rethrown (the first one)
-  /// after all threads finish.  May be called repeatedly.
+  /// joins.  RankCrashed escapes are absorbed (the rank is marked dead);
+  /// real exceptions thrown by any rank are rethrown (the first one)
+  /// after all threads finish.  May be called repeatedly; fault/liveness
+  /// state is re-armed per launch.
   void launch(const std::function<void(Comm&)>& body);
+
+  /// Fault accounting of the most recent launch().
+  FaultStats fault_stats() const;
+  /// Crash journal of the most recent launch() (valid after it returns).
+  const LoadJournal& journal() const { return journal_; }
+  /// True when `rank` crashed during the most recent launch().
+  bool rank_dead(int rank) const;
 
  private:
   friend class Comm;
+
+  enum class RankStatus : std::uint8_t { Alive = 0, Dead = 1, Terminated = 2 };
 
   struct Mailbox {
     std::mutex mutex;
@@ -107,16 +207,49 @@ class World {
     std::uint64_t generation = 0;
     std::vector<std::int64_t> slots;
     std::vector<std::int64_t> snapshot;
+    std::vector<std::uint8_t> alive_snapshot;
+    bool degraded_snapshot = false;
+  };
+
+  /// Per ordered link (source, dest): fault decision stream plus the
+  /// delayed-message slot.  Touched only by the source rank's thread.
+  struct Link {
+    LinkFaultState faults;
+    std::optional<MpMessage> held;
   };
 
   void post(int dest, MpMessage message);
+  void faulty_send(int source, int dest, MpMessage message);
+  void flush_held(int source);
   MpMessage wait_recv(int rank, int source, int tag);
   std::optional<MpMessage> poll_recv(int rank, int source, int tag);
-  std::vector<std::int64_t> gather_all(int rank, std::int64_t value);
+  std::optional<MpMessage> timed_recv(int rank, int source, int tag,
+                                      std::chrono::milliseconds timeout);
+  GatherResult gather_all(int rank, std::int64_t value);
+
+  void arm_launch();
+  void mark_dead(int rank, std::uint32_t step);
+  void mark_terminated(int rank);
+  void wake_all_mailboxes();
+  RankStatus status(int rank) const;
+  int live_count_locked() const;      // requires collective_.mutex
+  void maybe_complete_round_locked(); // requires collective_.mutex
+  /// True when a matching message from `source` can still be produced.
+  bool can_still_arrive(int receiver, int source) const;
 
   int size_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   CollectiveState collective_;
+
+  FaultPlan plan_;
+  bool faults_armed_ = false;
+  std::vector<Link> links_;  // size_ * size_, row-major by source
+  std::unique_ptr<std::atomic<std::uint8_t>[]> statuses_;
+  LoadJournal journal_;
+
+  // Counters; guarded by stats_mutex_ (fault paths only, never hot).
+  mutable std::mutex stats_mutex_;
+  FaultStats stats_;
 };
 
 }  // namespace dlb

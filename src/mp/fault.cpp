@@ -1,0 +1,37 @@
+#include "mp/fault.hpp"
+
+namespace dlb {
+
+void LinkFaultState::reset(std::uint64_t plan_seed, int source, int dest,
+                           const LinkFaultConfig& config) {
+  config_ = config;
+  // Derive an independent stream per ordered link: hash the link id into
+  // the plan seed through SplitMix64 (the same construction Rng uses to
+  // expand seeds), so neighbouring links do not share correlated draws.
+  SplitMix64 mix(plan_seed);
+  const std::uint64_t base = mix.next();
+  const std::uint64_t link =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(source)) << 32) |
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(dest));
+  rng_ = Rng(base ^ (link * 0x9e3779b97f4a7c15ULL));
+}
+
+FaultDecision LinkFaultState::next() {
+  FaultDecision d;
+  if (!config_.any()) return d;
+  // One uniform draw per knob keeps the stream length independent of the
+  // probabilities, so changing one probability does not reshuffle the
+  // other faults' positions in the schedule.
+  const double u_drop = rng_.uniform01();
+  const double u_dup = rng_.uniform01();
+  const double u_delay = rng_.uniform01();
+  if (u_drop < config_.drop) {
+    d.drop = true;
+    return d;  // a dropped message cannot also be duplicated or delayed
+  }
+  d.duplicate = u_dup < config_.duplicate;
+  d.delay = u_delay < config_.delay;
+  return d;
+}
+
+}  // namespace dlb

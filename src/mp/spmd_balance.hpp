@@ -1,0 +1,91 @@
+// The balancing algorithm in SPMD message-passing style — the shape of
+// the paper's transputer implementations [7, 8] — as a reusable,
+// failure-tolerant library routine shared by examples/spmd_balancer,
+// bench/fault_sweep and the mp fault tests.
+//
+// Bulk-synchronous variant: each global step every rank applies its
+// local demand, then the machine runs one *deterministic replicated*
+// balancing round — every rank allgathers (trigger?, load) pairs, runs
+// the same seeded RNG to draw partners for each triggered initiator,
+// and computes identical assignments; only the actual packet transfers
+// use point-to-point messages.  Replicated deterministic decisions are
+// a classic SPMD trick: no coordinator and no races, at the cost of a
+// collective per step.
+//
+// Failure tolerance (mp/fault.hpp):
+//   - Crashes: ranks tick a step clock; a rank killed by the fault plan
+//     drops out, the crash-aware collectives complete without it, and
+//     every survivor sees the same alive mask in the same round, so the
+//     replicated decisions stay replicated.  Dead ranks are excluded
+//     from triggering, from partner draws (survivors redraw uniformly
+//     over the live set) and from transfer flows.  A dead rank's load
+//     is recovered from its last journal checkpoint; the drift since
+//     that boundary is declared lost.
+//   - Message loss: transfer packets carry real load, so the sender
+//     debits itself at send time and the receiver credits itself only
+//     on arrival; a receiver that times out on an expected transfer
+//     declares the planned amount lost.  Total load is therefore
+//     conserved modulo *declared* loss under arbitrary drop rates:
+//       sum(final) == generated - consumed - declared_lost - crash_lost
+//   - Every flow gets a unique tag, so losses cannot cross-match two
+//     transfers between the same pair in the same step.
+//
+// With an inert fault plan the run is bit-identical to the historical
+// fault-free example; with a fixed (seed, fault plan) pair the whole
+// trace — loads, counters, declared losses — is reproducible.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "mp/communicator.hpp"
+#include "workload/trace.hpp"
+
+namespace dlb {
+
+struct SpmdParams {
+  double f = 1.2;
+  std::uint32_t delta = 2;
+  /// Seed of the replicated decision RNG (identical on every rank).
+  std::uint64_t decision_seed = 4711;
+  /// Deadline for each expected point-to-point transfer.  Generous
+  /// relative to in-process delivery (microseconds), so it only expires
+  /// for genuinely lost messages or dead partners.
+  std::chrono::milliseconds recv_timeout{50};
+};
+
+/// Machine-wide outcome of one SPMD run, assembled after the launch
+/// from the crash journal, the fault counters and per-rank tallies.
+struct SpmdReport {
+  std::vector<std::int64_t> final_loads;  // recovered loads, incl. dead
+  std::int64_t total_load = 0;
+  std::int64_t min_live_load = 0;
+  std::int64_t max_live_load = 0;
+  std::int64_t generated = 0;
+  std::int64_t consumed = 0;
+  /// Transfer load declared lost by receivers (drops / timeouts).
+  std::int64_t transfer_lost = 0;
+  /// Load lost to crash drift (work past the last journal boundary).
+  std::int64_t crash_lost = 0;
+  std::int64_t rounds_initiated = 0;
+  std::int64_t packets_shipped = 0;
+  std::uint64_t recv_timeouts = 0;
+  std::uint64_t degraded_rounds = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t messages_delayed = 0;
+  std::uint32_t ranks_dead = 0;
+  /// sum(final) == generated - consumed - transfer_lost - crash_lost
+  bool conserved = false;
+  /// max/avg over live ranks (1.0 when perfectly balanced).
+  double max_over_avg = 0.0;
+};
+
+/// Runs the replicated-decision balancer over `trace` on `world`
+/// (world.size() must equal trace.processors()).  Install a FaultPlan
+/// on the world beforehand to exercise the failure paths.
+SpmdReport run_spmd_balancer(World& world, const Trace& trace,
+                             const SpmdParams& params);
+
+}  // namespace dlb

@@ -6,6 +6,7 @@
 // through a Shutdown message so no event is ever lost).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -37,6 +38,20 @@ class Mailbox {
 
   std::optional<T> try_recv() {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T out = std::move(queue_.front());
+    queue_.pop_front();
+    return out;
+  }
+
+  /// Deadline-based receive for failure-tolerant protocols: blocks up
+  /// to `timeout` and returns nullopt when nothing arrived (or the
+  /// mailbox was closed and drained) by then.
+  std::optional<T> recv_for(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!cv_.wait_for(lock, timeout,
+                      [&] { return !queue_.empty() || closed_; }))
+      return std::nullopt;
     if (queue_.empty()) return std::nullopt;
     T out = std::move(queue_.front());
     queue_.pop_front();

@@ -1,6 +1,10 @@
 #include "runtime/threaded_system.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 #include "support/check.hpp"
 
@@ -10,10 +14,27 @@ class ThreadedSystem::Worker {
  public:
   Worker(std::uint32_t id, ThreadedSystem& owner, const Trace& trace,
          std::uint64_t seed)
-      : id_(id), owner_(owner), trace_(trace), rng_(seed) {}
+      : id_(id), owner_(owner), trace_(trace), rng_(seed) {
+    if (owner_.faults_on_) {
+      links_.resize(owner_.processors_);
+      held_.resize(owner_.processors_);
+      for (std::uint32_t d = 0; d < owner_.processors_; ++d)
+        links_[d].reset(owner_.config_.faults.seed, static_cast<int>(id_),
+                        static_cast<int>(d),
+                        owner_.config_.faults.default_link);
+    }
+  }
 
   void operator()() {
+    const std::int64_t crash_at =
+        owner_.faults_on_
+            ? owner_.config_.faults.crash_step(static_cast<int>(id_))
+            : -1;
     for (std::uint32_t t = 0; t < trace_.horizon(); ++t) {
+      if (crash_at >= 0 && crash_at == static_cast<std::int64_t>(t)) {
+        die();
+        return;
+      }
       // Serve any pending invites before acting, so heavily loaded
       // threads cannot starve their partners.
       drain_mailbox();
@@ -31,9 +52,15 @@ class ThreadedSystem::Worker {
         }
       }
       maybe_balance();
+      if (owner_.faults_on_)
+        owner_.journal_.observe(
+            id_, t, load_, static_cast<std::int64_t>(stats_.generated),
+            static_cast<std::int64_t>(stats_.consumed));
     }
-    // Finished our own demand: keep serving transactions from slower
-    // threads until everyone is done and the Shutdown message arrives.
+    // Finished our own demand: release delayed in-flight messages, then
+    // keep serving transactions from slower threads until everyone is
+    // done and the Shutdown message arrives.
+    flush_held();
     owner_.done_count_.fetch_add(1, std::memory_order_acq_rel);
     serve_until_shutdown();
   }
@@ -44,10 +71,79 @@ class ThreadedSystem::Worker {
  private:
   using Message = ThreadedSystem::Message;
 
+  bool is_dead(std::uint32_t p) const {
+    return owner_.dead_[p].load(std::memory_order_acquire) != 0;
+  }
+
+  /// Scheduled crash: journal-recover the load (drift is declared
+  /// lost), raise the dead flag so survivors blacklist us, and stop
+  /// participating — held (delayed) messages strand with the crash.
+  /// The thread lingers as a silent zombie draining its mailbox until
+  /// Shutdown: it never replies, but it must account Assign deltas that
+  /// were in flight toward it when it died (senders that saw the dead
+  /// flag account on their side; exactly one side sees each message).
+  void die() {
+    stats_.lost_load += owner_.journal_.on_crash(id_);
+    stats_.ranks_dead = 1;
+    owner_.dead_[id_].store(1, std::memory_order_release);
+    owner_.done_count_.fetch_add(1, std::memory_order_acq_rel);
+    while (true) {
+      auto msg = owner_.mailboxes_[id_]->recv();
+      if (!msg.has_value() || msg->type == Message::Type::Shutdown) return;
+      if (msg->type == Message::Type::Assign &&
+          completed_.count(msg->txn) == 0) {
+        account_lost(*msg);
+        completed_.insert(msg->txn);  // a duplicate is not lost twice
+      }
+    }
+  }
+
+  /// A lost Assign's delta is load in no one's ledger; everything else
+  /// is control traffic.
+  void account_lost(const Message& msg) {
+    ++stats_.lost_packets;
+    if (msg.type == Message::Type::Assign) stats_.lost_load += msg.load;
+  }
+
+  void deliver(std::uint32_t to, const Message& msg) {
+    owner_.mailboxes_[to]->send(msg);
+  }
+
   void send(std::uint32_t to, Message msg) {
     msg.from = id_;
     ++stats_.messages;
-    owner_.mailboxes_[to]->send(msg);
+    if (!owner_.faults_on_) {
+      deliver(to, msg);
+      return;
+    }
+    if (is_dead(to)) {
+      account_lost(msg);
+      return;
+    }
+    const FaultDecision decision = links_[to].next();
+    if (decision.drop) {
+      account_lost(msg);
+      return;
+    }
+    // A delayed message is released just after the next message that
+    // flows on the same link (deterministic reorder per link stream).
+    std::optional<Message> release = std::exchange(held_[to], std::nullopt);
+    if (decision.delay) {
+      held_[to] = msg;
+      if (release) deliver(to, *release);
+      return;
+    }
+    if (decision.duplicate) deliver(to, msg);
+    deliver(to, msg);
+    if (release) deliver(to, *release);
+  }
+
+  void flush_held() {
+    if (!owner_.faults_on_) return;
+    for (std::uint32_t d = 0; d < owner_.processors_; ++d) {
+      if (held_[d] && !is_dead(d)) deliver(d, *held_[d]);
+      held_[d].reset();
+    }
   }
 
   void drain_mailbox() {
@@ -62,6 +158,43 @@ class ThreadedSystem::Worker {
     }
   }
 
+  /// Disposes of a transaction reply that does not belong to any open
+  /// wait.  Only reachable with faults enabled (drops, duplicates and
+  /// timeouts create stragglers); fault-free runs assert instead.
+  void handle_stray(const Message& msg) {
+    switch (msg.type) {
+      case Message::Type::Accept: {
+        // Duplicate of an Accept we already answered with a real
+        // Assign?  Then the sender is NOT stuck — rolling back here
+        // could overtake the real Assign (delay reorders one link) and
+        // make the partner discard its delta.  Ignore the duplicate.
+        const auto it = assigned_.find(msg.txn);
+        if (it != assigned_.end() &&
+            std::find(it->second.begin(), it->second.end(), msg.from) !=
+                it->second.end())
+          break;
+        // Otherwise the sender is locked awaiting an Assign for a
+        // transaction we closed without it: unlock it with a rollback
+        // (delta 0).
+        send(msg.from, Message{Message::Type::Assign, 0, msg.txn, 0});
+        break;
+      }
+      case Message::Type::Refuse:
+        break;  // nothing was pending on it
+      case Message::Type::Assign:
+        if (completed_.count(msg.txn)) break;  // duplicate of an applied one
+        // Rolled-back (or unknown) transaction: the delta is lost.
+        // Mark the transaction closed so a duplicate of this Assign is
+        // not declared lost a second time.
+        account_lost(msg);
+        completed_.insert(msg.txn);
+        break;
+      case Message::Type::Invite:
+      case Message::Type::Shutdown:
+        DLB_ENSURE(false, "handle_stray is for transaction replies");
+    }
+  }
+
   // Handling for a thread that is not itself waiting inside a
   // transaction: accept the invite and lock until the Assign arrives.
   void handle_idle(const Message& msg) {
@@ -69,20 +202,59 @@ class ThreadedSystem::Worker {
       case Message::Type::Invite: {
         const std::uint32_t initiator = msg.from;
         const std::uint64_t txn = msg.txn;
+        if (owner_.faults_on_ &&
+            (completed_.count(txn) || aborted_.count(txn))) {
+          // Duplicate invite for a transaction we already served:
+          // accepting again could double-apply its Assign.  Refuse.
+          send(initiator, Message{Message::Type::Refuse, 0, txn, 0});
+          ++stats_.refusals;
+          return;
+        }
         send(initiator, Message{Message::Type::Accept, 0, txn, load_});
-        // Locked: answer only this transaction; refuse everything else.
+        // Locked: the pre-image of the load is simply load_ — nothing
+        // mutates until the Assign lands, so rolling back on a missing
+        // Assign means unlocking unchanged.  Answer only this
+        // transaction; refuse everything else.
         while (true) {
-          auto next = owner_.mailboxes_[id_]->recv();
-          DLB_ENSURE(next.has_value(), "mailbox closed mid-transaction");
+          auto next = owner_.faults_on_
+                          ? owner_.mailboxes_[id_]->recv_for(
+                                owner_.config_.txn_timeout)
+                          : owner_.mailboxes_[id_]->recv();
+          if (!next.has_value()) {
+            if (owner_.faults_on_) {
+              // Missing Assign: roll back.  If it straggles in later it
+              // is discarded and its delta declared lost.
+              ++stats_.timeouts;
+              ++stats_.aborted_ops;
+              aborted_.insert(txn);
+              return;
+            }
+            DLB_ENSURE(false, "mailbox closed mid-transaction");
+          }
           if (next->type == Message::Type::Assign && next->txn == txn) {
-            load_ = next->load;
+            load_ += next->load;  // delta against the offered pre-image
             l_old_ = load_;
+            if (owner_.faults_on_) completed_.insert(txn);
             return;
           }
           if (next->type == Message::Type::Invite) {
             send(next->from,
                  Message{Message::Type::Refuse, 0, next->txn, 0});
             ++stats_.refusals;
+            continue;
+          }
+          if (owner_.faults_on_) {
+            if (next->type == Message::Type::Shutdown) {
+              // Shutdown can only overtake a pending Assign when the
+              // initiator already gave up on us: roll back, and re-queue
+              // the Shutdown so the serve loop (which is waiting on it)
+              // still terminates.
+              ++stats_.aborted_ops;
+              aborted_.insert(txn);
+              owner_.mailboxes_[id_]->send(*next);
+              return;
+            }
+            handle_stray(*next);
             continue;
           }
           DLB_ENSURE(next->type != Message::Type::Shutdown,
@@ -95,6 +267,10 @@ class ThreadedSystem::Worker {
       case Message::Type::Accept:
       case Message::Type::Refuse:
       case Message::Type::Assign:
+        if (owner_.faults_on_) {
+          handle_stray(msg);
+          return;
+        }
         DLB_ENSURE(false, "transaction reply without a transaction");
         return;
       case Message::Type::Shutdown:
@@ -113,28 +289,91 @@ class ThreadedSystem::Worker {
     initiate_balance();
   }
 
+  /// Partner draw.  Fault-free: the historical uniform draw over all
+  /// other processors.  With faults: dead processors are blacklisted
+  /// and the draw is redone uniformly over the survivors, preserving
+  /// the uniform-choice model restricted to live processors.
+  std::vector<std::uint32_t> draw_partners() {
+    if (!owner_.faults_on_)
+      return rng_.sample_distinct(owner_.processors_, owner_.config_.delta,
+                                  id_);
+    std::uint32_t live_others = 0;
+    for (std::uint32_t p = 0; p < owner_.processors_; ++p)
+      if (p != id_ && !is_dead(p)) ++live_others;
+    const std::uint32_t k = std::min(owner_.config_.delta, live_others);
+    std::vector<std::uint32_t> partners;
+    partners.reserve(k);
+    while (partners.size() < k) {
+      const auto v = static_cast<std::uint32_t>(
+          rng_.below(owner_.processors_));
+      if (v == id_ || is_dead(v)) continue;
+      if (std::find(partners.begin(), partners.end(), v) != partners.end())
+        continue;
+      partners.push_back(v);
+    }
+    return partners;
+  }
+
   void initiate_balance() {
-    const std::uint64_t txn = ++txn_counter_;
-    const auto partners = rng_.sample_distinct(
-        owner_.processors_, owner_.config_.delta, id_);
+    const std::uint64_t txn =
+        (static_cast<std::uint64_t>(id_ + 1) << 32) | ++txn_counter_;
+    const auto partners = draw_partners();
+    if (partners.empty()) {
+      l_old_ = load_;
+      return;
+    }
     for (std::uint32_t q : partners)
       send(q, Message{Message::Type::Invite, 0, txn, 0});
 
     std::vector<std::uint32_t> accepted;
     std::vector<std::int64_t> partner_loads;
+    std::vector<std::uint32_t> replied;
     std::size_t pending = partners.size();
     while (pending > 0) {
-      auto msg = owner_.mailboxes_[id_]->recv();
-      DLB_ENSURE(msg.has_value(), "mailbox closed mid-transaction");
+      auto msg = owner_.faults_on_
+                     ? owner_.mailboxes_[id_]->recv_for(
+                           owner_.config_.txn_timeout)
+                     : owner_.mailboxes_[id_]->recv();
+      if (!msg.has_value()) {
+        if (owner_.faults_on_) {
+          // Silence for a whole deadline: every partner still pending
+          // is treated as Refuse (dead, or its reply was lost).  A
+          // straggling Accept will be rolled back as a stray.
+          ++stats_.timeouts;
+          break;
+        }
+        DLB_ENSURE(false, "mailbox closed mid-transaction");
+      }
       switch (msg->type) {
         case Message::Type::Accept:
+          if (owner_.faults_on_ && msg->txn != txn) {
+            handle_stray(*msg);  // stale: unlock the sender
+            break;
+          }
+          if (owner_.faults_on_ &&
+              std::find(replied.begin(), replied.end(), msg->from) !=
+                  replied.end()) {
+            // Duplicate Accept of the LIVE transaction: the real Assign
+            // is still coming, so no rollback — unlocking the partner
+            // early would make it discard that Assign as a duplicate
+            // and leak the delta out of the ledger.
+            break;
+          }
           DLB_ENSURE(msg->txn == txn, "accept for a stale transaction");
+          replied.push_back(msg->from);
           accepted.push_back(msg->from);
           partner_loads.push_back(msg->load);
           --pending;
           break;
         case Message::Type::Refuse:
+          if (owner_.faults_on_ &&
+              (msg->txn != txn ||
+               std::find(replied.begin(), replied.end(), msg->from) !=
+                   replied.end())) {
+            break;  // stale or duplicate refusal: nothing pending on it
+          }
           DLB_ENSURE(msg->txn == txn, "refuse for a stale transaction");
+          replied.push_back(msg->from);
           --pending;
           break;
         case Message::Type::Invite:
@@ -143,6 +382,12 @@ class ThreadedSystem::Worker {
           ++stats_.refusals;
           break;
         case Message::Type::Assign:
+          if (owner_.faults_on_) {
+            handle_stray(*msg);
+            break;
+          }
+          DLB_ENSURE(false, "unexpected message while initiating");
+          break;
         case Message::Type::Shutdown:
           DLB_ENSURE(false, "unexpected message while initiating");
       }
@@ -167,8 +412,13 @@ class ThreadedSystem::Worker {
                           remainder
                       ? 1
                       : 0);
-      send(accepted[k], Message{Message::Type::Assign, 0, txn, share});
+      // Assign carries the delta against the partner's offered load: an
+      // undelivered Assign then rolls back cleanly on the partner (its
+      // pre-image stands) and the delta is declared lost at the drop.
+      send(accepted[k], Message{Message::Type::Assign, 0, txn,
+                                share - partner_loads[k]});
     }
+    if (owner_.faults_on_) assigned_.emplace(txn, accepted);
     l_old_ = load_;
     ++stats_.balance_ops;
   }
@@ -181,26 +431,49 @@ class ThreadedSystem::Worker {
   std::int64_t l_old_ = 0;
   std::uint64_t txn_counter_ = 0;
   ThreadedStats stats_;
+  // Fault-mode state (untouched in fault-free runs).
+  std::vector<LinkFaultState> links_;
+  std::vector<std::optional<Message>> held_;
+  std::unordered_set<std::uint64_t> completed_;
+  std::unordered_set<std::uint64_t> aborted_;
+  // Initiator side: txn -> partners that received a real Assign.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> assigned_;
 };
 
 ThreadedSystem::ThreadedSystem(std::uint32_t processors,
                                ThreadedConfig config)
-    : processors_(processors), config_(config) {
+    : processors_(processors), config_(std::move(config)) {
   DLB_REQUIRE(processors_ >= 2, "threaded system needs >= 2 processors");
   DLB_REQUIRE(config_.delta >= 1 && config_.delta < processors_,
               "delta out of range");
   DLB_REQUIRE(config_.f > 1.0, "threaded runtime requires f > 1");
+  DLB_REQUIRE(config_.txn_timeout.count() > 0,
+              "transaction timeout must be positive");
+  for (const CrashEvent& c : config_.faults.crashes)
+    DLB_REQUIRE(c.rank >= 0 &&
+                    c.rank < static_cast<int>(processors_),
+                "crash rank out of range");
+  faults_on_ = config_.faults.enabled();
   mailboxes_.reserve(processors_);
   for (std::uint32_t p = 0; p < processors_; ++p)
     mailboxes_.push_back(std::make_unique<Mailbox<Message>>());
+  dead_ = std::make_unique<std::atomic<std::uint8_t>[]>(processors_);
 }
 
 ThreadedSystem::~ThreadedSystem() = default;
+
+bool ThreadedSystem::processor_dead(std::uint32_t p) const {
+  DLB_REQUIRE(p < processors_, "processor id out of range");
+  return dead_[p].load(std::memory_order_acquire) != 0;
+}
 
 void ThreadedSystem::run(const Trace& trace) {
   DLB_REQUIRE(trace.processors() == processors_,
               "trace size must match the system");
   done_count_.store(0, std::memory_order_release);
+  for (std::uint32_t p = 0; p < processors_; ++p)
+    dead_[p].store(0, std::memory_order_release);
+  journal_ = LoadJournal(processors_, config_.faults.journal_interval);
   Rng seeder(config_.seed);
 
   std::vector<std::unique_ptr<Worker>> workers;
@@ -214,11 +487,13 @@ void ThreadedSystem::run(const Trace& trace) {
   for (auto& worker : workers)
     threads.emplace_back([&worker] { (*worker)(); });
 
-  // Wait until every worker finished its trace column.  A worker only
-  // increments done_count_ after completing all transactions it
-  // initiated, so once the count reaches n there are no in-flight
-  // invites from finished workers; any still-queued invites are answered
-  // by the serve loops before Shutdown is processed (FIFO mailboxes).
+  // Wait until every worker finished its trace column (or died at its
+  // scheduled step).  A live worker only increments done_count_ after
+  // completing all transactions it initiated, so once the count reaches
+  // n there are no in-flight invites from finished workers; any
+  // still-queued invites are answered by the serve loops before
+  // Shutdown is processed (FIFO mailboxes).  Invites addressed to dead
+  // workers are reclaimed by the initiator's deadline.
   while (done_count_.load(std::memory_order_acquire) < processors_)
     std::this_thread::yield();
   for (std::uint32_t p = 0; p < processors_; ++p)
@@ -228,7 +503,8 @@ void ThreadedSystem::run(const Trace& trace) {
   final_loads_.assign(processors_, 0);
   stats_ = ThreadedStats{};
   for (std::uint32_t p = 0; p < processors_; ++p) {
-    final_loads_[p] = workers[p]->final_load();
+    final_loads_[p] = processor_dead(p) ? journal_.recovered_load(p)
+                                        : workers[p]->final_load();
     const ThreadedStats& ws = workers[p]->stats();
     stats_.balance_ops += ws.balance_ops;
     stats_.refusals += ws.refusals;
@@ -236,6 +512,17 @@ void ThreadedSystem::run(const Trace& trace) {
     stats_.consume_failures += ws.consume_failures;
     stats_.generated += ws.generated;
     stats_.consumed += ws.consumed;
+    stats_.aborted_ops += ws.aborted_ops;
+    stats_.timeouts += ws.timeouts;
+    stats_.lost_packets += ws.lost_packets;
+    stats_.ranks_dead += ws.ranks_dead;
+    stats_.lost_load += ws.lost_load;
+  }
+  if (recorder_ != nullptr) {
+    recorder_->on_fault(FaultEvent::Timeout, stats_.timeouts);
+    recorder_->on_fault(FaultEvent::AbortedOp, stats_.aborted_ops);
+    recorder_->on_fault(FaultEvent::LostPacket, stats_.lost_packets);
+    recorder_->on_fault(FaultEvent::RankDeath, stats_.ranks_dead);
   }
 }
 

@@ -10,13 +10,37 @@
 // Balancing is a three-message transaction:
 //   Invite(txn)  initiator -> each of the delta partners
 //   Accept(load) / Refuse   partner  -> initiator
-//   Assign(new_load)        initiator -> each accepting partner
+//   Assign(delta)           initiator -> each accepting partner
 // Deadlock freedom: a thread that is waiting (either for Accept/Refuse
 // replies as an initiator, or for its Assign as a locked partner) answers
 // every incoming Invite with Refuse, so no waits-for cycle can form; an
 // initiator simply proceeds with the partners that accepted.  Load
 // conservation holds because an accepting partner is locked (mutates
 // nothing) between its Accept and its Assign.
+//
+// Failure tolerance (config.faults, a mp/fault.hpp FaultPlan): with a
+// fault plan installed the transaction survives lossy links and dying
+// partners.  Assign carries a *delta* against the load the partner
+// offered in its Accept, and every wait inside a transaction gets a
+// deadline:
+//   - an initiator that times out treats the silent partners as Refuse
+//     and proceeds with the rest; a late Accept is answered with a
+//     rollback Assign(0) so the partner unlocks unchanged;
+//   - a locked partner that times out rolls back to the pre-image of
+//     its load (it never mutated, so unlocking IS the rollback), marks
+//     the transaction aborted, and discards the Assign if it straggles
+//     in later — the discarded delta is declared lost;
+//   - a dropped Assign's delta is declared lost at the drop point, so
+//     total load is conserved modulo the declared-lost ledger:
+//       sum(final) == generated - consumed - lost_load
+//   - a processor killed by the crash schedule stops at a step
+//     boundary; its load is recovered from its last journal checkpoint
+//     (the drift is declared lost), survivors blacklist it from future
+//     partner draws (redrawing uniformly over the live processors), and
+//     invites addressed to it simply time out.
+// Without a plan every code path is byte-identical to the fault-free
+// implementation (blocking waits, absolute-assign arithmetic equal to
+// the delta form, no journal writes).
 //
 // The threaded runtime implements the practical total-load variant of the
 // algorithm (trigger on the factor-f drift of the local load, like [7]);
@@ -25,11 +49,15 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "core/checkpoint.hpp"
+#include "metrics/recorder.hpp"
+#include "mp/fault.hpp"
 #include "runtime/mailbox.hpp"
 #include "support/rng.hpp"
 #include "workload/trace.hpp"
@@ -40,6 +68,11 @@ struct ThreadedConfig {
   double f = 1.1;
   std::uint32_t delta = 1;
   std::uint64_t seed = 42;
+  /// Fault schedule; an inert plan (the default) disables every fault
+  /// path and reproduces the historical behaviour exactly.
+  FaultPlan faults;
+  /// Deadline for each in-transaction wait when faults are enabled.
+  std::chrono::milliseconds txn_timeout{25};
 };
 
 struct ThreadedStats {
@@ -49,6 +82,15 @@ struct ThreadedStats {
   std::uint64_t consume_failures = 0;
   std::uint64_t generated = 0;
   std::uint64_t consumed = 0;
+  // Robustness counters (all zero in fault-free runs).
+  std::uint64_t aborted_ops = 0;   // partner rollbacks (missing Assign)
+  std::uint64_t timeouts = 0;      // expired transaction waits
+  std::uint64_t lost_packets = 0;  // dropped + discarded-stale messages
+  std::uint32_t ranks_dead = 0;    // processors killed by the schedule
+  /// Net load in dropped/discarded Assigns plus crash drift (signed:
+  /// losing a negative delta *adds* load).  Conservation holds as
+  /// sum(final_loads) == generated - consumed - lost_load.
+  std::int64_t lost_load = 0;
 };
 
 class ThreadedSystem {
@@ -63,10 +105,19 @@ class ThreadedSystem {
   /// until every thread has finished and all transactions have drained.
   void run(const Trace& trace);
 
-  /// Final per-processor loads (valid after run()).
+  /// Observer for the robustness counters (on_fault hooks fire once per
+  /// run() with the aggregate counts).  Optional; not owned.
+  void set_recorder(Recorder* recorder) { recorder_ = recorder; }
+
+  /// Final per-processor loads (valid after run()); a crashed
+  /// processor's entry is its journal-recovered load.
   const std::vector<std::int64_t>& final_loads() const { return final_loads_; }
   /// Aggregated statistics over all processor threads.
   const ThreadedStats& stats() const { return stats_; }
+  /// Crash journal of the last run (valid after run()).
+  const LoadJournal& journal() const { return journal_; }
+  /// True when processor `p` was killed during the last run.
+  bool processor_dead(std::uint32_t p) const;
 
  private:
   struct Message {
@@ -80,17 +131,21 @@ class ThreadedSystem {
     Type type = Type::Shutdown;
     std::uint32_t from = 0;
     std::uint64_t txn = 0;
-    std::int64_t load = 0;
+    std::int64_t load = 0;  // Accept: offered load; Assign: delta
   };
 
   class Worker;
 
   std::uint32_t processors_;
   ThreadedConfig config_;
+  bool faults_on_ = false;
   std::vector<std::unique_ptr<Mailbox<Message>>> mailboxes_;
   std::atomic<std::uint32_t> done_count_{0};
+  std::unique_ptr<std::atomic<std::uint8_t>[]> dead_;
+  LoadJournal journal_;
   std::vector<std::int64_t> final_loads_;
   ThreadedStats stats_;
+  Recorder* recorder_ = nullptr;
 };
 
 }  // namespace dlb

@@ -1,10 +1,13 @@
 #!/usr/bin/env sh
 # Full local gate: build + test the release preset, then again under
-# ASan/UBSan.  Run from the repository root:
+# ASan/UBSan, then the threaded suites (mp + runtime, including the
+# fault-injection tests) under ThreadSanitizer.  Run from the
+# repository root:
 #
-#   tools/check.sh            # both presets
+#   tools/check.sh            # all three presets
 #   tools/check.sh default    # release only
-#   tools/check.sh asan       # sanitizers only
+#   tools/check.sh asan       # ASan/UBSan only
+#   tools/check.sh tsan       # ThreadSanitizer only
 #
 # Opt-in perf gate (compares bench/micro_core against the committed
 # BENCH_core.json baseline, ±30% tolerance — see tools/perf_check.sh):
@@ -14,7 +17,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-presets="${1:-default asan}"
+presets="${1:-default asan tsan}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 for preset in $presets; do
