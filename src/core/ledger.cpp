@@ -32,11 +32,14 @@ std::size_t Ledger::lower_slot(std::uint32_t j) const {
 std::size_t Ledger::slot(std::uint32_t j) const {
   if (hint_ < active_.size() && active_[hint_] == j) return hint_;
   const std::size_t pos = lower_slot(j);
-  if (pos < active_.size() && active_[pos] == j) {
-    hint_ = pos;
-    return pos;
-  }
+  if (pos < active_.size() && active_[pos] == j) return pos;
   return active_.size();
+}
+
+std::size_t Ledger::slot(std::uint32_t j) {
+  const std::size_t pos = static_cast<const Ledger&>(*this).slot(j);
+  if (pos < active_.size()) hint_ = pos;
+  return pos;
 }
 
 std::int64_t Ledger::d(std::uint32_t j) const {

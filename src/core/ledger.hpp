@@ -149,8 +149,12 @@ class Ledger {
  private:
   // lower_bound slot of class j in active_.
   std::size_t lower_slot(std::uint32_t j) const;
-  // Slot of class j, or active_.size() when j has no entry.
+  // Slot of class j, or active_.size() when j has no entry.  The const
+  // overload is write-free (it consults hint_ but never updates it), so
+  // concurrent const lookups on one shared ledger are race-free; the
+  // non-const overload additionally memoizes the hit in hint_.
   std::size_t slot(std::uint32_t j) const;
+  std::size_t slot(std::uint32_t j);
   void insert_entry(std::size_t pos, std::uint32_t j, std::int64_t d_val,
                     std::int64_t b_val);
   void erase_entry(std::size_t pos);
@@ -169,12 +173,14 @@ class Ledger {
   // ledger.cpp): per-ledger buffers would re-pay the vector growth
   // cascade on every balancing write-back, a malloc storm on the hot
   // path; one warm buffer set per thread serves every ledger.
-  // Memo of the last slot() hit.  The event loop queries the same class
-  // many times in a row (generate/consume/trigger checks on the own
-  // class), so this turns most lookups into one comparison.  Safe against
-  // staleness: the cached slot is only used after re-verifying
-  // active_[hint_] == j.
-  mutable std::size_t hint_ = 0;
+  // Memo of the last mutating slot() hit.  The event loop queries the
+  // same class many times in a row (generate/consume/trigger checks on
+  // the own class), so this turns most lookups into one comparison.  Safe
+  // against staleness: the cached slot is only used after re-verifying
+  // active_[hint_] == j.  Deliberately NOT mutable: const accessors read
+  // the hint but never write it, so the const API carries no hidden
+  // writes (shared const reads across threads are race-free).
+  std::size_t hint_ = 0;
 };
 
 }  // namespace dlb

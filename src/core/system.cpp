@@ -1,9 +1,11 @@
 #include "core/system.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/snake.hpp"
 #include "support/check.hpp"
+#include "workload/schedule.hpp"
 
 namespace dlb {
 
@@ -56,6 +58,32 @@ std::int64_t System::total_load() const {
 void System::run(const Workload& workload) {
   DLB_REQUIRE(workload.processors() == processors(),
               "workload size must match the system");
+  ActiveSchedule schedule(workload);
+  // Sampled events of the step's active processors (ascending).  Two
+  // passes per step — sample everything, then apply — because the
+  // reference loop draws all of a step's workload randomness before any
+  // balancing randomness; interleaving would reorder the RNG stream.
+  std::vector<std::pair<std::uint32_t, WorkEvent>> events;
+  for (std::uint32_t t = 0; t < workload.horizon(); ++t) {
+    events.clear();
+    for (const ActiveSchedule::Entry& e : schedule.advance(t)) {
+      WorkEvent ev;
+      ev.generate = rng_.bernoulli(e.phase->generate_prob);
+      ev.consume = rng_.bernoulli(e.phase->consume_prob);
+      if (ev.generate || ev.consume) events.emplace_back(e.proc, ev);
+    }
+    for (const auto& [p, ev] : events) {
+      if (ev.generate) generate(p, rng_);
+      if (ev.consume) consume(p, rng_);
+    }
+    if (post_step_check_) check_invariants();
+    emit_loads(t);
+  }
+}
+
+void System::run_reference(const Workload& workload) {
+  DLB_REQUIRE(workload.processors() == processors(),
+              "workload size must match the system");
   std::vector<WorkEvent> events(processors());
   for (std::uint32_t t = 0; t < workload.horizon(); ++t) {
     for (std::uint32_t p = 0; p < processors(); ++p)
@@ -79,20 +107,50 @@ void System::step(std::uint32_t t, const std::vector<WorkEvent>& events) {
   DLB_REQUIRE(events.size() == processors(),
               "one event per processor required");
   for (std::uint32_t p = 0; p < processors(); ++p) {
-    if (events[p].generate) generate(p);
-    if (events[p].consume) consume(p);
+    if (events[p].generate) generate(p, rng_);
+    if (events[p].consume) consume(p, rng_);
   }
-  if (recorder_ != nullptr) {
-    // Reusable buffer: recorders only observe the loads for the duration
-    // of the call (see Recorder::on_loads), so no per-step allocation.
-    loads_scratch_.resize(processors());
-    for (std::uint32_t p = 0; p < processors(); ++p)
-      loads_scratch_[p] = procs_[p].ledger.real_load();
-    recorder_->on_loads(t, loads_scratch_);
-  }
+  if (post_step_check_) check_invariants();
+  emit_loads(t);
 }
 
-void System::generate(std::uint32_t p) {
+void System::touch_load(std::uint32_t p) {
+  if (loads_cache_valid_) loads_cache_[p] = procs_[p].ledger.real_load();
+}
+
+void System::emit_loads(std::uint32_t t) {
+  if (recorder_ == nullptr) return;
+  if (!loads_cache_valid_ || loads_cache_.size() != processors()) {
+    // One full rebuild when a recorder first observes this system; from
+    // then on touch_load keeps the snapshot current incrementally.
+    loads_cache_.resize(processors());
+    for (std::uint32_t p = 0; p < processors(); ++p)
+      loads_cache_[p] = procs_[p].ledger.real_load();
+    loads_cache_valid_ = true;
+  }
+  // Recorders only observe the loads for the duration of the call (see
+  // Recorder::on_loads), so handing them the live cache is safe.
+  recorder_->on_loads(t, loads_cache_);
+}
+
+void System::commit(const StepCounters& counters) {
+  generated_ += counters.generated;
+  consumed_ += counters.consumed;
+  for (std::uint64_t i = 0; i < counters.total_borrows; ++i)
+    emit_borrow_event(BorrowEvent::TotalBorrow);
+}
+
+void System::generate(std::uint32_t p) { generate(p, rng_); }
+
+void System::generate(std::uint32_t p, Rng& rng) {
+  StepCounters counters;
+  generate_packet(p, rng, counters);
+  commit(counters);
+  maybe_balance(p, rng);
+}
+
+void System::generate_packet(std::uint32_t p, Rng& rng,
+                             StepCounters& counters) {
   DLB_REQUIRE(p < processors(), "processor id out of range");
   Ledger& ledger = procs_[p].ledger;
   if (ledger.borrowed_total() > 0) {
@@ -102,92 +160,108 @@ void System::generate(std::uint32_t p) {
     // scan produced, so the drawn index maps to the same class.
     const std::vector<std::uint32_t>& marked = ledger.marked_classes();
     const std::uint32_t j =
-        marked[static_cast<std::size_t>(rng_.below(marked.size()))];
+        marked[static_cast<std::size_t>(rng.below(marked.size()))];
     ledger.repay_with_generation(j);
   } else {
     ledger.add_real(p, 1);
   }
-  ++generated_;
-  maybe_balance(p);
+  ++counters.generated;
+  touch_load(p);
 }
 
-bool System::consume(std::uint32_t p) {
+bool System::consume(std::uint32_t p) { return consume(p, rng_); }
+
+bool System::consume(std::uint32_t p, Rng& rng) {
+  StepCounters counters;
+  const ConsumeLocal result = consume_packet(p, rng, counters);
+  commit(counters);
+  switch (result) {
+    case ConsumeLocal::ConsumedOwn:
+      maybe_balance(p, rng);
+      return true;
+    case ConsumeLocal::ConsumedBorrow:
+      return true;
+    case ConsumeLocal::Failed:
+      return false;
+    case ConsumeLocal::NeedsSettle:
+      break;
+  }
+  // Capacity exhausted or every held class already carries a marker:
+  // settle outstanding debts, then retry once.
+  settle_debts(p, rng);
+  StepCounters retry;
+  const bool ok = try_borrow(p, rng, retry);
+  commit(retry);
+  return ok;
+}
+
+System::ConsumeLocal System::consume_packet(std::uint32_t p, Rng& rng,
+                                            StepCounters& counters) {
   DLB_REQUIRE(p < processors(), "processor id out of range");
   Ledger& ledger = procs_[p].ledger;
-  if (ledger.real_load() == 0) return false;  // nothing to consume
+  if (ledger.real_load() == 0) return ConsumeLocal::Failed;  // nothing held
   if (ledger.d(p) >= 1) {
     ledger.remove_real(p, 1);
-    ++consumed_;
-    maybe_balance(p);
-    return true;
+    ++counters.consumed;
+    touch_load(p);
+    return ConsumeLocal::ConsumedOwn;
   }
-  return consume_via_borrow(p);
+  if (try_borrow(p, rng, counters)) return ConsumeLocal::ConsumedBorrow;
+  // If there are no markers to settle nothing can free capacity (this
+  // can only happen with borrow_cap == 0).
+  if (ledger.borrowed_total() == 0) return ConsumeLocal::Failed;
+  return ConsumeLocal::NeedsSettle;
 }
 
-bool System::consume_via_borrow(std::uint32_t p) {
+bool System::try_borrow(std::uint32_t p, Rng& rng, StepCounters& counters) {
   Ledger& ledger = procs_[p].ledger;
-  auto pick_borrowable = [&]() -> std::uint32_t {
-    // Candidates {j : d[j] > 0, b[j] == 0} enumerated over the active
-    // classes only — ascending, like the dense scan, so the drawn index
-    // maps to the same class.  One pass over the parallel count vectors,
-    // no per-class lookups.
-    const auto& active = ledger.active_classes();
-    const auto& d_counts = ledger.active_d();
-    const auto& b_counts = ledger.active_b();
-    candidate_classes_.clear();
-    for (std::size_t i = 0; i < active.size(); ++i)
-      if (d_counts[i] > 0 && b_counts[i] == 0)
-        candidate_classes_.push_back(active[i]);
-    if (candidate_classes_.empty()) return processors();
-    return candidate_classes_[static_cast<std::size_t>(
-        rng_.below(candidate_classes_.size()))];
-  };
-
-  auto try_borrow = [&]() -> bool {
-    if (ledger.borrowed_total() >=
-        static_cast<std::int64_t>(config_.borrow_cap))
-      return false;
-    const std::uint32_t j = pick_borrowable();
-    if (j == processors()) return false;
-    ledger.borrow(j);
-    ++consumed_;
-    emit_borrow_event(BorrowEvent::TotalBorrow);
-    return true;
-  };
-
-  if (try_borrow()) return true;
-
-  // Capacity exhausted or every held class already carries a marker:
-  // settle outstanding debts, then retry once.  If there are no markers
-  // to settle nothing can free capacity (this can only happen with
-  // borrow_cap == 0).
-  if (ledger.borrowed_total() == 0) return false;
-  settle_debts(p);
-  return try_borrow();
+  if (ledger.borrowed_total() >=
+      static_cast<std::int64_t>(config_.borrow_cap))
+    return false;
+  // Candidates {j : d[j] > 0, b[j] == 0} enumerated over the active
+  // classes only — ascending, like the dense scan, so the drawn index
+  // maps to the same class.  Thread-local scratch: the sharded phase-1
+  // workers borrow concurrently.
+  thread_local std::vector<std::uint32_t> candidates;
+  candidates.clear();
+  const auto& active = ledger.active_classes();
+  const auto& d_counts = ledger.active_d();
+  const auto& b_counts = ledger.active_b();
+  for (std::size_t i = 0; i < active.size(); ++i)
+    if (d_counts[i] > 0 && b_counts[i] == 0)
+      candidates.push_back(active[i]);
+  if (candidates.empty()) return false;
+  const std::uint32_t j = candidates[static_cast<std::size_t>(
+      rng.below(candidates.size()))];
+  ledger.borrow(j);
+  ++counters.consumed;
+  ++counters.total_borrows;
+  touch_load(p);
+  return true;
 }
 
-void System::settle_debts(std::uint32_t p) {
+void System::settle_debts(std::uint32_t p, Rng& rng) {
   Ledger& ledger = procs_[p].ledger;
   const std::vector<std::uint32_t>& marked = ledger.marked_classes();
   DLB_ENSURE(!marked.empty(), "settle_debts without outstanding markers");
   const std::uint32_t j =
-      marked[static_cast<std::size_t>(rng_.below(marked.size()))];
+      marked[static_cast<std::size_t>(rng.below(marked.size()))];
   if (j == p) {
     // A marker of p's own class can be settled locally: the deferred
     // virtual decrease of class p is realized on the spot ([D6]).
     ledger.clear_marker(j);
     emit_borrow_event(BorrowEvent::DecreaseSim);
-    maybe_balance(p);
+    maybe_balance(p, rng);
     return;
   }
   if (procs_[j].ledger.d(j) > 0) {
-    remote_exchange(p, j);
+    remote_exchange(p, j, rng);
   } else {
-    resolve_empty_generator(p, j);
+    resolve_empty_generator(p, j, rng);
   }
 }
 
-void System::remote_exchange(std::uint32_t p, std::uint32_t j) {
+void System::remote_exchange(std::uint32_t p, std::uint32_t j, Rng& rng) {
   emit_borrow_event(BorrowEvent::RemoteBorrow);
   Ledger& debtor = procs_[p].ledger;
   Ledger& generator = procs_[j].ledger;
@@ -198,6 +272,8 @@ void System::remote_exchange(std::uint32_t p, std::uint32_t j) {
   // x of p's borrow markers (class j's markers first) — [D4].
   generator.remove_real(j, x);
   debtor.add_real(j, x);
+  touch_load(p);
+  touch_load(j);
   costs_.record_migration(j, p, static_cast<std::uint64_t>(x));
   costs_.record_net_migration(static_cast<std::uint64_t>(x));
   if (recorder_ != nullptr)
@@ -218,30 +294,32 @@ void System::remote_exchange(std::uint32_t p, std::uint32_t j) {
   // j's self-generated load dropped by x: simulate the workload decrease
   // (at most one balancing operation, as required by §4).
   emit_borrow_event(BorrowEvent::DecreaseSim);
-  maybe_balance(j);
+  maybe_balance(j, rng);
 }
 
-void System::resolve_empty_generator(std::uint32_t p, std::uint32_t j) {
+void System::resolve_empty_generator(std::uint32_t p, std::uint32_t j,
+                                     Rng& rng) {
   emit_borrow_event(BorrowEvent::BorrowFail);
   // [D5] The generator j holds none of its own packets.  It first runs a
   // balancing operation with delta random partners, which pulls class-j
   // packets (or markers) toward j.
-  balance(j, draw_partners(j));
+  balance(j, draw_partners(j, rng), rng);
   if (procs_[j].ledger.d(j) > 0 && procs_[p].ledger.borrowed_total() > 0) {
-    remote_exchange(p, j);
+    remote_exchange(p, j, rng);
     return;
   }
   // Still empty: a balancing operation initiated by p spreads p's load
   // and markers across a fresh random set, after which p can borrow
   // again (§4: "in any case processor i is allowed to borrow some new
   // load packets ... or has received some of his own load packets").
-  balance(p, draw_partners(p));
+  balance(p, draw_partners(p, rng), rng);
 }
 
-std::vector<ProcId> System::draw_partners(std::uint32_t initiator) {
+std::vector<ProcId> System::draw_partners(std::uint32_t initiator,
+                                          Rng& rng) {
   const std::uint32_t n = processors();
   if (!partner_radius_.has_value()) {
-    return rng_.sample_distinct(n, config_.delta, initiator);
+    return rng.sample_distinct(n, config_.delta, initiator);
   }
   // Locality ablation: partners from the topology ball around initiator.
   std::vector<ProcId> ball;
@@ -254,26 +332,30 @@ std::vector<ProcId> System::draw_partners(std::uint32_t initiator) {
   if (ball.size() <= config_.delta) return ball;
   std::vector<ProcId> chosen;
   chosen.reserve(config_.delta);
-  auto idx = rng_.sample_distinct(static_cast<std::uint32_t>(ball.size()),
-                                  config_.delta,
-                                  static_cast<std::uint32_t>(ball.size() + 1));
+  auto idx = rng.sample_distinct(static_cast<std::uint32_t>(ball.size()),
+                                 config_.delta,
+                                 static_cast<std::uint32_t>(ball.size() + 1));
   for (std::uint32_t k : idx) chosen.push_back(ball[k]);
   return chosen;
 }
 
-void System::maybe_balance(std::uint32_t p) {
+bool System::trigger_fires(std::uint32_t p) const {
   const ProcessorState& st = procs_[p];
-  const auto d_self = static_cast<double>(st.ledger.d(p));
+  const std::int64_t d_now = st.ledger.d(p);
+  const auto d_self = static_cast<double>(d_now);
   const auto old = static_cast<double>(st.l_old);
   // [D1] factor-f drift triggers with strict-change guards so f == 1 (or
   // an unchanged load) cannot retrigger immediately after a balance.
   const bool grew =
-      st.ledger.d(p) > st.l_old && d_self >= config_.f * old &&
-      st.ledger.d(p) >= 1;
-  const bool shrank = st.ledger.d(p) < st.l_old && st.l_old >= 1 &&
-                      d_self <= old / config_.f;
-  if (!grew && !shrank) return;
-  balance(p, draw_partners(p));
+      d_now > st.l_old && d_self >= config_.f * old && d_now >= 1;
+  const bool shrank =
+      d_now < st.l_old && st.l_old >= 1 && d_self <= old / config_.f;
+  return grew || shrank;
+}
+
+void System::maybe_balance(std::uint32_t p, Rng& rng) {
+  if (!trigger_fires(p)) return;
+  balance(p, draw_partners(p, rng), rng);
 }
 
 namespace {
@@ -343,7 +425,7 @@ class BalanceFlowSink final : public SnakeFlowSink {
 }  // namespace
 
 void System::balance(std::uint32_t initiator,
-                     const std::vector<ProcId>& partners) {
+                     const std::vector<ProcId>& partners, Rng& rng) {
   const std::uint32_t n = processors();
   std::vector<ProcId> participants;
   participants.reserve(partners.size() + 1);
@@ -413,7 +495,7 @@ void System::balance(std::uint32_t initiator,
   // [D7] analysis mode: a non-initiating participant's own class is dealt
   // only among the other participants.
   SnakeCompactOptions opts;
-  opts.start = static_cast<std::size_t>(rng_.below(m));
+  opts.start = static_cast<std::size_t>(rng.below(m));
   if (config_.analysis_mode) {
     excluded_cols_.assign(k, static_cast<std::size_t>(-1));
     for (std::size_t r = 0; r < m; ++r) {
@@ -459,6 +541,7 @@ void System::balance(std::uint32_t initiator,
                             scratch_b_.data() + r * k);
     st.l_old = st.ledger.d(participants[r]);
     ++st.local_time;
+    touch_load(participants[r]);
   }
 
   ++balance_ops_;
@@ -467,21 +550,22 @@ void System::balance(std::uint32_t initiator,
     recorder_->on_balance_op(initiator, partners.size(), flows.moves());
 
   // [D6] markers of a participant's own class are settled on the spot.
-  for (std::size_t r = 0; r < m; ++r) cancel_self_markers(participants[r]);
+  for (std::size_t r = 0; r < m; ++r)
+    cancel_self_markers(participants[r], rng);
 }
 
-void System::cancel_self_markers(std::uint32_t p) {
+void System::cancel_self_markers(std::uint32_t p, Rng& rng) {
   Ledger& ledger = procs_[p].ledger;
   if (ledger.b(p) == 0) return;
   while (ledger.b(p) > 0) ledger.clear_marker(p);
   emit_borrow_event(BorrowEvent::DecreaseSim);
-  maybe_balance(p);
+  maybe_balance(p, rng);
 }
 
 void System::force_balance(std::uint32_t p) {
   DLB_REQUIRE(p < processors(), "processor id out of range");
-  auto partners = draw_partners(p);
-  balance(p, partners);
+  auto partners = draw_partners(p, rng_);
+  balance(p, partners, rng_);
 }
 
 void System::emit_borrow_event(BorrowEvent event) {

@@ -2,14 +2,23 @@
 //
 // A sequential, deterministic simulator of n processors running the load
 // balancing algorithm.  Time advances in global steps; in each step every
-// processor draws a WorkEvent from the workload (or trace), applies it,
-// and checks its factor-f trigger.  Balancing operations execute
-// atomically within a step, matching the paper's model that an operation
-// completes in constant time (§2, [D10] in DESIGN.md).
+// processor with a workload phase draws a WorkEvent (or replays one from
+// a trace), applies it, and checks its factor-f trigger.  Balancing
+// operations execute atomically within a step, matching the paper's model
+// that an operation completes in constant time (§2, [D10] in DESIGN.md).
+//
+// The step engine is *event-batched*: run(Workload) precompiles the
+// static phase schedule into per-step active-processor lists
+// (workload/schedule.hpp) and iterates only those — a processor outside
+// any phase draws no RNG values, so skipping it is bit-identical to the
+// plain O(n) loop (run_reference keeps that loop as the test oracle).
+// A step costs O(active + balancing), independent of n.
 //
 // All randomness flows through one seeded generator, so a (seed, workload)
 // pair fully determines a run — the property the 100-run experiment
-// harnesses and the record/replay tests rely on.
+// harnesses and the record/replay tests rely on.  run_parallel shards
+// the step loop across threads with per-shard split RNG streams; its
+// runs are determined by (seed, workload, shards) instead.
 #pragma once
 
 #include <cstdint>
@@ -64,14 +73,34 @@ class System {
   // ---- Driving the simulation -----------------------------------------
 
   /// Runs the workload over its full horizon, sampling events with this
-  /// system's generator.
+  /// system's generator.  Event-batched: only processors inside a phase
+  /// are touched each step; bit-identical to run_reference.
   void run(const Workload& workload);
+
+  /// The plain O(n)-per-step loop (sample every processor, then apply).
+  /// Kept as the reference implementation the equivalence tests compare
+  /// the batched path against; produces the same results as run().
+  void run_reference(const Workload& workload);
+
+  /// Shards the step loop across `shards` threads: processors are
+  /// partitioned into contiguous blocks, each with its own split RNG
+  /// stream and compiled schedule.  Each step runs a parallel local
+  /// phase (generate/consume/borrow against the own ledger only) and a
+  /// serial phase that executes the deferred balance triggers and borrow
+  /// settlements — the operations that touch other shards' ledgers — in
+  /// shard order.  Reproducible given (seed, workload, shards); NOT
+  /// bit-identical to run() (the RNG stream layout differs by design).
+  void run_parallel(const Workload& workload, std::uint32_t shards);
 
   /// Replays a pre-recorded trace (identical demand across algorithms).
   void run(const Trace& trace);
 
   /// Applies one global step given each processor's event.
   void step(std::uint32_t t, const std::vector<WorkEvent>& events);
+
+  /// Test hook: when enabled, every run()/run_parallel() step ends with
+  /// check_invariants() (packet conservation after each global step).
+  void set_post_step_check(bool enabled) { post_step_check_ = enabled; }
 
   // ---- Direct manipulation (tests, examples, one-processor models) ----
 
@@ -110,37 +139,79 @@ class System {
   friend void save_checkpoint(const System& system, std::ostream& os);
   friend System load_checkpoint(std::istream& is, const Topology* topology);
 
-  // Trigger check for p ([D1]); initiates a balancing operation when the
-  // self-generated load has drifted by the factor f.
-  void maybe_balance(std::uint32_t p);
+  // Per-call event counters.  The sharded phase-1 workers run
+  // generate/consume concurrently, so the shared totals (and the
+  // recorder) cannot be bumped from inside those paths; counts accumulate
+  // here and are committed at a serial point.  The sequential wrappers
+  // commit immediately after each call, preserving the original stream.
+  struct StepCounters {
+    std::uint64_t generated = 0;
+    std::uint64_t consumed = 0;
+    std::uint64_t total_borrows = 0;  // BorrowEvent::TotalBorrow emissions
+  };
+  void commit(const StepCounters& counters);
+
+  // Outcome of the shard-local part of a consume.
+  enum class ConsumeLocal {
+    Failed,          // nothing to consume / borrowing impossible
+    ConsumedOwn,     // own-class packet consumed: trigger check is due
+    ConsumedBorrow,  // consumed on credit (no own-class change)
+    NeedsSettle,     // borrow capacity exhausted: settle debts, retry
+  };
+
+  // Internal paths take the Rng to draw from explicitly: the sequential
+  // drivers pass rng_, the sharded driver its per-shard streams.
+
+  // Ledger mutation + counter halves of generate/consume: touch only
+  // processor p's own ledger (safe to run in parallel across disjoint
+  // processors) and defer the trigger check to the caller.
+  void generate_packet(std::uint32_t p, Rng& rng, StepCounters& counters);
+  ConsumeLocal consume_packet(std::uint32_t p, Rng& rng,
+                              StepCounters& counters);
+  bool try_borrow(std::uint32_t p, Rng& rng, StepCounters& counters);
+
+  // Full sequential semantics (local half + trigger/settlement).
+  void generate(std::uint32_t p, Rng& rng);
+  bool consume(std::uint32_t p, Rng& rng);
+
+  // Trigger predicate for p ([D1]): the self-generated load has drifted
+  // by the factor f since the last balancing operation.
+  bool trigger_fires(std::uint32_t p) const;
+
+  // Trigger check + balancing operation when it fires.
+  void maybe_balance(std::uint32_t p, Rng& rng);
 
   // Balancing operation over initiator + delta random partners.
-  void balance(std::uint32_t initiator, const std::vector<ProcId>& partners);
+  void balance(std::uint32_t initiator, const std::vector<ProcId>& partners,
+               Rng& rng);
 
   // Draws the delta partners for `initiator` (global or neighborhood).
-  std::vector<ProcId> draw_partners(std::uint32_t initiator);
-
-  // The appendix's consume branch when d[p][p] == 0: borrow or settle.
-  bool consume_via_borrow(std::uint32_t p);
+  std::vector<ProcId> draw_partners(std::uint32_t initiator, Rng& rng);
 
   // Settlement when p's borrow capacity is exhausted: pick a marked class
   // j; remote-exchange against j's generator or run the §4 resolution.
-  void settle_debts(std::uint32_t p);
+  void settle_debts(std::uint32_t p, Rng& rng);
 
   // Remote exchange [D4]: up to min(d[j][j], borrowed_total(p)) real
   // class-j packets migrate j -> p, clearing that many markers on p;
   // j then simulates the corresponding workload decrease.
-  void remote_exchange(std::uint32_t p, std::uint32_t j);
+  void remote_exchange(std::uint32_t p, std::uint32_t j, Rng& rng);
 
   // [D5] resolution when class j's generator holds none of its own
   // packets.
-  void resolve_empty_generator(std::uint32_t p, std::uint32_t j);
+  void resolve_empty_generator(std::uint32_t p, std::uint32_t j, Rng& rng);
 
   // [D6] a participant holding markers of its own class settles them
   // immediately ("simulate a load decrease of b_ii").
-  void cancel_self_markers(std::uint32_t p);
+  void cancel_self_markers(std::uint32_t p, Rng& rng);
 
   void emit_borrow_event(BorrowEvent event);
+
+  // Recorder loads snapshot, maintained incrementally: every real-load
+  // mutation routes through touch_load, so the per-step recorder call is
+  // O(1) instead of an O(n) rebuild.
+  void touch_load(std::uint32_t p);
+  void emit_loads(std::uint32_t t);
 
   BalancerConfig config_;
   const Topology* topology_;
@@ -152,19 +223,25 @@ class System {
   std::uint64_t consumed_ = 0;
   std::uint64_t balance_ops_ = 0;
   std::optional<unsigned> partner_radius_;
+  bool post_step_check_ = false;
   // Scratch buffers reused across balancing operations.  A balancing
   // operation works on compact row-major (delta+1) x k matrices whose k
   // columns are union_classes_ — the union of the participants' active
   // classes — instead of full (delta+1) x n matrices, making its cost
-  // O((delta+1) * k) rather than O((delta+1) * n).
+  // O((delta+1) * k) rather than O((delta+1) * n).  Balancing operations
+  // are serialized (sequential drivers; the serial phase of
+  // run_parallel), so plain members are safe; the borrow-candidate
+  // scratch, which the parallel phase-1 workers do hit, lives in a
+  // thread_local inside try_borrow instead.
   std::vector<std::int64_t> scratch_d_;
   std::vector<std::int64_t> scratch_b_;
   std::vector<std::uint32_t> union_classes_;
   std::vector<std::uint32_t> union_scratch_;
   std::vector<std::size_t> excluded_cols_;
   std::vector<std::int64_t> row_delta_;
-  std::vector<std::uint32_t> candidate_classes_;
-  std::vector<std::int64_t> loads_scratch_;
+  // Delta-maintained loads for the recorder path (see touch_load).
+  std::vector<std::int64_t> loads_cache_;
+  bool loads_cache_valid_ = false;
 };
 
 }  // namespace dlb

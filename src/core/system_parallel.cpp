@@ -1,0 +1,184 @@
+// System::run_parallel — the opt-in sharded step driver.
+//
+// Processors are partitioned into contiguous shards, one thread each,
+// with a per-shard RNG stream split off the system generator in shard
+// order (so a (seed, workload, shards) triple fully determines the run).
+// Every step has two phases:
+//
+//   Phase 1 (parallel): each shard samples its active processors from
+//   its own compiled schedule and applies the *local* halves of the
+//   events — generate_packet / consume_packet / try_borrow touch only
+//   the owning processor's ledger, so disjoint shards never share data.
+//   Anything that would reach across shards (a balance trigger, a debt
+//   settlement) is queued, and counters accumulate per shard.
+//
+//   Phase 2 (serial): the coordinator commits each shard's counters and
+//   drains the queues in shard order, drawing from the owning shard's
+//   stream.  Triggers are re-checked at execution time (an earlier
+//   balance this step may have changed the picture); settlements re-run
+//   the borrow after settling.  Recorder output and cost accounting all
+//   happen here.
+//
+// The protocol is reproducible but intentionally NOT bit-identical to
+// the sequential driver: the RNG-stream layout differs, and deferred
+// triggers interleave differently with balancing.  Tests pin down
+// determinism and conservation instead of golden equality.
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/system.hpp"
+#include "support/check.hpp"
+#include "workload/schedule.hpp"
+
+namespace dlb {
+
+void System::run_parallel(const Workload& workload, std::uint32_t shards) {
+  DLB_REQUIRE(workload.processors() == processors(),
+              "workload size must match the system");
+  DLB_REQUIRE(shards >= 1, "at least one shard required");
+  DLB_REQUIRE(shards <= processors(), "more shards than processors");
+
+  enum class Deferred : std::uint8_t {
+    Trigger,  // generate / own-class consume: balance trigger check due
+    Settle,   // borrow capacity exhausted: settle debts, retry borrow
+  };
+
+  struct Shard {
+    Shard(const Workload& w, std::uint32_t begin, std::uint32_t end, Rng rng)
+        : rng(rng), schedule(w, begin, end) {}
+
+    Rng rng;
+    ActiveSchedule schedule;
+    StepCounters counters;
+    // Sampled events and deferred cross-shard work, in event order.
+    std::vector<std::pair<std::uint32_t, WorkEvent>> events;
+    std::vector<std::pair<Deferred, std::uint32_t>> queue;
+  };
+
+  // Contiguous partition: the first (n mod shards) shards get one extra.
+  const std::uint32_t n = processors();
+  std::vector<Shard> state;
+  state.reserve(shards);
+  {
+    const std::uint32_t base = n / shards;
+    const std::uint32_t extra = n % shards;
+    std::uint32_t begin = 0;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      const std::uint32_t end = begin + base + (s < extra ? 1 : 0);
+      // split() draws from rng_, so the stream layout is fixed by the
+      // seed and the shard count alone.
+      state.emplace_back(workload, begin, end, rng_.split());
+      begin = end;
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  const auto record_error = [&] {
+    const std::lock_guard<std::mutex> lock(error_mu);
+    if (error == nullptr) error = std::current_exception();
+    stop.store(true, std::memory_order_release);
+  };
+
+  // Two rendezvous per step: one ends phase 1, one ends the serial
+  // phase.  Everyone checks the stop flag after the second, so all
+  // threads leave the loop at the same step.
+  std::barrier sync(static_cast<std::ptrdiff_t>(shards) + 1);
+
+  const auto worker = [&](Shard& shard) {
+    for (std::uint32_t t = 0; t < workload.horizon(); ++t) {
+      if (!stop.load(std::memory_order_acquire)) {
+        try {
+          // Sample-then-apply, like the sequential driver: all of the
+          // step's workload draws precede any borrow draws.
+          shard.events.clear();
+          for (const ActiveSchedule::Entry& e : shard.schedule.advance(t)) {
+            WorkEvent ev;
+            ev.generate = shard.rng.bernoulli(e.phase->generate_prob);
+            ev.consume = shard.rng.bernoulli(e.phase->consume_prob);
+            if (ev.generate || ev.consume) shard.events.emplace_back(e.proc, ev);
+          }
+          for (const auto& [p, ev] : shard.events) {
+            if (ev.generate) {
+              generate_packet(p, shard.rng, shard.counters);
+              shard.queue.emplace_back(Deferred::Trigger, p);
+            }
+            if (ev.consume) {
+              switch (consume_packet(p, shard.rng, shard.counters)) {
+                case ConsumeLocal::ConsumedOwn:
+                  shard.queue.emplace_back(Deferred::Trigger, p);
+                  break;
+                case ConsumeLocal::NeedsSettle:
+                  shard.queue.emplace_back(Deferred::Settle, p);
+                  break;
+                case ConsumeLocal::ConsumedBorrow:
+                case ConsumeLocal::Failed:
+                  break;
+              }
+            }
+          }
+        } catch (...) {
+          record_error();
+        }
+      }
+      sync.arrive_and_wait();  // phase 1 done; coordinator runs serial
+      sync.arrive_and_wait();  // serial phase done
+      if (stop.load(std::memory_order_acquire)) break;
+    }
+  };
+
+  std::vector<std::jthread> threads;
+  threads.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s)
+    threads.emplace_back(worker, std::ref(state[s]));
+
+  for (std::uint32_t t = 0; t < workload.horizon(); ++t) {
+    sync.arrive_and_wait();  // wait for every shard's phase 1
+    if (!stop.load(std::memory_order_acquire)) {
+      try {
+        for (Shard& shard : state) {
+          commit(shard.counters);
+          shard.counters = StepCounters{};
+        }
+        for (Shard& shard : state) {
+          for (const auto& [kind, p] : shard.queue) {
+            switch (kind) {
+              case Deferred::Trigger:
+                maybe_balance(p, shard.rng);
+                break;
+              case Deferred::Settle: {
+                // An earlier balance this phase may have cleared the
+                // markers (or handed p own-class packets) already.
+                if (procs_[p].ledger.borrowed_total() > 0)
+                  settle_debts(p, shard.rng);
+                StepCounters retry;
+                try_borrow(p, shard.rng, retry);
+                commit(retry);
+                break;
+              }
+            }
+          }
+          shard.queue.clear();
+        }
+        if (post_step_check_) check_invariants();
+        emit_loads(t);
+      } catch (...) {
+        record_error();
+      }
+    }
+    sync.arrive_and_wait();  // release the shards into the next step
+    if (stop.load(std::memory_order_acquire)) break;
+  }
+
+  threads.clear();  // jthread joins
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace dlb

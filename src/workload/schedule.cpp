@@ -1,0 +1,92 @@
+#include "workload/schedule.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+ActiveSchedule::ActiveSchedule(const Workload& workload)
+    : ActiveSchedule(workload, 0, workload.processors()) {}
+
+ActiveSchedule::ActiveSchedule(const Workload& workload, std::uint32_t begin,
+                               std::uint32_t end)
+    : horizon_(workload.horizon()) {
+  DLB_REQUIRE(begin <= end && end <= workload.processors(),
+              "schedule processor range out of bounds");
+  for (std::uint32_t p = begin; p < end; ++p) {
+    for (const Phase& ph : workload.phases_of(p)) {
+      if (ph.generate_prob == 0.0 && ph.consume_prob == 0.0)
+        continue;  // silent phase: no draws, no events (see header)
+      if (ph.start >= horizon_) continue;  // never reached
+      adds_.push_back(Boundary{ph.start, p, &ph});
+      // The run loop only visits t < horizon, so clamp the removal step
+      // to horizon (also avoids end+1 overflow for end == UINT32_MAX).
+      const auto rem_step = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(ph.end, horizon_ - 1) + 1);
+      rems_.push_back(Boundary{rem_step, p, nullptr});
+    }
+  }
+  // (step, proc) pairs are unique per list: a processor's phases are
+  // disjoint, so it contributes at most one add and one remove per step.
+  const auto by_step_proc = [](const Boundary& a, const Boundary& b) {
+    return a.step != b.step ? a.step < b.step : a.proc < b.proc;
+  };
+  std::sort(adds_.begin(), adds_.end(), by_step_proc);
+  std::sort(rems_.begin(), rems_.end(), by_step_proc);
+}
+
+void ActiveSchedule::reset() {
+  add_i_ = 0;
+  rem_i_ = 0;
+  next_t_ = 0;
+  active_.clear();
+}
+
+const std::vector<ActiveSchedule::Entry>& ActiveSchedule::advance(
+    std::uint32_t t) {
+  DLB_REQUIRE(t == next_t_, "schedule must advance one step at a time");
+  DLB_REQUIRE(t < horizon_, "step beyond the workload horizon");
+  ++next_t_;
+  const std::size_t a0 = add_i_;
+  const std::size_t r0 = rem_i_;
+  while (add_i_ < adds_.size() && adds_[add_i_].step == t) ++add_i_;
+  while (rem_i_ < rems_.size() && rems_[rem_i_].step == t) ++rem_i_;
+  if (a0 == add_i_ && r0 == rem_i_) return active_;  // no boundary at t
+
+  // Three-way merge (old active \ removals) ∪ additions, all ascending
+  // by processor.  A processor in both lists hands off from its ended
+  // phase to the one starting this step.
+  scratch_.clear();
+  std::size_t i = 0;
+  std::size_t a = a0;
+  std::size_t r = r0;
+  while (i < active_.size() || a < add_i_) {
+    if (a == add_i_ ||
+        (i < active_.size() && active_[i].proc < adds_[a].proc)) {
+      if (r < rem_i_ && rems_[r].proc == active_[i].proc) {
+        ++r;  // phase ended, nothing starts: drop
+      } else {
+        scratch_.push_back(active_[i]);
+      }
+      ++i;
+    } else if (i == active_.size() || adds_[a].proc < active_[i].proc) {
+      scratch_.push_back(Entry{adds_[a].proc, adds_[a].phase});
+      ++a;
+    } else {
+      // Same processor: phases are disjoint, so the old one must end
+      // exactly where the new one starts.
+      DLB_ENSURE(r < rem_i_ && rems_[r].proc == active_[i].proc,
+                 "overlapping phases in the compiled schedule");
+      ++r;
+      scratch_.push_back(Entry{adds_[a].proc, adds_[a].phase});
+      ++a;
+      ++i;
+    }
+  }
+  DLB_ENSURE(r == rem_i_, "schedule removal without a matching active entry");
+  active_.swap(scratch_);
+  return active_;
+}
+
+}  // namespace dlb

@@ -11,8 +11,7 @@ Workload::Workload(std::uint32_t processors, std::uint32_t horizon,
     : processors_(processors),
       horizon_(horizon),
       phases_(std::move(phases)),
-      name_(std::move(name)),
-      cursor_(processors, 0) {
+      name_(std::move(name)) {
   DLB_REQUIRE(processors_ >= 1, "workload needs at least one processor");
   DLB_REQUIRE(horizon_ >= 1, "workload needs a positive horizon");
   DLB_REQUIRE(phases_.size() == processors_,
@@ -43,12 +42,14 @@ const Phase* Workload::find_phase(std::uint32_t processor,
                                   std::uint32_t t) const {
   DLB_REQUIRE(processor < processors_, "processor id out of range");
   const auto& list = phases_[processor];
-  if (list.empty()) return nullptr;
-  std::size_t& cur = cursor_[processor];
-  if (cur >= list.size() || t < list[cur].start) cur = 0;
-  while (cur < list.size() && list[cur].end < t) ++cur;
-  if (cur < list.size() && list[cur].start <= t && t <= list[cur].end)
-    return &list[cur];
+  // Stateless lookup: phases are disjoint and sorted (checked by the
+  // constructor), so the candidate is the first phase with end >= t.
+  // Keeping this method free of writes makes concurrent sampling of one
+  // shared Workload through the const API safe.
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), t,
+      [](const Phase& ph, std::uint32_t step) { return ph.end < step; });
+  if (it != list.end() && it->start <= t) return &*it;
   return nullptr;
 }
 
@@ -133,6 +134,17 @@ Workload Workload::hotspot(std::uint32_t processors, std::uint32_t horizon,
     }
   }
   return Workload(processors, horizon, std::move(phases), "hotspot");
+}
+
+Workload Workload::sparse_hotspot(std::uint32_t processors,
+                                  std::uint32_t horizon, std::uint32_t active,
+                                  double g, double c) {
+  DLB_REQUIRE(active >= 1 && active <= processors,
+              "active count out of range");
+  std::vector<std::vector<Phase>> phases(processors);
+  for (std::uint32_t p = 0; p < active; ++p)
+    phases[p].push_back(Phase{0, horizon - 1, g, c});
+  return Workload(processors, horizon, std::move(phases), "sparse-hotspot");
 }
 
 Workload Workload::wave(std::uint32_t processors, std::uint32_t horizon,

@@ -67,7 +67,10 @@ class Workload {
   double generate_prob(std::uint32_t processor, std::uint32_t t) const;
   double consume_prob(std::uint32_t processor, std::uint32_t t) const;
 
-  /// Draws the processor's action at step t.
+  /// Draws the processor's action at step t.  A processor outside any
+  /// phase draws no random values at all.  Const access (including this
+  /// method) is safe from multiple threads as long as each caller brings
+  /// its own Rng.
   WorkEvent sample(std::uint32_t processor, std::uint32_t t, Rng& rng) const;
 
   // ---- Factories ------------------------------------------------------
@@ -98,6 +101,15 @@ class Workload {
   static Workload hotspot(std::uint32_t processors, std::uint32_t horizon,
                           std::uint32_t hot, double hot_g, double cold_c);
 
+  /// `active` processors generate with probability g and consume with
+  /// probability c; the remaining processors have *no phases at all* —
+  /// they draw no randomness and fire no events.  The sparse-demand
+  /// regime the event-batched step engine targets: a step costs
+  /// O(active), independent of n.
+  static Workload sparse_hotspot(std::uint32_t processors,
+                                 std::uint32_t horizon, std::uint32_t active,
+                                 double g, double c);
+
   /// Generation activity sweeps across the processor range in windows,
   /// so the load source keeps moving — an adversary for any balancing
   /// scheme keyed to static producers.
@@ -119,10 +131,9 @@ class Workload {
   std::uint32_t horizon_;
   std::vector<std::vector<Phase>> phases_;
   std::string name_;
-  // Phase lookup memo: index of the last phase matched per processor, a
-  // sequential-scan hint (simulation advances t monotonically).
-  mutable std::vector<std::size_t> cursor_;
 
+  // Stateless (phases are sorted and disjoint: binary search); safe to
+  // call concurrently on one shared Workload.
   const Phase* find_phase(std::uint32_t processor, std::uint32_t t) const;
 };
 
