@@ -7,17 +7,115 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "metrics/recorder.hpp"
+#include "obs/metrics.hpp"
 #include "support/cli.hpp"
 #include "support/plot.hpp"
 #include "support/table.hpp"
 
 namespace dlb::bench {
+
+/// Machine-readable benchmark output: ordered key/value rows, written as
+/// {"results": [{...}, ...]} — the shape BENCH_core.json and
+/// tools/perf_check.sh consume.  Values render as JSON scalars;
+/// append_metrics() folds a metrics snapshot into a row so benches report
+/// the same numbers the observability layer collected.
+class JsonRows {
+ public:
+  class Row {
+   public:
+    Row& set(const std::string& key, const std::string& v) {
+      fields_.emplace_back(key, "\"" + obs::json_escape(v) + "\"");
+      return *this;
+    }
+    Row& set(const std::string& key, const char* v) {
+      return set(key, std::string(v));
+    }
+    Row& set(const std::string& key, double v) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.9g", v);
+      // JSON has no inf/nan literals.
+      fields_.emplace_back(key, v == v && v - v == 0.0 ? buf : "null");
+      return *this;
+    }
+    Row& set(const std::string& key, std::int64_t v) {
+      fields_.emplace_back(key, std::to_string(v));
+      return *this;
+    }
+    Row& set(const std::string& key, std::uint64_t v) {
+      fields_.emplace_back(key, std::to_string(v));
+      return *this;
+    }
+    Row& set(const std::string& key, std::uint32_t v) {
+      return set(key, static_cast<std::uint64_t>(v));
+    }
+
+   private:
+    friend class JsonRows;
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  Row& row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Folds every instrument whose name starts with `prefix` into `row`:
+  /// counters/gauges as "<name>", histograms as "<name>.{count,mean,
+  /// p50,p99}" — so e.g. run_parallel barrier-wait percentiles land in
+  /// the same row as the wall-clock columns.
+  static void append_metrics(Row& row, const obs::MetricsSnapshot& snap,
+                             const std::string& prefix) {
+    for (const obs::MetricValue& m : snap.values) {
+      if (m.name.rfind(prefix, 0) != 0) continue;
+      if (m.kind == obs::MetricValue::Kind::Histogram) {
+        row.set(m.name + ".count", m.count)
+            .set(m.name + ".mean", m.mean)
+            .set(m.name + ".p50", m.p50)
+            .set(m.name + ".p99", m.p99);
+      } else {
+        row.set(m.name, static_cast<std::int64_t>(m.value));
+      }
+    }
+  }
+
+  void write(std::ostream& os) const {
+    os << "{\"results\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      os << (r == 0 ? "\n  {" : ",\n  {");
+      const auto& fields = rows_[r].fields_;
+      for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i != 0) os << ", ";
+        os << '"' << obs::json_escape(fields[i].first)
+           << "\": " << fields[i].second;
+      }
+      os << '}';
+    }
+    os << "\n]}\n";
+  }
+
+  bool write_file(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os.good()) {
+      std::cerr << "cannot write " << path << "\n";
+      return false;
+    }
+    write(os);
+    return os.good();
+  }
+
+ private:
+  std::deque<Row> rows_;  // deque: row() hands out stable references
+};
 
 /// Prints the standard header every reproduction binary starts with.
 inline void print_header(const std::string& experiment,

@@ -21,12 +21,15 @@
 // one-producer ratio is skipped: its 40·n-step horizon is infeasible and
 // the bound it checks is n-free anyway.
 #include <algorithm>
-#include <chrono>
+#include <fstream>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "core/system.hpp"
 #include "metrics/imbalance.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "support/stats.hpp"
 #include "theory/operators.hpp"
 
@@ -40,12 +43,20 @@ int main(int argc, char** argv) {
       .add_int("sparse_max_n", 1048576, "largest size for the sparse sweep")
       .add_int("active", 64, "active processors in the sparse sweep")
       .add_int("shards", 4, "threads for the run_parallel column")
-      .add_int("seed", 1993, "master seed");
+      .add_int("trace_n", 65536, "network size for the instrumented run")
+      .add_int("seed", 1993, "master seed")
+      .add_string("json_out", "", "write the measured rows as JSON "
+                                  "(BENCH_core.json shape)")
+      .add_string("metrics_out", "", "write the instrumented run's metrics "
+                                     "snapshot as JSON")
+      .add_string("trace_out", "", "write the instrumented run's trace as "
+                                   "Chrome trace-event JSON (Perfetto)");
   if (!opts.parse(argc, argv)) return 1;
   const auto steps = static_cast<std::uint32_t>(opts.get_int("steps"));
   const auto runs = static_cast<std::uint32_t>(opts.get_int("runs"));
   const auto max_n = static_cast<std::uint32_t>(opts.get_int("max_n"));
   Rng master(static_cast<std::uint64_t>(opts.get_int("seed")));
+  bench::JsonRows json;
 
   bench::print_header(
       "Scalability — balance quality vs network size (Thms 2/4 are n-free)",
@@ -76,14 +87,11 @@ int main(int argc, char** argv) {
         Rng wl_rng = master.split();
         const Workload wl = Workload::paper_benchmark(
             n, run_steps, WorkloadParams{}, wl_rng);
-        const auto start = std::chrono::steady_clock::now();
+        const obs::Stopwatch watch;
         sys.run(wl);
-        const auto stop = std::chrono::steady_clock::now();
-        us_per_step +=
-            std::chrono::duration<double, std::micro>(stop - start)
-                .count() /
-            static_cast<double>(run_steps) /
-            static_cast<double>(run_count);
+        us_per_step += watch.elapsed_us() /
+                       static_cast<double>(run_steps) /
+                       static_cast<double>(run_count);
         cov.add(measure_imbalance(sys.loads()).cov);
       }
       // (b) one-producer ratio vs the n-free bound.  The horizon scales
@@ -115,6 +123,12 @@ int main(int argc, char** argv) {
              3)
         .cell(bound, 3)
         .cell(us_per_step, 1);
+    bench::JsonRows::Row& jrow = json.row();
+    jrow.set("workload", "paper_quality")
+        .set("n", n)
+        .set("final_cov", cov.mean())
+        .set("us_per_step", us_per_step);
+    if (!large) jrow.set("producer_ratio", ratio.mean());
   }
   table.print(std::cout);
   std::cout << "\n(The ratio is sampled mid-growth-cycle, so compare it "
@@ -157,12 +171,9 @@ int main(int argc, char** argv) {
                                  0.8, 0.5);
     const auto time_run = [&](auto&& drive) {
       System sys(n, cfg, 20260807);
-      const auto start = std::chrono::steady_clock::now();
+      const obs::Stopwatch watch;
       drive(sys);
-      const auto stop = std::chrono::steady_clock::now();
-      return std::chrono::duration<double, std::micro>(stop - start)
-                 .count() /
-             static_cast<double>(sparse_steps);
+      return watch.elapsed_us() / static_cast<double>(sparse_steps);
     };
     const bool with_reference = n <= 65536;
     const double ref_us =
@@ -181,10 +192,78 @@ int main(int argc, char** argv) {
       row.cell("-").cell(batched_us, 1).cell("-");
     }
     row.cell(parallel_us, 1).cell(static_cast<std::size_t>(shards));
+    bench::JsonRows::Row& jrow = json.row();
+    jrow.set("workload", "sparse_step")
+        .set("n", n)
+        .set("active", std::min(active, n))
+        .set("step_us", batched_us)
+        .set("parallel_us", parallel_us)
+        .set("shards", shards);
+    if (with_reference) jrow.set("ref_us", ref_us);
   }
   sparse_table.print(std::cout);
   std::cout << "\n(run_parallel pays two barriers per step, so it only "
                "wins once per-step work dwarfs the synchronization — "
                "its column is the protocol's overhead floor here.)\n";
+
+  // ---- Instrumented run (opt-in) ---------------------------------------
+  //
+  // One extra run_parallel with the observability layer attached: the
+  // metrics snapshot carries per-shard work / barrier-wait / serial-drain
+  // histograms, the trace renders one span per shard phase in Perfetto.
+  // Kept separate from the timed columns above so they always measure the
+  // obs-detached hot path.
+  const std::string metrics_out = opts.get_string("metrics_out");
+  const std::string trace_out = opts.get_string("trace_out");
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    const auto trace_n = static_cast<std::uint32_t>(opts.get_int("trace_n"));
+    obs::MetricsRegistry registry;
+    obs::TraceBuffer trace;
+    trace.set_enabled(true);
+    System sys(trace_n, [&] {
+      BalancerConfig cfg;
+      cfg.f = 2.0;
+      cfg.delta = delta;
+      return cfg;
+    }(), 20260807);
+    sys.attach_metrics(&registry);
+    sys.attach_trace(&trace);
+    const Workload wl = Workload::sparse_hotspot(
+        trace_n, sparse_steps, std::min(active, trace_n), 0.8, 0.5);
+    sys.run_parallel(wl, shards);
+    const obs::MetricsSnapshot snap = registry.snapshot();
+    bench::JsonRows::Row& jrow = json.row();
+    jrow.set("workload", "instrumented")
+        .set("n", trace_n)
+        .set("shards", shards);
+    bench::JsonRows::append_metrics(jrow, snap, "run_parallel.");
+    bench::JsonRows::append_metrics(jrow, snap, "system.");
+    if (!metrics_out.empty()) {
+      std::ofstream os(metrics_out);
+      if (os.good()) {
+        snap.write_json(os);
+        std::cout << "(metrics written to " << metrics_out << ")\n";
+      } else {
+        std::cerr << "cannot write " << metrics_out << "\n";
+      }
+    }
+    if (!trace_out.empty()) {
+      std::ofstream os(trace_out);
+      if (os.good()) {
+        trace.write_chrome_json(os, "scalability");
+        std::cout << "(trace written to " << trace_out << ", "
+                  << trace.size() << " events";
+        if (trace.dropped() > 0)
+          std::cout << ", " << trace.dropped() << " dropped";
+        std::cout << ")\n";
+      } else {
+        std::cerr << "cannot write " << trace_out << "\n";
+      }
+    }
+  }
+
+  const std::string json_out = opts.get_string("json_out");
+  if (!json_out.empty() && json.write_file(json_out))
+    std::cout << "(json written to " << json_out << ")\n";
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/snake.hpp"
+#include "obs/timer.hpp"
 #include "support/check.hpp"
 #include "workload/schedule.hpp"
 
@@ -23,6 +24,32 @@ System::System(std::uint32_t processors, BalancerConfig config,
   procs_.reserve(processors);
   for (std::uint32_t p = 0; p < processors; ++p)
     procs_.emplace_back(processors);
+}
+
+void System::attach_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) {
+    m_ = SystemMetrics{};
+    return;
+  }
+  m_.generated = &registry->counter("system.generated");
+  m_.consumed = &registry->counter("system.consumed");
+  m_.balance_ops = &registry->counter("system.balance_ops");
+  m_.packets_moved = &registry->counter("system.packets_moved");
+  m_.borrow_total = &registry->counter("system.borrow.total");
+  m_.borrow_remote = &registry->counter("system.borrow.remote");
+  m_.borrow_fail = &registry->counter("system.borrow.fail");
+  m_.decrease_sim = &registry->counter("system.borrow.decrease_sim");
+  m_.settlements = &registry->counter("system.settlements");
+  m_.active_procs = &registry->gauge("system.active_procs");
+  m_.step_active = &registry->histogram("system.step.active");
+  m_.balance_ns = &registry->histogram("system.balance_ns");
+}
+
+void System::note_active(std::size_t active) {
+  if (metrics_ == nullptr) return;
+  m_.active_procs->set(static_cast<std::int64_t>(active));
+  m_.step_active->record(static_cast<std::uint64_t>(active));
 }
 
 void System::restrict_partners_to_neighborhood(unsigned radius) {
@@ -65,8 +92,11 @@ void System::run(const Workload& workload) {
   // balancing randomness; interleaving would reorder the RNG stream.
   std::vector<std::pair<std::uint32_t, WorkEvent>> events;
   for (std::uint32_t t = 0; t < workload.horizon(); ++t) {
+    obs::ScopedTimer step_span(nullptr, trace_, "step", "step", 0, t);
+    const std::vector<ActiveSchedule::Entry>& entries = schedule.advance(t);
+    note_active(entries.size());
     events.clear();
-    for (const ActiveSchedule::Entry& e : schedule.advance(t)) {
+    for (const ActiveSchedule::Entry& e : entries) {
       WorkEvent ev;
       ev.generate = rng_.bernoulli(e.phase->generate_prob);
       ev.consume = rng_.bernoulli(e.phase->consume_prob);
@@ -136,6 +166,10 @@ void System::emit_loads(std::uint32_t t) {
 void System::commit(const StepCounters& counters) {
   generated_ += counters.generated;
   consumed_ += counters.consumed;
+  if (metrics_ != nullptr) {
+    m_.generated->add(counters.generated);
+    m_.consumed->add(counters.consumed);
+  }
   for (std::uint64_t i = 0; i < counters.total_borrows; ++i)
     emit_borrow_event(BorrowEvent::TotalBorrow);
 }
@@ -241,6 +275,8 @@ bool System::try_borrow(std::uint32_t p, Rng& rng, StepCounters& counters) {
 }
 
 void System::settle_debts(std::uint32_t p, Rng& rng) {
+  if (metrics_ != nullptr) m_.settlements->add(1);
+  if (trace_ != nullptr) trace_->instant("settle", "borrow", 0, p);
   Ledger& ledger = procs_[p].ledger;
   const std::vector<std::uint32_t>& marked = ledger.marked_classes();
   DLB_ENSURE(!marked.empty(), "settle_debts without outstanding markers");
@@ -426,6 +462,10 @@ class BalanceFlowSink final : public SnakeFlowSink {
 
 void System::balance(std::uint32_t initiator,
                      const std::vector<ProcId>& partners, Rng& rng) {
+  // Balancing is serialized (sequential drivers / run_parallel's serial
+  // phase), so recording on track 0 is always correct.
+  obs::ScopedTimer balance_span(m_.balance_ns, trace_, "balance_op",
+                                "balance", 0, initiator);
   const std::uint32_t n = processors();
   std::vector<ProcId> participants;
   participants.reserve(partners.size() + 1);
@@ -546,6 +586,10 @@ void System::balance(std::uint32_t initiator,
 
   ++balance_ops_;
   costs_.record_operation(initiator, partners.size());
+  if (metrics_ != nullptr) {
+    m_.balance_ops->add(1);
+    m_.packets_moved->add(flows.moves());
+  }
   if (recorder_ != nullptr)
     recorder_->on_balance_op(initiator, partners.size(), flows.moves());
 
@@ -569,6 +613,22 @@ void System::force_balance(std::uint32_t p) {
 }
 
 void System::emit_borrow_event(BorrowEvent event) {
+  if (metrics_ != nullptr) {
+    switch (event) {
+      case BorrowEvent::TotalBorrow:
+        m_.borrow_total->add(1);
+        break;
+      case BorrowEvent::RemoteBorrow:
+        m_.borrow_remote->add(1);
+        break;
+      case BorrowEvent::BorrowFail:
+        m_.borrow_fail->add(1);
+        break;
+      case BorrowEvent::DecreaseSim:
+        m_.decrease_sim->add(1);
+        break;
+    }
+  }
   if (recorder_ != nullptr) recorder_->on_borrow_event(event);
 }
 

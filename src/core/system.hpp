@@ -30,6 +30,8 @@
 #include "metrics/recorder.hpp"
 #include "net/cost_model.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/rng.hpp"
 #include "workload/trace.hpp"
 #include "workload/workload.hpp"
@@ -64,6 +66,17 @@ class System {
 
   /// Observer for figures/tables; may be null.  Not owned.
   void attach_recorder(Recorder* recorder) { recorder_ = recorder; }
+
+  /// Operational metrics (src/obs): balance/borrow/settle counters, the
+  /// per-step active-processor gauge, balance-duration and run_parallel
+  /// phase histograms.  May be null (detached); not owned.  Hot paths
+  /// pay only a null check while detached.
+  void attach_metrics(obs::MetricsRegistry* registry);
+
+  /// Structured trace sink (src/obs): step, balance-op and run_parallel
+  /// shard-phase spans.  May be null; not owned.  Recording also honours
+  /// the buffer's own enabled() gate.
+  void attach_trace(obs::TraceBuffer* trace) { trace_ = trace; }
 
   /// Locality ablation: draw the delta partners from the initiator's
   /// topology neighborhood (ball of radius `radius`) instead of the whole
@@ -207,6 +220,9 @@ class System {
 
   void emit_borrow_event(BorrowEvent event);
 
+  // Per-step active-processor accounting (gauge + distribution).
+  void note_active(std::size_t active);
+
   // Recorder loads snapshot, maintained incrementally: every real-load
   // mutation routes through touch_load, so the per-step recorder call is
   // O(1) instead of an O(n) rebuild.
@@ -218,6 +234,25 @@ class System {
   Rng rng_;
   std::vector<ProcessorState> procs_;
   Recorder* recorder_ = nullptr;
+  // Cached instrument handles, resolved once in attach_metrics so the
+  // hot paths never touch the registry map.  Valid iff metrics_ != null.
+  struct SystemMetrics {
+    obs::Counter* generated = nullptr;
+    obs::Counter* consumed = nullptr;
+    obs::Counter* balance_ops = nullptr;
+    obs::Counter* packets_moved = nullptr;
+    obs::Counter* borrow_total = nullptr;
+    obs::Counter* borrow_remote = nullptr;
+    obs::Counter* borrow_fail = nullptr;
+    obs::Counter* decrease_sim = nullptr;
+    obs::Counter* settlements = nullptr;
+    obs::Gauge* active_procs = nullptr;
+    obs::Histogram* step_active = nullptr;
+    obs::Histogram* balance_ns = nullptr;
+  };
+  obs::MetricsRegistry* metrics_ = nullptr;
+  SystemMetrics m_;
+  obs::TraceBuffer* trace_ = nullptr;
   CostLedger costs_;
   std::uint64_t generated_ = 0;
   std::uint64_t consumed_ = 0;

@@ -25,14 +25,18 @@
 // determinism and conservation instead of golden equality.
 #include <atomic>
 #include <barrier>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/system.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "workload/schedule.hpp"
 
@@ -59,6 +63,13 @@ void System::run_parallel(const Workload& workload, std::uint32_t shards) {
     // Sampled events and deferred cross-shard work, in event order.
     std::vector<std::pair<std::uint32_t, WorkEvent>> events;
     std::vector<std::pair<Deferred, std::uint32_t>> queue;
+    // Active processors this step; written in phase 1, read by the
+    // coordinator in the serial phase (the barrier orders the accesses).
+    std::size_t active = 0;
+    // Phase profiling (null when metrics are detached).
+    obs::Histogram* work_hist = nullptr;
+    obs::Histogram* barrier_hist = nullptr;
+    std::uint32_t tid = 0;  // trace track: shard s renders as tid s + 1
   };
 
   // Contiguous partition: the first (n mod shards) shards get one extra.
@@ -78,6 +89,38 @@ void System::run_parallel(const Workload& workload, std::uint32_t shards) {
     }
   }
 
+  // Phase profiling: per-shard work / barrier-wait histograms, a serial
+  // drain histogram, and trace tracks (tid 0 = the serial coordinator,
+  // tid s + 1 = shard s).  `tracing` is latched for the whole run so
+  // every thread agrees on whether to read clocks.
+  const bool tracing = trace_ != nullptr && trace_->enabled();
+  obs::Histogram* drain_hist = nullptr;
+  if (metrics_ != nullptr) {
+    drain_hist = &metrics_->histogram("run_parallel.serial_drain_ns");
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      const std::string prefix =
+          "run_parallel.shard" + std::to_string(s) + ".";
+      state[s].work_hist = &metrics_->histogram(prefix + "work_ns");
+      state[s].barrier_hist =
+          &metrics_->histogram(prefix + "barrier_wait_ns");
+    }
+  }
+  if (tracing) {
+    trace_->set_thread_name(0, "serial (coordinator)");
+    for (std::uint32_t s = 0; s < shards; ++s)
+      trace_->set_thread_name(s + 1, "shard " + std::to_string(s));
+  }
+  for (std::uint32_t s = 0; s < shards; ++s) state[s].tid = s + 1;
+  // One clock for histograms and spans: the trace epoch when tracing
+  // (spans need epoch-relative stamps), the raw steady clock otherwise.
+  const auto now_ns = [&]() -> std::uint64_t {
+    if (tracing) return trace_->now_ns();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  };
+
   std::atomic<bool> stop{false};
   std::exception_ptr error;
   std::mutex error_mu;
@@ -93,13 +136,18 @@ void System::run_parallel(const Workload& workload, std::uint32_t shards) {
   std::barrier sync(static_cast<std::ptrdiff_t>(shards) + 1);
 
   const auto worker = [&](Shard& shard) {
+    const bool timed = shard.work_hist != nullptr || tracing;
     for (std::uint32_t t = 0; t < workload.horizon(); ++t) {
+      std::uint64_t work_end = 0;
       if (!stop.load(std::memory_order_acquire)) {
+        const std::uint64_t work_start = timed ? now_ns() : 0;
         try {
           // Sample-then-apply, like the sequential driver: all of the
           // step's workload draws precede any borrow draws.
           shard.events.clear();
-          for (const ActiveSchedule::Entry& e : shard.schedule.advance(t)) {
+          const auto& entries = shard.schedule.advance(t);
+          shard.active = entries.size();
+          for (const ActiveSchedule::Entry& e : entries) {
             WorkEvent ev;
             ev.generate = shard.rng.bernoulli(e.phase->generate_prob);
             ev.consume = shard.rng.bernoulli(e.phase->consume_prob);
@@ -127,9 +175,29 @@ void System::run_parallel(const Workload& workload, std::uint32_t shards) {
         } catch (...) {
           record_error();
         }
+        if (timed) {
+          work_end = now_ns();
+          if (shard.work_hist != nullptr)
+            shard.work_hist->record(work_end - work_start);
+          if (tracing)
+            trace_->record("local_phase", "shard", work_start,
+                           work_end - work_start, shard.tid, t);
+        }
       }
       sync.arrive_and_wait();  // phase 1 done; coordinator runs serial
       sync.arrive_and_wait();  // serial phase done
+      // Everything between the end of our local work and the second
+      // barrier's release is synchronization: waiting out the slower
+      // shards plus the whole serial phase.  This is the number that
+      // decides whether sharding pays off (see ROADMAP's NUMA item).
+      if (timed && work_end != 0) {
+        const std::uint64_t resumed = now_ns();
+        if (shard.barrier_hist != nullptr)
+          shard.barrier_hist->record(resumed - work_end);
+        if (tracing)
+          trace_->record("barrier_wait", "shard", work_end,
+                         resumed - work_end, shard.tid, t);
+      }
       if (stop.load(std::memory_order_acquire)) break;
     }
   };
@@ -139,10 +207,15 @@ void System::run_parallel(const Workload& workload, std::uint32_t shards) {
   for (std::uint32_t s = 0; s < shards; ++s)
     threads.emplace_back(worker, std::ref(state[s]));
 
+  const bool coordinator_timed = drain_hist != nullptr || tracing;
   for (std::uint32_t t = 0; t < workload.horizon(); ++t) {
     sync.arrive_and_wait();  // wait for every shard's phase 1
     if (!stop.load(std::memory_order_acquire)) {
+      const std::uint64_t drain_start = coordinator_timed ? now_ns() : 0;
       try {
+        std::size_t active = 0;
+        for (const Shard& shard : state) active += shard.active;
+        note_active(active);
         for (Shard& shard : state) {
           commit(shard.counters);
           shard.counters = StepCounters{};
@@ -171,6 +244,14 @@ void System::run_parallel(const Workload& workload, std::uint32_t shards) {
         emit_loads(t);
       } catch (...) {
         record_error();
+      }
+      if (coordinator_timed) {
+        const std::uint64_t drain_end = now_ns();
+        if (drain_hist != nullptr)
+          drain_hist->record(drain_end - drain_start);
+        if (tracing)
+          trace_->record("serial_drain", "serial", drain_start,
+                         drain_end - drain_start, 0, t);
       }
     }
     sync.arrive_and_wait();  // release the shards into the next step

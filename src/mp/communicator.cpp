@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 #include <thread>
 
 #include "support/check.hpp"
@@ -195,6 +196,35 @@ void World::launch(const std::function<void(Comm&)>& body) {
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void World::attach_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  link_metrics_.clear();
+  wm_ = WorldMetrics{};
+  if (registry == nullptr) return;
+  wm_.messages = &registry->counter("mp.messages");
+  wm_.bytes = &registry->counter("mp.bytes");
+  wm_.dropped = &registry->counter("mp.dropped");
+  wm_.duplicated = &registry->counter("mp.duplicated");
+  wm_.delayed = &registry->counter("mp.delayed");
+  wm_.sends_to_dead = &registry->counter("mp.sends_to_dead");
+  wm_.recv_timeouts = &registry->counter("mp.recv_timeouts");
+  wm_.collective_rounds = &registry->counter("mp.collective_rounds");
+  link_metrics_.resize(static_cast<std::size_t>(size_) *
+                       static_cast<std::size_t>(size_));
+  for (int s = 0; s < size_; ++s) {
+    for (int d = 0; d < size_; ++d) {
+      const std::string prefix = "mp.link." + std::to_string(s) + "->" +
+                                 std::to_string(d) + ".";
+      LinkMetrics& lm =
+          link_metrics_[static_cast<std::size_t>(s) *
+                            static_cast<std::size_t>(size_) +
+                        static_cast<std::size_t>(d)];
+      lm.messages = &registry->counter(prefix + "messages");
+      lm.bytes = &registry->counter(prefix + "bytes");
+    }
+  }
+}
+
 FaultStats World::fault_stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return stats_;
@@ -212,6 +242,20 @@ World::RankStatus World::status(int rank) const {
 }
 
 void World::post(int dest, MpMessage message) {
+  // Delivered-traffic accounting per ordered link (dropped messages
+  // never reach here; duplicates count each copy).
+  if (metrics_ != nullptr && message.source >= 0) {
+    const std::uint64_t nbytes =
+        message.payload.size() * sizeof(std::int64_t);
+    const LinkMetrics& lm =
+        link_metrics_[static_cast<std::size_t>(message.source) *
+                          static_cast<std::size_t>(size_) +
+                      static_cast<std::size_t>(dest)];
+    lm.messages->add(1);
+    lm.bytes->add(nbytes);
+    wm_.messages->add(1);
+    wm_.bytes->add(nbytes);
+  }
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
   {
     std::lock_guard<std::mutex> lock(box.mutex);
@@ -228,6 +272,7 @@ void World::faulty_send(int source, int dest, MpMessage message) {
   if (status(dest) == RankStatus::Dead) {
     // The wire to a dead rank leads nowhere; count it so protocols'
     // accounting can reconcile.
+    if (metrics_ != nullptr) wm_.sends_to_dead->add(1);
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.sends_to_dead;
     return;
@@ -237,6 +282,7 @@ void World::faulty_send(int source, int dest, MpMessage message) {
                       static_cast<std::size_t>(dest)];
   const FaultDecision decision = link.faults.next();
   if (decision.drop) {
+    if (metrics_ != nullptr) wm_.dropped->add(1);
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.messages_dropped;
     return;
@@ -248,6 +294,7 @@ void World::faulty_send(int source, int dest, MpMessage message) {
   link.held.reset();
   if (decision.delay) {
     link.held = std::move(message);
+    if (metrics_ != nullptr) wm_.delayed->add(1);
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.messages_delayed;
@@ -256,6 +303,7 @@ void World::faulty_send(int source, int dest, MpMessage message) {
     return;
   }
   if (decision.duplicate) {
+    if (metrics_ != nullptr) wm_.duplicated->add(1);
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.messages_duplicated;
@@ -374,7 +422,10 @@ std::optional<MpMessage> World::timed_recv(int rank, int source, int tag,
     if (auto out = take_match(box.messages, source, tag)) return out;
     if (!can_still_arrive(rank, source)) return std::nullopt;
     if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
-      return take_match(box.messages, source, tag);
+      auto out = take_match(box.messages, source, tag);
+      if (!out.has_value() && metrics_ != nullptr)
+        wm_.recv_timeouts->add(1);
+      return out;
     }
   }
 }
@@ -413,6 +464,7 @@ void World::maybe_complete_round_locked() {
   c.departing = c.arrived;
   c.arrived = 0;
   ++c.generation;
+  if (metrics_ != nullptr) wm_.collective_rounds->add(1);
   c.cv.notify_all();
 }
 

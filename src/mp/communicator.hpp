@@ -57,6 +57,7 @@
 
 #include "core/checkpoint.hpp"
 #include "mp/fault.hpp"
+#include "obs/metrics.hpp"
 
 namespace dlb {
 
@@ -181,6 +182,13 @@ class World {
   /// state is re-armed per launch.
   void launch(const std::function<void(Comm&)>& body);
 
+  /// Operational metrics: per-link delivered message/byte counters
+  /// (mp.link.<s>-><d>.*) plus aggregate traffic, fault and timeout
+  /// counters (mp.*).  Resolves every instrument up front, so the send
+  /// path pays only relaxed atomic adds.  Must not be called while a
+  /// launch is running.  May be null (detach); not owned.
+  void attach_metrics(obs::MetricsRegistry* registry);
+
   /// Fault accounting of the most recent launch().
   FaultStats fault_stats() const;
   /// Crash journal of the most recent launch() (valid after it returns).
@@ -250,6 +258,26 @@ class World {
   // Counters; guarded by stats_mutex_ (fault paths only, never hot).
   mutable std::mutex stats_mutex_;
   FaultStats stats_;
+
+  // Cached instrument handles (valid iff metrics_ != null).  Per-link
+  // cells are row-major by source, like links_.
+  struct LinkMetrics {
+    obs::Counter* messages = nullptr;
+    obs::Counter* bytes = nullptr;
+  };
+  struct WorldMetrics {
+    obs::Counter* messages = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* duplicated = nullptr;
+    obs::Counter* delayed = nullptr;
+    obs::Counter* sends_to_dead = nullptr;
+    obs::Counter* recv_timeouts = nullptr;
+    obs::Counter* collective_rounds = nullptr;
+  };
+  obs::MetricsRegistry* metrics_ = nullptr;
+  WorldMetrics wm_;
+  std::vector<LinkMetrics> link_metrics_;  // size_ * size_
 };
 
 }  // namespace dlb

@@ -1,0 +1,235 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "support/check.hpp"
+
+namespace dlb::obs {
+
+void Histogram::record(std::uint64_t value) {
+  buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  // Monotone clamp via CAS; contention is negligible (extrema settle
+  // after a few updates).
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::min() const {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::max() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+double Histogram::percentile(double q) const {
+  DLB_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  const auto counts = buckets();
+  std::uint64_t n = 0;
+  for (std::uint64_t c : counts) n += c;
+  if (n == 0) return 0.0;
+  // Rank of the order statistic (nearest-rank, 1-based), then walk the
+  // buckets to the one containing it.
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::min(static_cast<double>(n),
+                             q * static_cast<double>(n) + 0.5)));
+  std::uint64_t before = 0;
+  std::size_t b = 0;
+  for (; b < kBuckets; ++b) {
+    if (before + counts[b] >= rank) break;
+    before += counts[b];
+  }
+  if (b >= kBuckets) b = kBuckets - 1;
+  // Linear interpolation across the bucket's span, clamped to the
+  // recorded extrema so single-bucket distributions report sane edges.
+  const double lo = static_cast<double>(bucket_lo(b));
+  const double hi = static_cast<double>(b + 1 >= kBuckets
+                                            ? max()
+                                            : bucket_lo(b + 1));
+  const double inside =
+      counts[b] == 0
+          ? 0.0
+          : static_cast<double>(rank - before) / static_cast<double>(counts[b]);
+  double v = lo + (hi - lo) * inside;
+  v = std::min(v, static_cast<double>(max()));
+  v = std::max(v, static_cast<double>(min()));
+  return v;
+}
+
+std::array<std::uint64_t, Histogram::kBuckets> Histogram::buckets() const {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+MetricsRegistry::Cell& MetricsRegistry::cell(const std::string& name,
+                                             Kind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cells_.find(name);
+  if (it == cells_.end()) {
+    Cell c;
+    c.kind = kind;
+    switch (kind) {
+      case Kind::Counter:
+        c.counter = std::make_unique<Counter>();
+        break;
+      case Kind::Gauge:
+        c.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::Histogram:
+        c.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = cells_.emplace(name, std::move(c)).first;
+  }
+  DLB_REQUIRE(it->second.kind == kind,
+              "metric re-registered with a different kind: " + name);
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return *cell(name, Kind::Counter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return *cell(name, Kind::Gauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return *cell(name, Kind::Histogram).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.values.reserve(cells_.size());
+  for (const auto& [name, c] : cells_) {
+    MetricValue v;
+    v.name = name;
+    switch (c.kind) {
+      case Kind::Counter:
+        v.kind = MetricValue::Kind::Counter;
+        v.value = static_cast<std::int64_t>(c.counter->value());
+        break;
+      case Kind::Gauge:
+        v.kind = MetricValue::Kind::Gauge;
+        v.value = c.gauge->value();
+        break;
+      case Kind::Histogram:
+        v.kind = MetricValue::Kind::Histogram;
+        v.count = c.histogram->count();
+        v.total = c.histogram->sum();
+        v.min = c.histogram->min();
+        v.max = c.histogram->max();
+        v.mean = c.histogram->mean();
+        v.p50 = c.histogram->percentile(0.50);
+        v.p90 = c.histogram->percentile(0.90);
+        v.p99 = c.histogram->percentile(0.99);
+        break;
+    }
+    out.values.push_back(std::move(v));
+  }
+  return out;
+}
+
+const MetricValue* MetricsSnapshot::find(const std::string& name) const {
+  for (const MetricValue& v : values)
+    if (v.name == name) return &v;
+  return nullptr;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(ch >> 4) & 0xf];
+          out += hex[ch & 0xf];
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_group(std::ostream& os, const MetricsSnapshot& snap,
+                 MetricValue::Kind kind) {
+  bool first = true;
+  for (const MetricValue& v : snap.values) {
+    if (v.kind != kind) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << '"' << json_escape(v.name) << "\": ";
+    if (kind == MetricValue::Kind::Histogram) {
+      os << "{\"count\": " << v.count << ", \"sum\": " << v.total
+         << ", \"min\": " << v.min << ", \"max\": " << v.max
+         << ", \"mean\": " << v.mean << ", \"p50\": " << v.p50
+         << ", \"p90\": " << v.p90 << ", \"p99\": " << v.p99 << '}';
+    } else {
+      os << v.value;
+    }
+  }
+}
+
+}  // namespace
+
+void MetricsSnapshot::write_json(std::ostream& os) const {
+  os << "{\n  \"counters\": {";
+  write_group(os, *this, MetricValue::Kind::Counter);
+  os << "},\n  \"gauges\": {";
+  write_group(os, *this, MetricValue::Kind::Gauge);
+  os << "},\n  \"histograms\": {";
+  write_group(os, *this, MetricValue::Kind::Histogram);
+  os << "}\n}\n";
+}
+
+void MetricsSnapshot::write_csv(std::ostream& os) const {
+  os << "name,kind,value,count,sum,min,max,mean,p50,p90,p99\n";
+  for (const MetricValue& v : values) {
+    const char* kind = v.kind == MetricValue::Kind::Counter   ? "counter"
+                       : v.kind == MetricValue::Kind::Gauge   ? "gauge"
+                                                              : "histogram";
+    os << v.name << ',' << kind << ',' << v.value << ',' << v.count << ','
+       << v.total << ',' << v.min << ',' << v.max << ',' << v.mean << ','
+       << v.p50 << ',' << v.p90 << ',' << v.p99 << '\n';
+  }
+}
+
+}  // namespace dlb::obs

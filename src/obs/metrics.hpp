@@ -1,0 +1,154 @@
+// Metrics registry: named counters, gauges and log2-bucketed histograms.
+//
+// The Recorder interface (metrics/recorder.hpp) serves the paper's
+// figures; this registry serves *operations*: how many balance ops ran,
+// how long each shard of run_parallel waited at the barrier, how many
+// messages a link dropped.  Instruments are created once by name and
+// then updated lock-free (relaxed atomics), so a hot path pays one
+// pointer-null check when observability is detached and one relaxed
+// atomic RMW when attached.  A snapshot() walks the registry under its
+// mutex and yields plain values, exportable as JSON or CSV.
+//
+// Histograms bucket by floor(log2(value)) — 64 buckets cover the full
+// uint64 range — and answer percentile queries by linear interpolation
+// inside the selected bucket.  The guarantee is therefore bucket-level:
+// the reported p-quantile lies in the same power-of-two bucket as the
+// exact order statistic (tested against a sorted-vector oracle).
+#pragma once
+
+#include <atomic>
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dlb::obs {
+
+/// Monotone event count.  Thread-safe (relaxed; totals are read after
+/// the run, not used for synchronization).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. active processors this
+/// step).  Thread-safe.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log2-bucketed histogram of non-negative values (typically
+/// nanoseconds).  record() is wait-free; percentile() interpolates
+/// within the bucket holding the requested order statistic.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  /// Bucket index for a value: 0 holds {0, 1}, bucket i >= 1 holds
+  /// [2^i, 2^(i+1)).
+  static std::size_t bucket_of(std::uint64_t value) {
+    return value <= 1 ? 0
+                      : static_cast<std::size_t>(63 - __builtin_clzll(value));
+  }
+  /// Inclusive lower edge of bucket `i`.
+  static std::uint64_t bucket_lo(std::size_t i) {
+    return i == 0 ? 0 : (std::uint64_t{1} << i);
+  }
+
+  void record(std::uint64_t value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest / largest recorded value (0 when empty).
+  std::uint64_t min() const;
+  std::uint64_t max() const;
+  double mean() const;
+
+  /// Value at quantile q in [0, 1]: the exact order statistic's bucket,
+  /// linearly interpolated.  Returns 0 when empty.
+  double percentile(double q) const;
+
+  /// Per-bucket counts (index by bucket_of).
+  std::array<std::uint64_t, kBuckets> buckets() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// One exported instrument (see MetricsRegistry::snapshot).
+struct MetricValue {
+  enum class Kind { Counter, Gauge, Histogram };
+  std::string name;
+  Kind kind = Kind::Counter;
+  // Counter / gauge value.
+  std::int64_t value = 0;
+  // Histogram summary (valid when kind == Histogram).
+  std::uint64_t count = 0;
+  std::uint64_t total = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// A point-in-time copy of every instrument, ordered by name.
+struct MetricsSnapshot {
+  std::vector<MetricValue> values;
+
+  const MetricValue* find(const std::string& name) const;
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+  /// sum, min, max, mean, p50, p90, p99}}}
+  void write_json(std::ostream& os) const;
+  /// name,kind,value,count,sum,min,max,mean,p50,p90,p99 rows.
+  void write_csv(std::ostream& os) const;
+};
+
+/// Owns the instruments.  Creation is mutex-guarded and returns stable
+/// references; callers cache the reference and update it lock-free.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  enum class Kind { Counter, Gauge, Histogram };
+  struct Cell {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Cell& cell(const std::string& name, Kind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Cell> cells_;
+};
+
+/// Escapes `s` for embedding in a JSON string literal (shared by the
+/// metrics/trace exporters and the bench JSON-row emitter).
+std::string json_escape(const std::string& s);
+
+}  // namespace dlb::obs

@@ -1,0 +1,100 @@
+// RAII profiling hooks: Stopwatch for benches, ScopedTimer for feeding
+// histograms and trace spans.
+//
+// The bench binaries used to hand-roll std::chrono arithmetic at every
+// measurement site; Stopwatch centralizes that.  ScopedTimer is the
+// instrumentation form: on destruction it records the elapsed
+// nanoseconds into an optional Histogram and an optional TraceBuffer
+// span.  With both sinks null (or the trace disabled) its constructor
+// skips the clock read entirely, so an always-present timer costs two
+// null checks when observability is off.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dlb::obs {
+
+/// Monotonic elapsed-time reader.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+  double elapsed_us() const {
+    return static_cast<double>(elapsed_ns()) / 1000.0;
+  }
+  double elapsed_ms() const {
+    return static_cast<double>(elapsed_ns()) / 1000000.0;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Times the enclosing scope into a histogram (ns) and/or a trace span.
+/// `name`/`cat` must be string literals (see TraceEvent).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist)
+      : hist_(hist), armed_(hist != nullptr) {
+    if (armed_) start_ns_ = clock_ns();
+  }
+
+  ScopedTimer(Histogram* hist, TraceBuffer* trace, const char* name,
+              const char* cat, std::uint32_t tid, std::uint64_t arg = 0)
+      : hist_(hist),
+        trace_(trace != nullptr && trace->enabled() ? trace : nullptr),
+        name_(name),
+        cat_(cat),
+        tid_(tid),
+        arg_(arg),
+        armed_(hist != nullptr || trace_ != nullptr) {
+    // The trace span needs the buffer-epoch clock; the histogram only
+    // needs a difference, so one timebase serves both.
+    if (armed_)
+      start_ns_ = trace_ != nullptr ? trace_->now_ns() : clock_ns();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (!armed_) return;
+    const std::uint64_t end =
+        trace_ != nullptr ? trace_->now_ns() : clock_ns();
+    const std::uint64_t dur = end > start_ns_ ? end - start_ns_ : 0;
+    if (hist_ != nullptr) hist_->record(dur);
+    if (trace_ != nullptr)
+      trace_->record(name_, cat_, start_ns_, dur, tid_, arg_);
+  }
+
+ private:
+  static std::uint64_t clock_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  Histogram* hist_ = nullptr;
+  TraceBuffer* trace_ = nullptr;
+  const char* name_ = "";
+  const char* cat_ = "";
+  std::uint32_t tid_ = 0;
+  std::uint64_t arg_ = 0;
+  bool armed_ = false;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace dlb::obs

@@ -1,0 +1,78 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/metrics.hpp"  // json_escape
+#include "support/check.hpp"
+
+namespace dlb::obs {
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : ring_(capacity), epoch_(std::chrono::steady_clock::now()) {
+  DLB_REQUIRE(capacity >= 1, "trace buffer needs capacity");
+}
+
+void TraceBuffer::set_thread_name(std::uint32_t tid,
+                                  const std::string& name) {
+  std::lock_guard<std::mutex> lock(names_mutex_);
+  thread_names_[tid] = name;
+}
+
+std::size_t TraceBuffer::size() const {
+  return std::min(next_.load(std::memory_order_relaxed), ring_.size());
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  return {ring_.begin(),
+          ring_.begin() + static_cast<std::ptrdiff_t>(size())};
+}
+
+void TraceBuffer::clear() {
+  next_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+void TraceBuffer::write_chrome_json(std::ostream& os,
+                                    const std::string& process_name) const {
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  // Metadata rows: process name plus one thread_name row per labeled
+  // track, so Perfetto shows "shard 0" instead of "tid 1".
+  comma();
+  os << R"({"name": "process_name", "ph": "M", "pid": 0, "tid": 0, )"
+     << R"("args": {"name": ")" << json_escape(process_name) << "\"}}";
+  {
+    std::lock_guard<std::mutex> lock(names_mutex_);
+    for (const auto& [tid, name] : thread_names_) {
+      comma();
+      os << R"({"name": "thread_name", "ph": "M", "pid": 0, "tid": )" << tid
+         << R"(, "args": {"name": ")" << json_escape(name) << "\"}}";
+    }
+  }
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = ring_[i];
+    comma();
+    // Chrome timestamps are microseconds (fractions allowed).
+    const double ts = static_cast<double>(e.ts_ns) / 1000.0;
+    os << "{\"name\": \"" << json_escape(e.name) << "\", \"cat\": \""
+       << json_escape(e.cat) << "\", ";
+    if (e.dur_ns == 0) {
+      os << R"("ph": "i", "s": "t", )";
+    } else {
+      os << "\"ph\": \"X\", \"dur\": "
+         << static_cast<double>(e.dur_ns) / 1000.0 << ", ";
+    }
+    os << "\"ts\": " << ts << ", \"pid\": 0, \"tid\": " << e.tid
+       << ", \"args\": {\"v\": " << e.arg << "}}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace dlb::obs

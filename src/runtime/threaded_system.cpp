@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
+#include "obs/timer.hpp"
 #include "support/check.hpp"
 
 namespace dlb {
@@ -75,6 +77,14 @@ class ThreadedSystem::Worker {
     return owner_.dead_[p].load(std::memory_order_acquire) != 0;
   }
 
+  /// The owner's trace buffer iff recording is on; null otherwise, so
+  /// call sites stay a single pointer check.  Each worker renders as
+  /// its own track (tid == processor id).
+  obs::TraceBuffer* tracer() const {
+    obs::TraceBuffer* t = owner_.trace_;
+    return (t != nullptr && t->enabled()) ? t : nullptr;
+  }
+
   /// Scheduled crash: journal-recover the load (drift is declared
   /// lost), raise the dead flag so survivors blacklist us, and stop
   /// participating — held (delayed) messages strand with the crash.
@@ -83,6 +93,8 @@ class ThreadedSystem::Worker {
   /// were in flight toward it when it died (senders that saw the dead
   /// flag account on their side; exactly one side sees each message).
   void die() {
+    if (obs::TraceBuffer* tb = tracer())
+      tb->instant("crash", "fault", id_, id_);
     stats_.lost_load += owner_.journal_.on_crash(id_);
     stats_.ranks_dead = 1;
     owner_.dead_[id_].store(1, std::memory_order_release);
@@ -211,6 +223,10 @@ class ThreadedSystem::Worker {
           return;
         }
         send(initiator, Message{Message::Type::Accept, 0, txn, load_});
+        // Span: accepted -> Assign applied (or rollback).  Renders on
+        // this worker's track next to the initiator's balance_txn span.
+        const obs::ScopedTimer lock_span(nullptr, tracer(), "partner_lock",
+                                         "txn", id_, txn);
         // Locked: the pre-image of the load is simply load_ — nothing
         // mutates until the Assign lands, so rolling back on a missing
         // Assign means unlocking unchanged.  Answer only this
@@ -224,6 +240,8 @@ class ThreadedSystem::Worker {
             if (owner_.faults_on_) {
               // Missing Assign: roll back.  If it straggles in later it
               // is discarded and its delta declared lost.
+              if (obs::TraceBuffer* tb = tracer())
+                tb->instant("txn_abort", "fault", id_, txn);
               ++stats_.timeouts;
               ++stats_.aborted_ops;
               aborted_.insert(txn);
@@ -317,6 +335,10 @@ class ThreadedSystem::Worker {
   void initiate_balance() {
     const std::uint64_t txn =
         (static_cast<std::uint64_t>(id_ + 1) << 32) | ++txn_counter_;
+    // Span: whole Invite/Accept-or-Refuse/Assign exchange, histogram
+    // threaded.txn_ns when metrics are attached.
+    const obs::ScopedTimer txn_span(owner_.txn_hist_, tracer(),
+                                    "balance_txn", "txn", id_, txn);
     const auto partners = draw_partners();
     if (partners.empty()) {
       l_old_ = load_;
@@ -339,6 +361,8 @@ class ThreadedSystem::Worker {
           // Silence for a whole deadline: every partner still pending
           // is treated as Refuse (dead, or its reply was lost).  A
           // straggling Accept will be rolled back as a stray.
+          if (obs::TraceBuffer* tb = tracer())
+            tb->instant("txn_timeout", "fault", id_, txn);
           ++stats_.timeouts;
           break;
         }
@@ -474,6 +498,11 @@ void ThreadedSystem::run(const Trace& trace) {
   for (std::uint32_t p = 0; p < processors_; ++p)
     dead_[p].store(0, std::memory_order_release);
   journal_ = LoadJournal(processors_, config_.faults.journal_interval);
+  txn_hist_ =
+      metrics_ != nullptr ? &metrics_->histogram("threaded.txn_ns") : nullptr;
+  if (trace_ != nullptr && trace_->enabled())
+    for (std::uint32_t p = 0; p < processors_; ++p)
+      trace_->set_thread_name(p, "proc " + std::to_string(p));
   Rng seeder(config_.seed);
 
   std::vector<std::unique_ptr<Worker>> workers;
@@ -523,6 +552,24 @@ void ThreadedSystem::run(const Trace& trace) {
     recorder_->on_fault(FaultEvent::AbortedOp, stats_.aborted_ops);
     recorder_->on_fault(FaultEvent::LostPacket, stats_.lost_packets);
     recorder_->on_fault(FaultEvent::RankDeath, stats_.ranks_dead);
+  }
+  // Publish the aggregated stats as registry counters.  Done once at the
+  // end of the run: the per-worker stats_ structs already accumulate on
+  // each thread's own cache line, so the hot paths stay untouched.
+  if (metrics_ != nullptr) {
+    metrics_->counter("threaded.balance_ops").add(stats_.balance_ops);
+    metrics_->counter("threaded.refusals").add(stats_.refusals);
+    metrics_->counter("threaded.messages").add(stats_.messages);
+    metrics_->counter("threaded.consume_failures")
+        .add(stats_.consume_failures);
+    metrics_->counter("threaded.generated").add(stats_.generated);
+    metrics_->counter("threaded.consumed").add(stats_.consumed);
+    metrics_->counter("threaded.fault.timeouts").add(stats_.timeouts);
+    metrics_->counter("threaded.fault.aborted_ops").add(stats_.aborted_ops);
+    metrics_->counter("threaded.fault.lost_packets")
+        .add(stats_.lost_packets);
+    metrics_->counter("threaded.fault.ranks_dead").add(stats_.ranks_dead);
+    metrics_->gauge("threaded.lost_load").add(stats_.lost_load);
   }
 }
 

@@ -58,6 +58,8 @@
 #include "core/checkpoint.hpp"
 #include "metrics/recorder.hpp"
 #include "mp/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/mailbox.hpp"
 #include "support/rng.hpp"
 #include "workload/trace.hpp"
@@ -109,6 +111,18 @@ class ThreadedSystem {
   /// run() with the aggregate counts).  Optional; not owned.
   void set_recorder(Recorder* recorder) { recorder_ = recorder; }
 
+  /// Operational metrics: run() publishes the aggregated ThreadedStats
+  /// as threaded.* counters (and threaded.lost_load as a gauge).
+  /// Optional; not owned.
+  void attach_metrics(obs::MetricsRegistry* registry) {
+    metrics_ = registry;
+  }
+
+  /// Structured trace: per-processor balance-transaction spans plus
+  /// timeout/abort/crash instants, one track per processor thread.
+  /// Optional; not owned.
+  void attach_trace(obs::TraceBuffer* trace) { trace_ = trace; }
+
   /// Final per-processor loads (valid after run()); a crashed
   /// processor's entry is its journal-recovered load.
   const std::vector<std::int64_t>& final_loads() const { return final_loads_; }
@@ -146,6 +160,10 @@ class ThreadedSystem {
   std::vector<std::int64_t> final_loads_;
   ThreadedStats stats_;
   Recorder* recorder_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceBuffer* trace_ = nullptr;
+  // Resolved once per run(); shared by all workers (record is atomic).
+  obs::Histogram* txn_hist_ = nullptr;
 };
 
 }  // namespace dlb

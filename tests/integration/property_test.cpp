@@ -150,5 +150,99 @@ TEST_P(ForcedBalanceProperty, ParticipantsWithinOneAfterBalance) {
 INSTANTIATE_TEST_SUITE_P(DeltaSweep, ForcedBalanceProperty,
                          ::testing::Values(1u, 2u, 4u, 11u));
 
+// A third property: the recorder loads snapshot is delta-maintained
+// (System::touch_load updates loads_cache_ at every real-load mutation
+// instead of rebuilding), so the vector handed to on_loads at the final
+// step must equal a from-scratch loads() rebuild.  The sweep leans on
+// the paths that mutate *other* processors' loads behind p's back —
+// settlements, remote exchanges, empty-generator resolutions under a
+// tiny borrow_cap — and covers all three step drivers.
+class LastLoadsRecorder final : public Recorder {
+ public:
+  void on_loads(std::uint32_t t,
+                const std::vector<std::int64_t>& loads) override {
+    (void)t;
+    last_ = loads;  // copy: the caller reuses the buffer across steps
+    ++calls_;
+  }
+  const std::vector<std::int64_t>& last() const { return last_; }
+  std::uint64_t calls() const { return calls_; }
+
+ private:
+  std::vector<std::int64_t> last_;
+  std::uint64_t calls_ = 0;
+};
+
+struct LoadsCacheCase {
+  std::uint32_t n;
+  double f;
+  std::uint32_t delta;
+  std::uint32_t borrow_cap;
+  bool analysis_mode;
+  std::string workload;
+  std::string driver;
+  std::uint64_t seed;
+};
+
+class LoadsCacheProperty
+    : public ::testing::TestWithParam<LoadsCacheCase> {};
+
+TEST_P(LoadsCacheProperty, DeltaMaintainedSnapshotMatchesFullRebuild) {
+  const auto& prm = GetParam();
+  const std::uint32_t horizon = 200;
+  BalancerConfig cfg;
+  cfg.f = prm.f;
+  cfg.delta = prm.delta;
+  cfg.borrow_cap = prm.borrow_cap;
+  cfg.analysis_mode = prm.analysis_mode;
+
+  Rng wl_rng(prm.seed);
+  const Workload wl = make_workload(prm.workload, prm.n, horizon, wl_rng);
+  System sys(prm.n, cfg, prm.seed * 7919 + 1);
+  LastLoadsRecorder recorder;
+  sys.attach_recorder(&recorder);
+  if (prm.driver == "run") {
+    sys.run(wl);
+  } else if (prm.driver == "run_reference") {
+    sys.run_reference(wl);
+  } else {
+    sys.run_parallel(wl, 2);
+  }
+  ASSERT_EQ(recorder.calls(), horizon);
+  // loads() rebuilds from the ledgers; the recorder saw the incremental
+  // cache.  Any divergence means a mutation path missed touch_load.
+  EXPECT_EQ(recorder.last(), sys.loads());
+  sys.check_invariants();
+}
+
+std::vector<LoadsCacheCase> loads_cache_cases() {
+  std::vector<LoadsCacheCase> cases;
+  std::uint64_t seed = 101;
+  for (const char* driver : {"run", "run_reference", "run_parallel"}) {
+    // Consume-heavy uniform demand with borrow_cap 1 maximizes the
+    // settlement / remote-exchange traffic that touches remote loads.
+    cases.push_back({8, 1.1, 2, 1, false, "uniform", driver, seed++});
+    cases.push_back({8, 1.1, 2, 1, true, "uniform", driver, seed++});
+    cases.push_back({16, 1.2, 3, 2, false, "hotspot", driver, seed++});
+    cases.push_back({32, 1.5, 1, 0, false, "paper", driver, seed++});
+  }
+  return cases;
+}
+
+std::string loads_cache_case_name(
+    const ::testing::TestParamInfo<LoadsCacheCase>& ti) {
+  const auto& p = ti.param;
+  std::string name = p.driver + "_n" + std::to_string(p.n) + "_C" +
+                     std::to_string(p.borrow_cap) + "_" + p.workload +
+                     "_s" + std::to_string(p.seed);
+  for (char& c : name)
+    if (c == '-') c = '_';
+  return name + (p.analysis_mode ? "_am" : "");
+}
+
+INSTANTIATE_TEST_SUITE_P(DriverSweep, LoadsCacheProperty,
+                         ::testing::ValuesIn(loads_cache_cases()),
+                         loads_cache_case_name);
+
 }  // namespace
 }  // namespace dlb

@@ -1,0 +1,554 @@
+// Unit tests for the observability layer (src/obs) plus its wiring into
+// the step engines: metrics instruments against brute-force oracles,
+// trace buffer semantics, scoped timers, and the per-subsystem
+// instrumentation (System, run_parallel, ThreadedSystem, mp::World,
+// the MetricsRecorder bridge).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "metrics/obs_bridge.hpp"
+#include "mp/communicator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+#include "runtime/threaded_system.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace dlb {
+namespace {
+
+// ---- Instruments ------------------------------------------------------
+
+TEST(Counter, AccumulatesAndDefaultsToOne) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, LastWriteWinsAndSignedDeltas) {
+  obs::Gauge g;
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.add(-10);
+  EXPECT_EQ(g.value(), -3);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  EXPECT_EQ(obs::Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_of(2), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_of(3), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_of(4), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of((1ull << 40) + 5), 40u);
+  EXPECT_EQ(obs::Histogram::bucket_of(~std::uint64_t{0}), 63u);
+  EXPECT_EQ(obs::Histogram::bucket_lo(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_lo(10), 1024u);
+}
+
+TEST(Histogram, CountSumMinMaxMean) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  for (std::uint64_t v : {5u, 10u, 100u, 3u}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 118u);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 118.0 / 4.0);
+}
+
+// The bucket-level guarantee: the reported quantile lies in the same
+// power-of-two bucket as the exact order statistic of the recorded
+// values (and inside [min, max]).
+TEST(Histogram, PercentileMatchesSortedOracleAtBucketLevel) {
+  Rng rng(20260807);
+  obs::Histogram h;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    // Spread over ~18 binary orders of magnitude, like latencies do.
+    const std::uint64_t v = rng.below(1u << (1 + rng.below(18)));
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    const std::size_t n = values.size();
+    std::size_t rank = static_cast<std::size_t>(
+        q * static_cast<double>(n) + 0.5);
+    rank = std::min(std::max<std::size_t>(rank, 1), n);
+    const std::uint64_t exact = values[rank - 1];
+    const double estimate = h.percentile(q);
+    const std::size_t bucket = obs::Histogram::bucket_of(exact);
+    const double lo = static_cast<double>(obs::Histogram::bucket_lo(bucket));
+    const double hi =
+        bucket + 1 < obs::Histogram::kBuckets
+            ? static_cast<double>(obs::Histogram::bucket_lo(bucket + 1))
+            : static_cast<double>(h.max());
+    // The estimate is clamped to [min, max], which can pull it out of
+    // the theoretical bucket range only toward the true extremes.
+    EXPECT_GE(estimate, std::min(lo, static_cast<double>(values.front())))
+        << "q=" << q;
+    EXPECT_LE(estimate, std::max(hi, static_cast<double>(values.back())))
+        << "q=" << q;
+  }
+  // The extremes stay inside the recorded range (the clamp).
+  EXPECT_GE(h.percentile(0.0), static_cast<double>(values.front()));
+  EXPECT_LE(h.percentile(1.0), static_cast<double>(values.back()));
+}
+
+TEST(Histogram, PercentileIsExactWhenOneValueRepeats) {
+  obs::Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(4096);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 4096.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 4096.0);
+}
+
+// ---- Registry and snapshot --------------------------------------------
+
+TEST(MetricsRegistry, ReturnsStableInstrumentsByName) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("x");
+  obs::Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(reg.counter("x").value(), 3u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  obs::MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), contract_error);
+  EXPECT_THROW(reg.histogram("x"), contract_error);
+}
+
+TEST(MetricsRegistry, SnapshotCarriesEveryInstrument) {
+  obs::MetricsRegistry reg;
+  reg.counter("ops").add(5);
+  reg.gauge("level").set(-2);
+  obs::Histogram& h = reg.histogram("lat");
+  h.record(10);
+  h.record(30);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.values.size(), 3u);
+  const obs::MetricValue* ops = snap.find("ops");
+  ASSERT_NE(ops, nullptr);
+  EXPECT_EQ(ops->value, 5);
+  const obs::MetricValue* level = snap.find("level");
+  ASSERT_NE(level, nullptr);
+  EXPECT_EQ(level->value, -2);
+  const obs::MetricValue* lat = snap.find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 2u);
+  EXPECT_EQ(lat->total, 40u);
+  EXPECT_GT(lat->p99, 0.0);
+  EXPECT_EQ(snap.find("missing"), nullptr);
+}
+
+TEST(MetricsSnapshot, JsonAndCsvExport) {
+  obs::MetricsRegistry reg;
+  reg.counter("a.count").add(1);
+  reg.gauge("b\"quote").set(2);
+  reg.histogram("c.lat").record(7);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  std::ostringstream json;
+  snap.write_json(json);
+  const std::string j = json.str();
+  EXPECT_NE(j.find("\"counters\""), std::string::npos);
+  EXPECT_NE(j.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(j.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(j.find("a.count"), std::string::npos);
+  EXPECT_NE(j.find("b\\\"quote"), std::string::npos);  // escaped
+  std::ostringstream csv;
+  snap.write_csv(csv);
+  EXPECT_NE(csv.str().find("name,kind,value"), std::string::npos);
+  EXPECT_NE(csv.str().find("c.lat"), std::string::npos);
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(obs::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+}
+
+// ---- Trace buffer -----------------------------------------------------
+
+TEST(TraceBuffer, RecordsSpansAndInstants) {
+  obs::TraceBuffer trace(16);
+  trace.record("work", "test", 100, 50, 1, 7);
+  trace.instant("marker", "test", 2, 9);
+  ASSERT_EQ(trace.size(), 2u);
+  const auto events = trace.events();
+  EXPECT_STREQ(events[0].name, "work");
+  EXPECT_EQ(events[0].ts_ns, 100u);
+  EXPECT_EQ(events[0].dur_ns, 50u);
+  EXPECT_EQ(events[0].tid, 1u);
+  EXPECT_EQ(events[0].arg, 7u);
+  EXPECT_EQ(events[1].dur_ns, 0u);  // instant
+}
+
+TEST(TraceBuffer, DropsNewestWhenFullAndCounts) {
+  obs::TraceBuffer trace(4);
+  for (std::uint64_t i = 0; i < 7; ++i)
+    trace.record("e", "test", i, 1, 0, i);
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.dropped(), 3u);
+  // The first four events survive — drop-newest, not wraparound.
+  const auto events = trace.events();
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(events[i].arg, i);
+}
+
+TEST(TraceBuffer, DisabledBufferRecordsNothing) {
+  obs::TraceBuffer trace(8);
+  trace.set_enabled(false);
+  trace.record("e", "test", 0, 1, 0);
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.dropped(), 0u);
+  trace.set_enabled(true);
+  trace.record("e", "test", 0, 1, 0);
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+TEST(TraceBuffer, ClearResetsEventsAndDropCounter) {
+  obs::TraceBuffer trace(2);
+  for (int i = 0; i < 5; ++i) trace.record("e", "t", 0, 1, 0);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.dropped(), 0u);
+  trace.record("e", "t", 0, 1, 0);
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+TEST(TraceBuffer, ChromeJsonHasMetadataSpansAndInstants) {
+  obs::TraceBuffer trace(16);
+  trace.set_thread_name(0, "main");
+  trace.set_thread_name(3, "shard 2");
+  trace.record("span", "cat", 1000, 2000, 3, 11);
+  trace.instant("mark", "cat", 0, 5);
+  std::ostringstream os;
+  trace.write_chrome_json(os, "proc");
+  const std::string j = os.str();
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(j.find("process_name"), std::string::npos);
+  EXPECT_NE(j.find("thread_name"), std::string::npos);
+  EXPECT_NE(j.find("shard 2"), std::string::npos);
+  EXPECT_NE(j.find("\"ph\": \"X\""), std::string::npos);  // complete span
+  EXPECT_NE(j.find("\"ph\": \"i\""), std::string::npos);  // instant
+  EXPECT_NE(j.find("\"ph\": \"M\""), std::string::npos);  // metadata
+}
+
+// ---- Scoped timers ----------------------------------------------------
+
+TEST(ScopedTimer, FeedsHistogramAndTraceSpan) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("scope_ns");
+  obs::TraceBuffer trace(8);
+  {
+    const obs::ScopedTimer timer(&h, &trace, "scope", "test", 4, 42);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  ASSERT_EQ(trace.size(), 1u);
+  const auto events = trace.events();
+  EXPECT_STREQ(events[0].name, "scope");
+  EXPECT_EQ(events[0].tid, 4u);
+  EXPECT_EQ(events[0].arg, 42u);
+}
+
+TEST(ScopedTimer, UnarmedWithNullSinksOrDisabledTrace) {
+  {
+    const obs::ScopedTimer timer(nullptr);  // must be a no-op
+  }
+  obs::TraceBuffer trace(8);
+  trace.set_enabled(false);
+  {
+    const obs::ScopedTimer timer(nullptr, &trace, "e", "t", 0);
+  }
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(Stopwatch, MeasuresElapsedTimeMonotonically) {
+  const obs::Stopwatch watch;
+  const std::uint64_t a = watch.elapsed_ns();
+  const std::uint64_t b = watch.elapsed_ns();
+  EXPECT_GE(b, a);
+  EXPECT_GE(watch.elapsed_us(), 0.0);
+}
+
+// ---- MetricsRecorder bridge -------------------------------------------
+
+TEST(MetricsRecorderBridge, ForwardsEveryHookIntoCounters) {
+  obs::MetricsRegistry reg;
+  MetricsRecorder rec(reg);
+  rec.on_balance_op(0, 2, 9);
+  rec.on_balance_op(1, 1, 1);
+  rec.on_migration(0, 1, 4);
+  rec.on_borrow_event(BorrowEvent::TotalBorrow);
+  rec.on_borrow_event(BorrowEvent::RemoteBorrow);
+  rec.on_borrow_event(BorrowEvent::BorrowFail);
+  rec.on_borrow_event(BorrowEvent::DecreaseSim);
+  rec.on_fault(FaultEvent::Timeout, 3);
+  rec.on_fault(FaultEvent::AbortedOp, 2);
+  rec.on_fault(FaultEvent::LostPacket, 5);
+  rec.on_fault(FaultEvent::RankDeath, 1);
+  EXPECT_EQ(reg.counter("recorder.balance_ops").value(), 2u);
+  EXPECT_EQ(reg.counter("recorder.packets_moved").value(), 10u);
+  EXPECT_EQ(reg.counter("recorder.migrations").value(), 4u);
+  EXPECT_EQ(reg.counter("recorder.borrow.total").value(), 1u);
+  EXPECT_EQ(reg.counter("recorder.borrow.remote").value(), 1u);
+  EXPECT_EQ(reg.counter("recorder.borrow.fail").value(), 1u);
+  EXPECT_EQ(reg.counter("recorder.borrow.decrease_sim").value(), 1u);
+  EXPECT_EQ(reg.counter("fault.timeouts").value(), 3u);
+  EXPECT_EQ(reg.counter("fault.aborted_ops").value(), 2u);
+  EXPECT_EQ(reg.counter("fault.lost_packets").value(), 5u);
+  EXPECT_EQ(reg.counter("fault.ranks_dead").value(), 1u);
+}
+
+// ---- System wiring ----------------------------------------------------
+
+TEST(SystemObs, CountersAgreeWithSystemInspection) {
+  BalancerConfig cfg;
+  cfg.f = 1.2;
+  cfg.delta = 2;
+  System sys(16, cfg, 99);
+  obs::MetricsRegistry reg;
+  sys.attach_metrics(&reg);
+  Rng wl_rng(7);
+  const std::uint32_t horizon = 200;
+  sys.run(Workload::paper_benchmark(16, horizon, WorkloadParams{}, wl_rng));
+  EXPECT_EQ(reg.counter("system.generated").value(), sys.total_generated());
+  EXPECT_EQ(reg.counter("system.consumed").value(), sys.total_consumed());
+  EXPECT_EQ(reg.counter("system.balance_ops").value(),
+            sys.balance_operations());
+  EXPECT_GT(sys.balance_operations(), 0u);
+  // One duration sample per balancing operation; one active sample per
+  // step.
+  EXPECT_EQ(reg.histogram("system.balance_ns").count(),
+            sys.balance_operations());
+  EXPECT_EQ(reg.histogram("system.step.active").count(), horizon);
+}
+
+TEST(SystemObs, MetricsMatchRunWithoutMetrics) {
+  // Attaching the registry must not perturb the simulation itself.
+  BalancerConfig cfg;
+  cfg.f = 1.3;
+  cfg.delta = 1;
+  Rng wl_rng(11);
+  const Workload wl = Workload::uniform(8, 150, 0.7, 0.5);
+  System plain(8, cfg, 5);
+  plain.run(wl);
+  System instrumented(8, cfg, 5);
+  obs::MetricsRegistry reg;
+  obs::TraceBuffer trace(1 << 12);
+  instrumented.attach_metrics(&reg);
+  instrumented.attach_trace(&trace);
+  instrumented.run(wl);
+  EXPECT_EQ(plain.loads(), instrumented.loads());
+  EXPECT_EQ(plain.balance_operations(), instrumented.balance_operations());
+  EXPECT_GT(trace.size(), 0u);
+}
+
+TEST(SystemObs, TraceCarriesStepAndBalanceSpans) {
+  BalancerConfig cfg;
+  cfg.f = 1.1;
+  cfg.delta = 2;
+  System sys(8, cfg, 3);
+  obs::TraceBuffer trace(1 << 12);
+  sys.attach_trace(&trace);
+  Rng wl_rng(13);
+  sys.run(Workload::paper_benchmark(8, 100, WorkloadParams{}, wl_rng));
+  std::set<std::string> names;
+  for (const obs::TraceEvent& e : trace.events()) names.insert(e.name);
+  EXPECT_TRUE(names.count("step"));
+  EXPECT_TRUE(names.count("balance_op"));
+}
+
+// ---- run_parallel phase profiling -------------------------------------
+
+TEST(RunParallelObs, PerShardPhaseHistogramsAndPercentiles) {
+  BalancerConfig cfg;
+  cfg.f = 1.5;
+  cfg.delta = 2;
+  System sys(64, cfg, 17);
+  obs::MetricsRegistry reg;
+  sys.attach_metrics(&reg);
+  const std::uint32_t horizon = 80;
+  sys.run_parallel(Workload::uniform(64, horizon, 0.7, 0.5), 2);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  for (const std::string shard : {"shard0", "shard1"}) {
+    const obs::MetricValue* work =
+        snap.find("run_parallel." + shard + ".work_ns");
+    const obs::MetricValue* barrier =
+        snap.find("run_parallel." + shard + ".barrier_wait_ns");
+    ASSERT_NE(work, nullptr) << shard;
+    ASSERT_NE(barrier, nullptr) << shard;
+    EXPECT_EQ(work->count, horizon) << shard;
+    EXPECT_EQ(barrier->count, horizon) << shard;
+    // The acceptance surface: barrier-wait p50/p99 per shard.
+    EXPECT_GT(barrier->p99, 0.0) << shard;
+    EXPECT_GE(barrier->p99, barrier->p50) << shard;
+  }
+  const obs::MetricValue* drain = snap.find("run_parallel.serial_drain_ns");
+  ASSERT_NE(drain, nullptr);
+  EXPECT_EQ(drain->count, horizon);
+}
+
+TEST(RunParallelObs, TraceShowsDistinctShardAndSerialSpans) {
+  BalancerConfig cfg;
+  cfg.f = 1.5;
+  cfg.delta = 2;
+  System sys(64, cfg, 23);
+  obs::TraceBuffer trace(1 << 14);
+  sys.attach_trace(&trace);
+  sys.run_parallel(Workload::uniform(64, 60, 0.7, 0.5), 2);
+  std::set<std::uint32_t> local_tids;
+  std::set<std::uint32_t> barrier_tids;
+  std::set<std::uint32_t> drain_tids;
+  for (const obs::TraceEvent& e : trace.events()) {
+    const std::string name = e.name;
+    if (name == "local_phase") local_tids.insert(e.tid);
+    if (name == "barrier_wait") barrier_tids.insert(e.tid);
+    if (name == "serial_drain") drain_tids.insert(e.tid);
+  }
+  // Shard s records on track s + 1; the serial coordinator on track 0.
+  EXPECT_EQ(local_tids, (std::set<std::uint32_t>{1, 2}));
+  EXPECT_EQ(barrier_tids, (std::set<std::uint32_t>{1, 2}));
+  EXPECT_EQ(drain_tids, (std::set<std::uint32_t>{0}));
+}
+
+TEST(RunParallelObs, ParallelRunStaysDeterministicUnderInstrumentation) {
+  BalancerConfig cfg;
+  cfg.f = 1.4;
+  cfg.delta = 1;
+  const Workload wl = Workload::uniform(32, 100, 0.6, 0.4);
+  System plain(32, cfg, 29);
+  plain.run_parallel(wl, 2);
+  System instrumented(32, cfg, 29);
+  obs::MetricsRegistry reg;
+  obs::TraceBuffer trace(1 << 14);
+  instrumented.attach_metrics(&reg);
+  instrumented.attach_trace(&trace);
+  instrumented.run_parallel(wl, 2);
+  EXPECT_EQ(plain.loads(), instrumented.loads());
+}
+
+// ---- ThreadedSystem wiring --------------------------------------------
+
+TEST(ThreadedObs, PublishesAggregatedStatsAsCounters) {
+  Rng rng(31);
+  const Trace trace = Trace::record(Workload::hotspot(4, 300, 1, 0.9, 0.2),
+                                    rng);
+  ThreadedConfig cfg;
+  cfg.f = 1.2;
+  cfg.delta = 2;
+  cfg.seed = 31;
+  ThreadedSystem sys(4, cfg);
+  obs::MetricsRegistry reg;
+  sys.attach_metrics(&reg);
+  sys.run(trace);
+  const ThreadedStats& stats = sys.stats();
+  EXPECT_GT(stats.balance_ops, 0u);
+  EXPECT_EQ(reg.counter("threaded.balance_ops").value(), stats.balance_ops);
+  EXPECT_EQ(reg.counter("threaded.messages").value(), stats.messages);
+  EXPECT_EQ(reg.counter("threaded.generated").value(), stats.generated);
+  EXPECT_EQ(reg.counter("threaded.consumed").value(), stats.consumed);
+  EXPECT_EQ(reg.counter("threaded.fault.timeouts").value(), stats.timeouts);
+  EXPECT_EQ(reg.gauge("threaded.lost_load").value(), stats.lost_load);
+  // Every initiated transaction gets one duration sample (including
+  // the ones whose partners all refused).
+  EXPECT_GE(reg.histogram("threaded.txn_ns").count(), stats.balance_ops);
+}
+
+TEST(ThreadedObs, TraceRecordsTransactionSpansPerProcessor) {
+  Rng rng(37);
+  const Trace workload =
+      Trace::record(Workload::hotspot(4, 300, 1, 0.9, 0.2), rng);
+  ThreadedConfig cfg;
+  cfg.f = 1.2;
+  cfg.delta = 2;
+  cfg.seed = 37;
+  ThreadedSystem sys(4, cfg);
+  obs::TraceBuffer trace(1 << 14);
+  sys.attach_trace(&trace);
+  sys.run(workload);
+  std::uint64_t txn_spans = 0;
+  std::uint64_t lock_spans = 0;
+  for (const obs::TraceEvent& e : trace.events()) {
+    const std::string name = e.name;
+    if (name == "balance_txn") ++txn_spans;
+    if (name == "partner_lock") ++lock_spans;
+    EXPECT_LT(e.tid, 4u);  // one track per processor
+  }
+  EXPECT_GE(txn_spans, sys.stats().balance_ops);
+  EXPECT_GT(lock_spans, 0u);
+}
+
+// ---- mp::World wiring -------------------------------------------------
+
+TEST(WorldObs, CountsDeliveredTrafficPerLink) {
+  World world(2);
+  obs::MetricsRegistry reg;
+  world.attach_metrics(&reg);
+  world.launch([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, {1, 2, 3});
+      comm.send(1, 7, {4});
+    }
+    if (comm.rank() == 1) {
+      (void)comm.recv(0, 7);
+      (void)comm.recv(0, 7);
+    }
+    comm.barrier();
+  });
+  EXPECT_EQ(reg.counter("mp.link.0->1.messages").value(), 2u);
+  EXPECT_EQ(reg.counter("mp.link.0->1.bytes").value(), 4u * 8u);
+  EXPECT_EQ(reg.counter("mp.link.1->0.messages").value(), 0u);
+  EXPECT_EQ(reg.counter("mp.messages").value(), 2u);
+  EXPECT_EQ(reg.counter("mp.bytes").value(), 4u * 8u);
+  EXPECT_GE(reg.counter("mp.collective_rounds").value(), 1u);
+}
+
+TEST(WorldObs, CountsDropsAndRecvTimeouts) {
+  World world(2);
+  FaultPlan plan;
+  plan.default_link.drop = 1.0;  // every message vanishes
+  world.set_fault_plan(plan);
+  obs::MetricsRegistry reg;
+  world.attach_metrics(&reg);
+  world.launch([](Comm& comm) {
+    if (comm.rank() == 0) comm.send(1, 3, {42});
+    if (comm.rank() == 1) {
+      const auto msg =
+          comm.recv_for(0, 3, std::chrono::milliseconds(30));
+      EXPECT_FALSE(msg.has_value());
+    }
+    comm.barrier();
+  });
+  EXPECT_EQ(reg.counter("mp.dropped").value(), 1u);
+  EXPECT_EQ(reg.counter("mp.recv_timeouts").value(), 1u);
+  EXPECT_EQ(reg.counter("mp.link.0->1.messages").value(), 0u);
+  EXPECT_EQ(world.fault_stats().messages_dropped, 1u);
+}
+
+TEST(WorldObs, DetachedWorldRunsUnchanged) {
+  World world(2);
+  world.attach_metrics(nullptr);
+  std::int64_t total = 0;
+  world.launch([&](Comm& comm) {
+    const std::int64_t sum = comm.allreduce_sum(comm.rank() + 1);
+    if (comm.rank() == 0) total = sum;
+  });
+  EXPECT_EQ(total, 3);
+}
+
+}  // namespace
+}  // namespace dlb

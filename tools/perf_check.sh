@@ -3,8 +3,11 @@
 #
 # Rebuilds the release preset, re-runs bench/micro_core (which measures
 # generate/consume/balance ns-per-op and writes BENCH_core.json into the
-# current directory), and compares every metric against the committed
-# baseline BENCH_core.json at the repository root.
+# current directory) plus a short bench/scalability sparse sweep (whose
+# "sparse_step" step_us rows time the obs-detached batched step loop —
+# this is the tracing-off overhead gate: the observability layer must
+# stay free when detached), and compares every metric against the
+# committed baseline BENCH_core.json at the repository root.
 #
 # The comparison is common-mode normalized: on a shared/virtualized box
 # the whole benchmark drifts ±20-30% run to run, and all metrics drift
@@ -32,13 +35,21 @@ if ! command -v python3 >/dev/null 2>&1; then
 fi
 
 cmake --preset default >/dev/null
-cmake --build --preset default -j "$jobs" --target micro_core
+cmake --build --preset default -j "$jobs" --target micro_core scalability
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 (cd "$workdir" && "$repo/build/bench/micro_core" --benchmark_filter=NONE)
+# Sparse sweep only (max_n 16 skips the dense quality table): the
+# step_us it reports is the batched step loop with observability
+# detached, so a regression here catches hot-path cost sneaking in
+# behind the "disabled is free" promise.
+"$repo/build/bench/scalability" --steps 1 --runs 1 --max_n 16 \
+    --sparse_max_n 65536 --json_out "$workdir/BENCH_scalability.json" \
+    >/dev/null
 
-python3 - "$repo/BENCH_core.json" "$workdir/BENCH_core.json" "$tol" <<'EOF'
+python3 - "$repo/BENCH_core.json" "$workdir/BENCH_core.json" "$tol" \
+    "$workdir/BENCH_scalability.json" <<'EOF'
 import json
 import statistics
 import sys
@@ -48,12 +59,15 @@ with open(base_path) as f:
     base = json.load(f)
 with open(fresh_path) as f:
     fresh = json.load(f)
+for extra in sys.argv[4:]:
+    with open(extra) as f:
+        fresh["results"].extend(json.load(f)["results"])
 
 def key(row):
     return (row.get("workload", "sparse"), row["n"])
 
 baseline = {key(r): r for r in base["results"]}
-metrics = ("generate_ns", "consume_ns", "balance_ns")
+metrics = ("generate_ns", "consume_ns", "balance_ns", "step_us")
 
 ratios = {}  # (workload, n, metric) -> (fresh, base, fresh/base)
 for row in fresh["results"]:
