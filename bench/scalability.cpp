@@ -45,6 +45,8 @@ int main(int argc, char** argv) {
       .add_int("shards", 4, "threads for the run_parallel column")
       .add_int("trace_n", 65536, "network size for the instrumented run")
       .add_int("seed", 1993, "master seed")
+      .add_string("engine", "all", "sparse-sweep engines to time: "
+                                   "all|serial|lockstep|async")
       .add_string("json_out", "", "write the measured rows as JSON "
                                   "(BENCH_core.json shape)")
       .add_string("metrics_out", "", "write the instrumented run's metrics "
@@ -52,6 +54,15 @@ int main(int argc, char** argv) {
       .add_string("trace_out", "", "write the instrumented run's trace as "
                                    "Chrome trace-event JSON (Perfetto)");
   if (!opts.parse(argc, argv)) return 1;
+  const std::string engine = opts.get_string("engine");
+  const bool with_serial = engine == "all" || engine == "serial";
+  const bool with_lockstep = engine == "all" || engine == "lockstep";
+  const bool with_async = engine == "all" || engine == "async";
+  if (!with_serial && !with_lockstep && !with_async) {
+    std::cerr << "unknown --engine '" << engine
+              << "' (expected all|serial|lockstep|async)\n";
+    return 1;
+  }
   const auto steps = static_cast<std::uint32_t>(opts.get_int("steps"));
   const auto runs = static_cast<std::uint32_t>(opts.get_int("runs"));
   const auto max_n = static_cast<std::uint32_t>(opts.get_int("max_n"));
@@ -144,7 +155,11 @@ int main(int argc, char** argv) {
   // the reference loop still samples all n processors — the gap is the
   // point of the compiled schedule.  The reference column is skipped
   // above 2^16 (it is precisely the O(n) wall the batching removes); the
-  // run_parallel column shards the same workload across threads.
+  // run_parallel column shards the same workload across threads; the
+  // async columns run the barrier-free engine in its deterministic
+  // epoch-fenced mode and its relaxed free-running mode.  --engine
+  // restricts the sweep to one family (perf_check.sh uses this to time
+  // each engine in isolation).
   const auto sparse_max_n =
       static_cast<std::uint32_t>(opts.get_int("sparse_max_n"));
   const auto active = static_cast<std::uint32_t>(opts.get_int("active"));
@@ -157,7 +172,8 @@ int main(int argc, char** argv) {
       "n = 65536");
 
   TextTable sparse_table({"n", "active", "ref us/step", "batched us/step",
-                          "speedup", "parallel us/step", "shards"});
+                          "speedup", "parallel us/step", "async us/step",
+                          "relaxed us/step", "shards"});
   for (std::uint32_t n = 16384; n <= sparse_max_n; n *= 4) {
     BalancerConfig cfg;
     // f = 1.1 makes every load fluctuation trigger a balance, burying the
@@ -169,42 +185,104 @@ int main(int argc, char** argv) {
     const Workload wl =
         Workload::sparse_hotspot(n, sparse_steps, std::min(active, n),
                                  0.8, 0.5);
+    // Best of three: one timed pass is a ~millisecond window, and on a
+    // shared box a single scheduler preemption doubles it — the min is
+    // the pass the perf gate can actually reproduce.
     const auto time_run = [&](auto&& drive) {
-      System sys(n, cfg, 20260807);
-      const obs::Stopwatch watch;
-      drive(sys);
-      return watch.elapsed_us() / static_cast<double>(sparse_steps);
+      double best = 0.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        System sys(n, cfg, 20260807);
+        const obs::Stopwatch watch;
+        drive(sys);
+        const double us =
+            watch.elapsed_us() / static_cast<double>(sparse_steps);
+        if (rep == 0 || us < best) best = us;
+      }
+      return best;
     };
-    const bool with_reference = n <= 65536;
+    const bool with_reference = with_serial && n <= 65536;
     const double ref_us =
         with_reference
             ? time_run([&](System& sys) { sys.run_reference(wl); })
             : 0.0;
-    const double batched_us = time_run([&](System& sys) { sys.run(wl); });
+    const double batched_us =
+        with_serial ? time_run([&](System& sys) { sys.run(wl); }) : 0.0;
     const double parallel_us =
-        time_run([&](System& sys) { sys.run_parallel(wl, shards); });
+        with_lockstep
+            ? time_run([&](System& sys) { sys.run_parallel(wl, shards); })
+            : 0.0;
+    const std::uint32_t async_shards = std::min(shards, n);
+    double async_us = 0.0;
+    double relaxed_us = 0.0;
+    if (with_async) {
+      async_us = time_run(
+          [&](System& sys) { sys.run_async(wl, async_shards); });
+      AsyncOptions relaxed;
+      relaxed.relaxed_order = true;
+      relaxed_us = time_run([&](System& sys) {
+        sys.run_async(wl, async_shards, relaxed);
+      });
+    }
     TextTable& row = sparse_table.row();
     row.cell(static_cast<std::size_t>(n))
         .cell(static_cast<std::size_t>(std::min(active, n)));
     if (with_reference) {
-      row.cell(ref_us, 1).cell(batched_us, 1).cell(ref_us / batched_us, 1);
+      row.cell(ref_us, 1);
     } else {
-      row.cell("-").cell(batched_us, 1).cell("-");
+      row.cell("-");
     }
-    row.cell(parallel_us, 1).cell(static_cast<std::size_t>(shards));
-    bench::JsonRows::Row& jrow = json.row();
-    jrow.set("workload", "sparse_step")
-        .set("n", n)
-        .set("active", std::min(active, n))
-        .set("step_us", batched_us)
-        .set("parallel_us", parallel_us)
-        .set("shards", shards);
-    if (with_reference) jrow.set("ref_us", ref_us);
+    if (with_serial) {
+      row.cell(batched_us, 1);
+    } else {
+      row.cell("-");
+    }
+    if (with_reference) {
+      row.cell(ref_us / batched_us, 1);
+    } else {
+      row.cell("-");
+    }
+    if (with_lockstep) {
+      row.cell(parallel_us, 1);
+    } else {
+      row.cell("-");
+    }
+    if (with_async) {
+      row.cell(async_us, 1).cell(relaxed_us, 1);
+    } else {
+      row.cell("-").cell("-");
+    }
+    row.cell(static_cast<std::size_t>(shards));
+    if (with_serial || with_lockstep) {
+      bench::JsonRows::Row& jrow = json.row();
+      jrow.set("workload", "sparse_step")
+          .set("n", n)
+          .set("active", std::min(active, n))
+          .set("shards", shards);
+      if (with_serial) jrow.set("step_us", batched_us);
+      if (with_lockstep) jrow.set("parallel_us", parallel_us);
+      if (with_reference) jrow.set("ref_us", ref_us);
+    }
+    if (with_async) {
+      // A separate row keyed (async_step, n) so perf_check.sh gates the
+      // deterministic engine's step_us with the same machinery as the
+      // serial sweep; relaxed_us and the speedup ride along as context.
+      bench::JsonRows::Row& arow = json.row();
+      arow.set("workload", "async_step")
+          .set("n", n)
+          .set("active", std::min(active, n))
+          .set("shards", async_shards)
+          .set("step_us", async_us)
+          .set("relaxed_us", relaxed_us);
+      if (with_serial && batched_us > 0.0)
+        arow.set("speedup_vs_serial", batched_us / relaxed_us);
+    }
   }
   sparse_table.print(std::cout);
   std::cout << "\n(run_parallel pays two barriers per step, so it only "
                "wins once per-step work dwarfs the synchronization — "
-               "its column is the protocol's overhead floor here.)\n";
+               "its column is the protocol's overhead floor here.  The "
+               "async columns are the barrier-free engine: epoch-fenced "
+               "deterministic mode, then relaxed free-running mode.)\n";
 
   // ---- Instrumented run (opt-in) ---------------------------------------
   //
@@ -231,6 +309,21 @@ int main(int argc, char** argv) {
     const Workload wl = Workload::sparse_hotspot(
         trace_n, sparse_steps, std::min(active, trace_n), 0.8, 0.5);
     sys.run_parallel(wl, shards);
+    // Same workload through the barrier-free engine on a fresh System,
+    // sharing the registry and trace: the artifact then carries both
+    // protocols side by side (local_phase/barrier_wait spans next to
+    // async_local/async_drain, run_parallel.* next to async.*).
+    {
+      System async_sys(trace_n, [&] {
+        BalancerConfig cfg;
+        cfg.f = 2.0;
+        cfg.delta = delta;
+        return cfg;
+      }(), 20260807);
+      async_sys.attach_metrics(&registry);
+      async_sys.attach_trace(&trace);
+      async_sys.run_async(wl, std::min(shards, trace_n));
+    }
     const obs::MetricsSnapshot snap = registry.snapshot();
     bench::JsonRows::Row& jrow = json.row();
     jrow.set("workload", "instrumented")
@@ -238,6 +331,7 @@ int main(int argc, char** argv) {
         .set("shards", shards);
     bench::JsonRows::append_metrics(jrow, snap, "run_parallel.");
     bench::JsonRows::append_metrics(jrow, snap, "system.");
+    bench::JsonRows::append_metrics(jrow, snap, "async.");
     if (!metrics_out.empty()) {
       std::ofstream os(metrics_out);
       if (os.good()) {

@@ -33,8 +33,8 @@ void save_checkpoint(const System& system, std::ostream& os) {
   os << rng_state[0] << ' ' << rng_state[1] << ' ' << rng_state[2] << ' '
      << rng_state[3] << '\n';
 
-  os << system.generated_ << ' ' << system.consumed_ << ' '
-     << system.balance_ops_ << '\n';
+  os << system.generated_.get() << ' ' << system.consumed_.get() << ' '
+     << system.balance_ops_.get() << '\n';
   const CostTotals& totals = system.costs_.totals();
   os << totals.balance_ops << ' ' << totals.messages << ' '
      << totals.packets_moved << ' ' << totals.packets_moved_net << ' '
@@ -87,7 +87,13 @@ System load_checkpoint(std::istream& is, const Topology* topology) {
   is >> rng_state[0] >> rng_state[1] >> rng_state[2] >> rng_state[3];
   system.rng_ = Rng::from_state(rng_state);
 
-  is >> system.generated_ >> system.consumed_ >> system.balance_ops_;
+  std::uint64_t generated = 0;
+  std::uint64_t consumed = 0;
+  std::uint64_t balance_ops = 0;
+  is >> generated >> consumed >> balance_ops;
+  system.generated_.set(generated);
+  system.consumed_.set(consumed);
+  system.balance_ops_.set(balance_ops);
   CostTotals totals;
   is >> totals.balance_ops >> totals.messages >> totals.packets_moved >>
       totals.packets_moved_net >> totals.packet_hops >>

@@ -1,0 +1,78 @@
+#include "core/quiescence.hpp"
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+QuiescenceDetector::QuiescenceDetector(std::uint32_t shards)
+    : shards_(shards), local_(shards) {
+  DLB_REQUIRE(shards >= 1, "quiescence detector needs at least one shard");
+}
+
+void QuiescenceDetector::on_send(std::uint32_t s, std::uint64_t n) {
+  local_[s].counter += static_cast<std::int64_t>(n);
+}
+
+void QuiescenceDetector::on_receive(std::uint32_t s, std::uint64_t n) {
+  local_[s].counter -= static_cast<std::int64_t>(n);
+  local_[s].black = true;
+}
+
+bool QuiescenceDetector::holds_token(std::uint32_t s) const {
+  return token_at_.load(std::memory_order_acquire) == s;
+}
+
+bool QuiescenceDetector::forward_token(std::uint32_t s) {
+  DLB_REQUIRE(holds_token(s), "forwarding a token the shard does not hold");
+  ShardState& me = local_[s];
+  if (s != 0) {
+    // Fold local state into the token, whiten, pass on.
+    token_count_ += me.counter;
+    if (me.black) token_black_ = true;
+    me.black = false;
+    token_at_.store(s + 1 == shards_ ? 0 : s + 1,
+                    std::memory_order_release);
+    return false;
+  }
+  // Initiator.  A returned circle is evaluated first; only a fully white
+  // circle with a zero global count proves no shard is active and no
+  // message is in flight.
+  if (probing_) {
+    circles_.fetch_add(1, std::memory_order_relaxed);
+    if (!token_black_ && !me.black && token_count_ + me.counter == 0) {
+      quiescent_.store(true, std::memory_order_release);
+      return true;  // token retained by the initiator
+    }
+  }
+  // Launch a fresh white probe.
+  probing_ = true;
+  token_count_ = 0;
+  token_black_ = false;
+  me.black = false;
+  if (shards_ == 1) {
+    // Degenerate circle: the token "returns" immediately, so the probe
+    // completes within this very call and can be evaluated on the spot.
+    circles_.fetch_add(1, std::memory_order_relaxed);
+    if (me.counter == 0) {
+      quiescent_.store(true, std::memory_order_release);
+      return true;
+    }
+    return false;
+  }
+  token_at_.store(1, std::memory_order_release);
+  return false;
+}
+
+void QuiescenceDetector::reset() {
+  DLB_REQUIRE(quiescent(), "reset before a quiescence verdict");
+  DLB_REQUIRE(holds_token(0), "only the initiator may reset the detector");
+  // Quiescence proved every counter zero and every message drained, so
+  // only the token/verdict state needs clearing; colors were whitened as
+  // the deciding circle passed through.
+  token_count_ = 0;
+  token_black_ = false;
+  probing_ = false;
+  quiescent_.store(false, std::memory_order_release);
+}
+
+}  // namespace dlb

@@ -1,0 +1,102 @@
+// Dijkstra–Safra-style distributed termination (quiescence) detection.
+//
+// The asynchronous step engine has no barrier: shards exchange work
+// through message rings, and "this epoch / this run is finished" is a
+// *global* property — every shard passive and no message in flight.  A
+// local check cannot decide it: a shard that looks idle may be about to
+// receive a message that reactivates it.
+//
+// The classic fix (Dijkstra, Feijen, van Gasteren; Safra's refinement)
+// circulates a token carrying a message-count accumulator and a color:
+//
+//   - every shard keeps a local counter (sends minus receives) and a
+//     color; receiving a message blackens the shard,
+//   - a shard forwards the token only while passive, adding its counter
+//     and blackening the token if it is black itself, then turns white,
+//   - the initiator (shard 0) declares quiescence when a full circle
+//     returns a white token, the initiator is white, and the token count
+//     plus the initiator's own counter is zero; otherwise it launches
+//     another (white, zero-count) probe.
+//
+// The count proves no message is in flight; the color guards the race
+// where a message overtakes the token within one circle (the receiver
+// would look passive after its counter was already read).  Safety: a
+// quiescent() verdict is never premature.  Liveness: once the system is
+// truly quiescent, at most two further circles reach the verdict.
+//
+// Threading contract: each shard calls on_send / on_receive /
+// forward_token only from its own thread, and touches the token payload
+// only while holds_token() is true.  The token hand-off (a release store
+// / acquire load on the holder index) transfers payload ownership, so
+// the payload itself needs no synchronization.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace dlb {
+
+class QuiescenceDetector {
+ public:
+  explicit QuiescenceDetector(std::uint32_t shards);
+
+  std::uint32_t shards() const { return shards_; }
+
+  /// Shard `s` sent `n` cross-shard messages (call from shard s only).
+  void on_send(std::uint32_t s, std::uint64_t n = 1);
+
+  /// Shard `s` received `n` cross-shard messages; blackens the shard.
+  void on_receive(std::uint32_t s, std::uint64_t n = 1);
+
+  /// True when shard `s` currently holds the token.  An acquire load:
+  /// seeing the token also publishes every effect of the previous
+  /// holders' work.
+  bool holds_token(std::uint32_t s) const;
+
+  /// Forwards the token from shard `s` (which must hold it and be
+  /// passive).  At the initiator this first evaluates the completed
+  /// circle and, when quiescence is proven, latches it and returns true
+  /// (the token is retained); otherwise a fresh probe starts.  At every
+  /// other shard it folds the local state into the token and passes it
+  /// on; always returns false there.
+  bool forward_token(std::uint32_t s);
+
+  /// Latched verdict (acquire).
+  bool quiescent() const {
+    return quiescent_.load(std::memory_order_acquire);
+  }
+
+  /// Completed token circles so far (cumulative across resets).
+  std::uint64_t circles() const {
+    return circles_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-arms the detector for another round (the epoch-fenced engine
+  /// reuses one detector per epoch).  Only the initiator may call this,
+  /// while holding the token, after a quiescent() verdict — at that
+  /// point every counter is provably zero, so only the token state needs
+  /// clearing.
+  void reset();
+
+ private:
+  // Per-shard state, owner-thread only; padded so neighbouring shards
+  // never false-share.
+  struct alignas(64) ShardState {
+    std::int64_t counter = 0;  // sends - receives
+    bool black = false;
+  };
+
+  std::uint32_t shards_;
+  std::vector<ShardState> local_;
+  // Token payload: owned by the shard holding the token (see
+  // holds_token / forward_token for the release/acquire hand-off).
+  std::int64_t token_count_ = 0;
+  bool token_black_ = false;
+  bool probing_ = false;  // a circle is in flight / just returned
+  std::atomic<std::uint32_t> token_at_{0};
+  std::atomic<bool> quiescent_{false};
+  std::atomic<std::uint64_t> circles_{0};
+};
+
+}  // namespace dlb

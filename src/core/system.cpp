@@ -164,8 +164,8 @@ void System::emit_loads(std::uint32_t t) {
 }
 
 void System::commit(const StepCounters& counters) {
-  generated_ += counters.generated;
-  consumed_ += counters.consumed;
+  generated_.add(counters.generated);
+  consumed_.add(counters.consumed);
   if (metrics_ != nullptr) {
     m_.generated->add(counters.generated);
     m_.consumed->add(counters.consumed);
@@ -458,16 +458,49 @@ class BalanceFlowSink final : public SnakeFlowSink {
   std::uint64_t bulk_moves_ = 0;
 };
 
+// Scratch buffers reused across balancing operations.  A balancing
+// operation works on compact row-major (delta+1) x k matrices whose k
+// columns are the union of the participants' active classes, making its
+// cost O((delta+1) * k) rather than O((delta+1) * n).  One warm buffer
+// set per thread: the sequential drivers use one, the async shards one
+// each (their balancing operations run concurrently).  balance_deal
+// never re-enters itself — recursion happens only through the follow-up
+// cancels outside it — so a single per-thread set suffices.
+struct BalanceScratch {
+  std::vector<ProcId> participants;
+  std::vector<std::int64_t> d;
+  std::vector<std::int64_t> b;
+  std::vector<std::uint32_t> union_classes;
+  std::vector<std::uint32_t> union_scratch;
+  std::vector<std::size_t> excluded_cols;
+  std::vector<std::int64_t> row_delta;
+};
+
+BalanceScratch& balance_scratch() {
+  thread_local BalanceScratch scratch;
+  return scratch;
+}
+
 }  // namespace
 
 void System::balance(std::uint32_t initiator,
                      const std::vector<ProcId>& partners, Rng& rng) {
-  // Balancing is serialized (sequential drivers / run_parallel's serial
-  // phase), so recording on track 0 is always correct.
+  balance_deal(initiator, partners, rng, costs_, nullptr);
+  // [D6] markers of a participant's own class are settled on the spot.
+  cancel_self_markers(initiator, rng);
+  for (ProcId q : partners) cancel_self_markers(q, rng);
+}
+
+void System::balance_deal(std::uint32_t initiator,
+                          const std::vector<ProcId>& partners, Rng& rng,
+                          CostLedger& costs, std::vector<ProcId>* cancel_due,
+                          std::uint32_t tid) {
   obs::ScopedTimer balance_span(m_.balance_ns, trace_, "balance_op",
-                                "balance", 0, initiator);
+                                "balance", tid, initiator);
   const std::uint32_t n = processors();
-  std::vector<ProcId> participants;
+  BalanceScratch& scratch = balance_scratch();
+  std::vector<ProcId>& participants = scratch.participants;
+  participants.clear();
   participants.reserve(partners.size() + 1);
   participants.push_back(initiator);
   for (ProcId q : partners) {
@@ -475,13 +508,17 @@ void System::balance(std::uint32_t initiator,
     participants.push_back(q);
   }
   const std::size_t m = participants.size();
+  std::vector<std::uint32_t>& union_classes = scratch.union_classes;
+  std::vector<std::uint32_t>& union_scratch = scratch.union_scratch;
+  std::vector<std::int64_t>& scratch_d = scratch.d;
+  std::vector<std::int64_t>& scratch_b = scratch.b;
 
   // Union of the participants' active classes, ascending.  Classes
   // outside the union are zero in every participant's ledger: dealing
   // them would move nothing and never advance the snake pointer, so
   // restricting the deal to the union is bit-identical to dealing over
   // all n classes.
-  union_classes_.clear();
+  union_classes.clear();
   for (std::size_t r = 0; r < m; ++r) {
     const Ledger& ledger = procs_[participants[r]].ledger;
     const auto& active = ledger.active_classes();
@@ -491,20 +528,20 @@ void System::balance(std::uint32_t initiator,
     __builtin_prefetch(ledger.active_d().data());
     __builtin_prefetch(ledger.active_b().data());
     if (r == 0) {
-      union_classes_.assign(active.begin(), active.end());
+      union_classes.assign(active.begin(), active.end());
       continue;
     }
     // Each active list is already sorted, so the union is a linear merge
     // into a pre-sized buffer (no per-element push_back bookkeeping).
-    union_scratch_.resize(union_classes_.size() + active.size());
+    union_scratch.resize(union_classes.size() + active.size());
     const auto merged_end =
-        std::set_union(union_classes_.begin(), union_classes_.end(),
-                       active.begin(), active.end(), union_scratch_.begin());
-    union_scratch_.resize(
-        static_cast<std::size_t>(merged_end - union_scratch_.begin()));
-    union_classes_.swap(union_scratch_);
+        std::set_union(union_classes.begin(), union_classes.end(),
+                       active.begin(), active.end(), union_scratch.begin());
+    union_scratch.resize(
+        static_cast<std::size_t>(merged_end - union_scratch.begin()));
+    union_classes.swap(union_scratch);
   }
-  const std::size_t k = union_classes_.size();
+  const std::size_t k = union_classes.size();
 
   // Gather the participants' ledgers into the compact scratch matrices.
   // Each participant's compact storage is copied in one sequential pass
@@ -513,8 +550,8 @@ void System::balance(std::uint32_t initiator,
   bool any_markers = false;
   for (std::size_t r = 0; r < m && !any_markers; ++r)
     any_markers = procs_[participants[r]].ledger.borrowed_total() > 0;
-  scratch_d_.assign(m * k, 0);
-  scratch_b_.assign(m * k, 0);
+  scratch_d.assign(m * k, 0);
+  scratch_b.assign(m * k, 0);
   for (std::size_t r = 0; r < m; ++r) {
     const Ledger& ledger = procs_[participants[r]].ledger;
     const auto& active = ledger.active_classes();
@@ -523,11 +560,11 @@ void System::balance(std::uint32_t initiator,
     std::size_t c = 0;
     for (std::size_t i = 0; i < active.size(); ++i) {
       // active[i] is in the union by construction.
-      while (union_classes_[c] < active[i]) ++c;
-      scratch_d_[r * k + c] = d_counts[i];
+      while (union_classes[c] < active[i]) ++c;
+      scratch_d[r * k + c] = d_counts[i];
       // Without markers anywhere, every b count is zero — the zero fill
       // above already wrote the row.
-      if (any_markers) scratch_b_[r * k + c] = b_counts[i];
+      if (any_markers) scratch_b[r * k + c] = b_counts[i];
     }
   }
 
@@ -537,37 +574,37 @@ void System::balance(std::uint32_t initiator,
   SnakeCompactOptions opts;
   opts.start = static_cast<std::size_t>(rng.below(m));
   if (config_.analysis_mode) {
-    excluded_cols_.assign(k, static_cast<std::size_t>(-1));
+    scratch.excluded_cols.assign(k, static_cast<std::size_t>(-1));
     for (std::size_t r = 0; r < m; ++r) {
       if (participants[r] == initiator) continue;
-      const auto it = std::lower_bound(union_classes_.begin(),
-                                       union_classes_.end(), participants[r]);
-      if (it != union_classes_.end() && *it == participants[r])
-        excluded_cols_[static_cast<std::size_t>(
-            it - union_classes_.begin())] = r;
+      const auto it = std::lower_bound(union_classes.begin(),
+                                       union_classes.end(), participants[r]);
+      if (it != union_classes.end() && *it == participants[r])
+        scratch.excluded_cols[static_cast<std::size_t>(
+            it - union_classes.begin())] = r;
     }
-    opts.excluded_row_per_column = excluded_cols_.data();
+    opts.excluded_row_per_column = scratch.excluded_cols.data();
   }
 
-  row_delta_.assign(m, 0);
-  BalanceFlowSink flows(costs_, recorder_, participants, row_delta_);
+  scratch.row_delta.assign(m, 0);
+  BalanceFlowSink flows(costs, recorder_, participants, scratch.row_delta);
   opts.flows = &flows;
   SnakeCompactOptions marker_opts = opts;
   marker_opts.flows = nullptr;  // marker moves are not migration traffic
-  marker_opts.start = snake_redistribute(scratch_d_.data(), m, k, opts);
+  marker_opts.start = snake_redistribute(scratch_d.data(), m, k, opts);
   flows.flush();
   // Marker deal: skipped when no participant holds a marker — the matrix
   // is all zero, so the deal would move nothing, report no flows and
   // leave the pointer untouched (its return value is discarded anyway).
-  if (any_markers) snake_redistribute(scratch_b_.data(), m, k, marker_opts);
+  if (any_markers) snake_redistribute(scratch_b.data(), m, k, marker_opts);
 
   // Net physical flow: positive row-total changes (what a label-free
   // implementation would actually ship), accumulated from the flows.
   std::uint64_t net_moves = 0;
   for (std::size_t r = 0; r < m; ++r)
-    if (row_delta_[r] > 0)
-      net_moves += static_cast<std::uint64_t>(row_delta_[r]);
-  costs_.record_net_migration(net_moves);
+    if (scratch.row_delta[r] > 0)
+      net_moves += static_cast<std::uint64_t>(scratch.row_delta[r]);
+  costs.record_net_migration(net_moves);
 
   // Write back; every participant's local clock ticks and its trigger
   // baseline resets (§4: an operation counts as delta+1 independent
@@ -576,26 +613,27 @@ void System::balance(std::uint32_t initiator,
     ProcessorState& st = procs_[participants[r]];
     // The union covers every participant's active classes by
     // construction, so the cheap rebuild path applies (no merge).
-    st.ledger.replace_dealt(union_classes_.data(), k,
-                            scratch_d_.data() + r * k,
-                            scratch_b_.data() + r * k);
+    st.ledger.replace_dealt(union_classes.data(), k,
+                            scratch_d.data() + r * k,
+                            scratch_b.data() + r * k);
     st.l_old = st.ledger.d(participants[r]);
     ++st.local_time;
     touch_load(participants[r]);
+    // [D6] due: the deal left this participant holding markers of its
+    // own class.  The sequential wrapper cancels them right here; the
+    // async engine routes a cancel to the participant's owner shard.
+    if (cancel_due != nullptr && st.ledger.b(participants[r]) > 0)
+      cancel_due->push_back(participants[r]);
   }
 
-  ++balance_ops_;
-  costs_.record_operation(initiator, partners.size());
+  balance_ops_.add(1);
+  costs.record_operation(initiator, partners.size());
   if (metrics_ != nullptr) {
     m_.balance_ops->add(1);
     m_.packets_moved->add(flows.moves());
   }
   if (recorder_ != nullptr)
     recorder_->on_balance_op(initiator, partners.size(), flows.moves());
-
-  // [D6] markers of a participant's own class are settled on the spot.
-  for (std::size_t r = 0; r < m; ++r)
-    cancel_self_markers(participants[r], rng);
 }
 
 void System::cancel_self_markers(std::uint32_t p, Rng& rng) {
@@ -642,8 +680,8 @@ void System::check_invariants() const {
     }
     total += procs_[p].ledger.real_load();
   }
-  DLB_ENSURE(total == static_cast<std::int64_t>(generated_) -
-                          static_cast<std::int64_t>(consumed_),
+  DLB_ENSURE(total == static_cast<std::int64_t>(generated_.get()) -
+                          static_cast<std::int64_t>(consumed_.get()),
              "packet conservation violated");
 }
 

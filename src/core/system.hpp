@@ -21,6 +21,7 @@
 // runs are determined by (seed, workload, shards) instead.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -37,6 +38,46 @@
 #include "workload/workload.hpp"
 
 namespace dlb {
+
+class AsyncEngine;
+
+/// Tuning knobs for the barrier-free asynchronous driver (run_async).
+struct AsyncOptions {
+  /// Steps each shard advances locally before the quiescence fence (the
+  /// deterministic mode's epoch length).  Larger epochs amortize the
+  /// token circulation over more steps; 1 reproduces a per-step fence.
+  std::uint32_t epoch_steps = 16;
+  /// Trades bit-reproducibility for throughput: shards free-run the
+  /// whole horizon and execute balancing operations concurrently under
+  /// per-processor locks, with a single quiescence detection at the end.
+  /// Off (default): epoch-fenced execution, deterministic per
+  /// (seed, shards, epoch_steps).
+  bool relaxed_order = false;
+};
+
+/// Relaxed atomic counter that stays copyable, so System keeps its move
+/// semantics (checkpoint restore returns a System by value).  Copies are
+/// not atomic — only single-threaded contexts copy or move a System.
+class AtomicCounter {
+ public:
+  AtomicCounter(std::uint64_t value = 0) noexcept : value_(value) {}
+  AtomicCounter(const AtomicCounter& other) noexcept : value_(other.get()) {}
+  AtomicCounter& operator=(const AtomicCounter& other) noexcept {
+    value_.store(other.get(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  std::uint64_t get() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void set(std::uint64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(std::uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_;
+};
 
 /// State of one simulated processor.
 struct ProcessorState {
@@ -105,6 +146,20 @@ class System {
   /// bit-identical to run() (the RNG stream layout differs by design).
   void run_parallel(const Workload& workload, std::uint32_t shards);
 
+  /// Barrier-free sharded driver: shards own processors round-robin
+  /// (owner = p mod shards), advance their own strided schedule in
+  /// epochs, and route cross-shard work (balance triggers, marker
+  /// cancels) as messages through per-shard-pair SPSC rings; a
+  /// Dijkstra–Safra token decides epoch completion instead of a barrier
+  /// (core/quiescence.hpp).  Deterministic per (seed, workload, shards,
+  /// epoch_steps) by default; options.relaxed_order trades that for
+  /// concurrent balancing under per-processor locks.  A recorder must
+  /// not be attached (no serial point to observe per-step loads from);
+  /// with post-step checks enabled, invariants are verified per epoch
+  /// (deterministic mode) or once at the end (relaxed mode).
+  void run_async(const Workload& workload, std::uint32_t shards,
+                 AsyncOptions options = {});
+
   /// Replays a pre-recorded trace (identical demand across algorithms).
   void run(const Trace& trace);
 
@@ -135,9 +190,9 @@ class System {
   std::vector<std::int64_t> loads() const;
   std::int64_t load(std::uint32_t p) const;
   std::int64_t total_load() const;
-  std::uint64_t total_generated() const { return generated_; }
-  std::uint64_t total_consumed() const { return consumed_; }
-  std::uint64_t balance_operations() const { return balance_ops_; }
+  std::uint64_t total_generated() const { return generated_.get(); }
+  std::uint64_t total_consumed() const { return consumed_.get(); }
+  std::uint64_t balance_operations() const { return balance_ops_.get(); }
   const CostLedger& costs() const { return costs_; }
   Rng& rng() { return rng_; }
 
@@ -151,6 +206,10 @@ class System {
  private:
   friend void save_checkpoint(const System& system, std::ostream& os);
   friend System load_checkpoint(std::istream& is, const Topology* topology);
+  // The asynchronous driver (core/system_async.cpp) reaches the shard-
+  // safe internals directly: the local event halves, the decomposed
+  // balancing core, and the counters (all atomic or per-thread).
+  friend class AsyncEngine;
 
   // Per-call event counters.  The sharded phase-1 workers run
   // generate/consume concurrently, so the shared totals (and the
@@ -197,6 +256,20 @@ class System {
   // Balancing operation over initiator + delta random partners.
   void balance(std::uint32_t initiator, const std::vector<ProcId>& partners,
                Rng& rng);
+
+  // The reusable core of balance(): the snake deal, write-back and
+  // accounting, WITHOUT the trailing self-marker cancels (the sequential
+  // wrapper runs those inline; the async engine routes them to the
+  // participants' owner shards as messages).  Costs land in `costs` (the
+  // sequential drivers pass costs_, the async shards their private
+  // ledgers merged at the end); `cancel_due`, when non-null, collects
+  // the participants left holding own-class markers; `tid` is the trace
+  // track.  Thread-safe under the async locking protocol: all
+  // participant ledgers must be exclusively held by the caller.
+  void balance_deal(std::uint32_t initiator,
+                    const std::vector<ProcId>& partners, Rng& rng,
+                    CostLedger& costs, std::vector<ProcId>* cancel_due,
+                    std::uint32_t tid = 0);
 
   // Draws the delta partners for `initiator` (global or neighborhood).
   std::vector<ProcId> draw_partners(std::uint32_t initiator, Rng& rng);
@@ -254,26 +327,18 @@ class System {
   SystemMetrics m_;
   obs::TraceBuffer* trace_ = nullptr;
   CostLedger costs_;
-  std::uint64_t generated_ = 0;
-  std::uint64_t consumed_ = 0;
-  std::uint64_t balance_ops_ = 0;
+  // Run counters are atomic so the async shards can commit concurrently
+  // (relaxed adds; no ordering is derived from them).  The sequential
+  // drivers pay nothing: an uncontended relaxed add is a plain add.
+  AtomicCounter generated_;
+  AtomicCounter consumed_;
+  AtomicCounter balance_ops_;
   std::optional<unsigned> partner_radius_;
   bool post_step_check_ = false;
-  // Scratch buffers reused across balancing operations.  A balancing
-  // operation works on compact row-major (delta+1) x k matrices whose k
-  // columns are union_classes_ — the union of the participants' active
-  // classes — instead of full (delta+1) x n matrices, making its cost
-  // O((delta+1) * k) rather than O((delta+1) * n).  Balancing operations
-  // are serialized (sequential drivers; the serial phase of
-  // run_parallel), so plain members are safe; the borrow-candidate
-  // scratch, which the parallel phase-1 workers do hit, lives in a
-  // thread_local inside try_borrow instead.
-  std::vector<std::int64_t> scratch_d_;
-  std::vector<std::int64_t> scratch_b_;
-  std::vector<std::uint32_t> union_classes_;
-  std::vector<std::uint32_t> union_scratch_;
-  std::vector<std::size_t> excluded_cols_;
-  std::vector<std::int64_t> row_delta_;
+  // The balancing scratch matrices (compact (delta+1) x k deal buffers)
+  // live in a thread_local inside balance_deal — run_async executes
+  // balancing operations concurrently, one per shard thread — as does
+  // the borrow-candidate scratch inside try_borrow.
   // Delta-maintained loads for the recorder path (see touch_load).
   std::vector<std::int64_t> loads_cache_;
   bool loads_cache_valid_ = false;

@@ -158,8 +158,29 @@ class ThreadedSystem::Worker {
     }
   }
 
+  /// Next message out of the drained batch, if any.  The transaction
+  /// wait loops consult this BEFORE blocking on the mailbox: a partner
+  /// locked into one transaction must still see (and refuse) an Invite
+  /// that was pulled into the batch just before the lock, exactly as it
+  /// would have seen it in the mailbox — otherwise three initiators can
+  /// deadlock in a cycle, each waiting on a reply buried in a batch.
+  std::optional<Message> buffered_message() {
+    if (drain_pos_ < drain_buf_.size()) return drain_buf_[drain_pos_++];
+    return std::nullopt;
+  }
+
   void drain_mailbox() {
-    while (auto msg = owner_.mailboxes_[id_]->try_recv()) handle_idle(*msg);
+    // Batch drain: one mutex round-trip pulls everything queued, then
+    // the messages are handled lock-free.  Handling can send (and with
+    // faults, deliver to ourselves), so keep draining until a pass
+    // comes back empty.  handle_idle can consume the batch tail itself
+    // through buffered_message(), hence the cursor-based walk.
+    for (;;) {
+      while (auto msg = buffered_message()) handle_idle(*msg);
+      drain_buf_.clear();
+      drain_pos_ = 0;
+      if (owner_.mailboxes_[id_]->drain_into(drain_buf_) == 0) return;
+    }
   }
 
   void serve_until_shutdown() {
@@ -232,10 +253,12 @@ class ThreadedSystem::Worker {
         // Assign means unlocking unchanged.  Answer only this
         // transaction; refuse everything else.
         while (true) {
-          auto next = owner_.faults_on_
-                          ? owner_.mailboxes_[id_]->recv_for(
-                                owner_.config_.txn_timeout)
-                          : owner_.mailboxes_[id_]->recv();
+          auto next = buffered_message();
+          if (!next.has_value())
+            next = owner_.faults_on_
+                       ? owner_.mailboxes_[id_]->recv_for(
+                             owner_.config_.txn_timeout)
+                       : owner_.mailboxes_[id_]->recv();
           if (!next.has_value()) {
             if (owner_.faults_on_) {
               // Missing Assign: roll back.  If it straggles in later it
@@ -352,10 +375,12 @@ class ThreadedSystem::Worker {
     std::vector<std::uint32_t> replied;
     std::size_t pending = partners.size();
     while (pending > 0) {
-      auto msg = owner_.faults_on_
-                     ? owner_.mailboxes_[id_]->recv_for(
-                           owner_.config_.txn_timeout)
-                     : owner_.mailboxes_[id_]->recv();
+      auto msg = buffered_message();
+      if (!msg.has_value())
+        msg = owner_.faults_on_
+                  ? owner_.mailboxes_[id_]->recv_for(
+                        owner_.config_.txn_timeout)
+                  : owner_.mailboxes_[id_]->recv();
       if (!msg.has_value()) {
         if (owner_.faults_on_) {
           // Silence for a whole deadline: every partner still pending
@@ -455,6 +480,10 @@ class ThreadedSystem::Worker {
   std::int64_t l_old_ = 0;
   std::uint64_t txn_counter_ = 0;
   ThreadedStats stats_;
+  // Reusable buffer for the batched mailbox drain (warm across calls)
+  // plus the consumption cursor (see buffered_message()).
+  std::vector<Message> drain_buf_;
+  std::size_t drain_pos_ = 0;
   // Fault-mode state (untouched in fault-free runs).
   std::vector<LinkFaultState> links_;
   std::vector<std::optional<Message>> held_;

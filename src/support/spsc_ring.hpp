@@ -1,0 +1,73 @@
+// Bounded lock-free single-producer/single-consumer ring.
+//
+// The asynchronous step engine wires one ring per ordered shard pair:
+// shard a's thread is the only producer of ring(a, b) and shard b's the
+// only consumer, which is exactly the SPSC contract.  push() and pop()
+// are wait-free (one acquire load + one release store each); a full
+// ring rejects the push and the caller keeps the message in a local
+// pending buffer, so the ring never blocks either side.
+//
+// Indices grow without wrap-around (64-bit: centuries at any realistic
+// message rate) and are masked into the power-of-two buffer, so
+// full/empty need no separate flag: the ring is empty when head == tail
+// and full when tail - head == capacity.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dlb {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity = 1024) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    buffer_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  std::size_t capacity() const { return buffer_.size(); }
+
+  /// Producer side.  Returns false when the ring is full (the element is
+  /// not consumed).
+  bool push(const T& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) == buffer_.size())
+      return false;
+    buffer_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  Returns false when the ring is empty.
+  bool pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = buffer_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side emptiness check (exact for the consumer: only it
+  /// advances head, and a false negative just means a message arrived
+  /// concurrently).
+  bool empty() const {
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  // Producer and consumer indices on separate cache lines so the two
+  // sides never false-share.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  std::vector<T> buffer_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace dlb

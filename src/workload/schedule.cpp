@@ -14,7 +14,23 @@ ActiveSchedule::ActiveSchedule(const Workload& workload, std::uint32_t begin,
     : horizon_(workload.horizon()) {
   DLB_REQUIRE(begin <= end && end <= workload.processors(),
               "schedule processor range out of bounds");
-  for (std::uint32_t p = begin; p < end; ++p) {
+  compile(workload, begin, end, 1);
+}
+
+ActiveSchedule ActiveSchedule::strided(const Workload& workload,
+                                       std::uint32_t offset,
+                                       std::uint32_t stride) {
+  DLB_REQUIRE(stride >= 1, "schedule stride must be at least 1");
+  DLB_REQUIRE(offset < stride, "schedule offset must be below the stride");
+  ActiveSchedule schedule;
+  schedule.horizon_ = workload.horizon();
+  schedule.compile(workload, offset, workload.processors(), stride);
+  return schedule;
+}
+
+void ActiveSchedule::compile(const Workload& workload, std::uint32_t first,
+                             std::uint32_t end, std::uint32_t step) {
+  for (std::uint32_t p = first; p < end; p += step) {
     for (const Phase& ph : workload.phases_of(p)) {
       if (ph.generate_prob == 0.0 && ph.consume_prob == 0.0)
         continue;  // silent phase: no draws, no events (see header)

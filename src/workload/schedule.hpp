@@ -44,6 +44,15 @@ class ActiveSchedule {
   ActiveSchedule(const Workload& workload, std::uint32_t begin,
                  std::uint32_t end);
 
+  /// Compiles the schedule for the strided processor set
+  /// {p : p ≡ offset (mod stride)}.  The asynchronous engine owns
+  /// processors round-robin (owner = p mod shards) so a contiguous
+  /// hotspot spreads across shards instead of landing in one block;
+  /// the union of the stride schedules over all offsets is exactly the
+  /// full schedule.
+  static ActiveSchedule strided(const Workload& workload,
+                                std::uint32_t offset, std::uint32_t stride);
+
   std::uint32_t horizon() const { return horizon_; }
   /// Total compiled (non-silent) phases — the schedule's memory is
   /// O(phases), independent of horizon and of n.
@@ -59,6 +68,12 @@ class ActiveSchedule {
   void reset();
 
  private:
+  ActiveSchedule() = default;  // used by strided()
+
+  // Compiles the boundary lists for {first, first+step, ...} ∩ [0, end).
+  void compile(const Workload& workload, std::uint32_t first,
+               std::uint32_t end, std::uint32_t step);
+
   struct Boundary {
     std::uint32_t step;
     std::uint32_t proc;

@@ -11,6 +11,7 @@
 
 #include "core/ledger.hpp"
 #include "core/system.hpp"
+#include "support/check.hpp"
 #include "metrics/recorder.hpp"
 #include "support/rng.hpp"
 #include "workload/workload.hpp"
@@ -128,6 +129,107 @@ TEST(RunParallel, ConservesPacketsEveryStepUnderSharding) {
               static_cast<std::int64_t>(sys.total_generated()) -
                   static_cast<std::int64_t>(sys.total_consumed()));
   }
+}
+
+// run_async contract (deterministic mode): a (seed, workload, shards,
+// epoch_steps) tuple fully determines the run — the token-serialized
+// operation layer leaves no room for timing to leak into the result.
+TEST(RunAsync, SameSeedAndShardsReproduceTheRun) {
+  Rng layout(21);
+  const WorkloadParams params;
+  const Workload wl = Workload::paper_benchmark(64, 500, params, layout);
+  for (std::uint32_t shards : {1u, 2u, 4u}) {
+    System a(wl.processors(), cfg(), 909);
+    System b(wl.processors(), cfg(), 909);
+    a.run_async(wl, shards);
+    b.run_async(wl, shards);
+    EXPECT_EQ(a.loads(), b.loads()) << shards << " shards";
+    EXPECT_EQ(a.total_generated(), b.total_generated());
+    EXPECT_EQ(a.total_consumed(), b.total_consumed());
+    EXPECT_EQ(a.balance_operations(), b.balance_operations());
+  }
+}
+
+// The epoch length is part of the determinism key, not a correctness
+// knob: any value reproduces, including the degenerate per-step fence.
+TEST(RunAsync, EpochLengthReproducesIncludingDegenerate) {
+  Rng layout(7);
+  const WorkloadParams params;
+  const Workload wl = Workload::paper_benchmark(48, 300, params, layout);
+  for (std::uint32_t epoch_steps : {1u, 5u, 64u}) {
+    AsyncOptions opts;
+    opts.epoch_steps = epoch_steps;
+    System a(wl.processors(), cfg(), 1234);
+    System b(wl.processors(), cfg(), 1234);
+    a.run_async(wl, 3, opts);
+    b.run_async(wl, 3, opts);
+    EXPECT_EQ(a.loads(), b.loads()) << "epoch_steps=" << epoch_steps;
+    EXPECT_EQ(a.balance_operations(), b.balance_operations());
+  }
+}
+
+// Packet conservation holds at every epoch fence, for any shard count —
+// concurrent local phases plus token-slot settlements must never lose or
+// invent a packet.  post_step_check makes shard 0 verify the full
+// invariant set at each epoch close.
+TEST(RunAsync, ConservesPacketsAtEveryEpochFence) {
+  const Workload wl = Workload::sparse_hotspot(96, 300, 13, 0.8, 0.5);
+  for (std::uint32_t shards : {1u, 2u, 5u}) {
+    System sys(wl.processors(), cfg(), 4321);
+    sys.set_post_step_check(true);  // check_invariants per epoch
+    sys.run_async(wl, shards);
+    EXPECT_EQ(sys.total_load(),
+              static_cast<std::int64_t>(sys.total_generated()) -
+                  static_cast<std::int64_t>(sys.total_consumed()));
+  }
+}
+
+// Relaxed mode trades reproducibility away but NOT conservation: with
+// balancing operations running concurrently under the per-processor
+// locks, the ledgers must still balance to the global generated-minus-
+// consumed total at the end.
+TEST(RunAsync, RelaxedModeStillConservesPackets) {
+  const Workload wl = Workload::sparse_hotspot(128, 400, 17, 0.8, 0.6);
+  AsyncOptions opts;
+  opts.relaxed_order = true;
+  for (std::uint32_t shards : {2u, 4u}) {
+    System sys(wl.processors(), cfg(), 99);
+    sys.set_post_step_check(true);  // full invariant check after the run
+    sys.run_async(wl, shards, opts);
+    EXPECT_EQ(sys.total_load(),
+              static_cast<std::int64_t>(sys.total_generated()) -
+                  static_cast<std::int64_t>(sys.total_consumed()));
+  }
+}
+
+// Settlement-heavy regime: consume outpaces generate and the borrow cap
+// is tiny, so the cross-shard settle/remote-exchange/forced-balance path
+// (the most intricate lock choreography in the engine) runs constantly.
+TEST(RunAsync, SurvivesSettlementHeavyTraffic) {
+  const Workload wl = Workload::uniform(64, 250, 0.3, 0.9);
+  for (const bool relaxed : {false, true}) {
+    AsyncOptions opts;
+    opts.relaxed_order = relaxed;
+    opts.epoch_steps = 8;
+    System sys(wl.processors(), cfg(1.5, 2, 1), 777);
+    sys.set_post_step_check(true);
+    sys.run_async(wl, 4, opts);
+    EXPECT_EQ(sys.total_load(),
+              static_cast<std::int64_t>(sys.total_generated()) -
+                  static_cast<std::int64_t>(sys.total_consumed()))
+        << (relaxed ? "relaxed" : "deterministic");
+  }
+}
+
+// The async driver has no serial per-step point to observe loads from,
+// so attaching a recorder is a contract violation, not a silent no-op.
+TEST(RunAsync, RejectsAttachedRecorder) {
+  class Null final : public Recorder {};
+  const Workload wl = Workload::uniform(8, 10, 0.5, 0.5);
+  Null tape;
+  System sys(wl.processors(), cfg(), 1);
+  sys.attach_recorder(&tape);
+  EXPECT_THROW(sys.run_async(wl, 2), contract_error);
 }
 
 // The recorder's loads stream from a sharded run matches a from-scratch

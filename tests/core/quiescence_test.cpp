@@ -1,0 +1,115 @@
+// Unit tests for the Dijkstra–Safra quiescence detector driven as a
+// single-threaded state machine: the safety property (no premature
+// verdict while a message is in flight) and the liveness bound (at most
+// two extra circles once truly quiescent) are both deterministic given
+// an explicit event order, so no threads are needed to pin them.
+#include "core/quiescence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace dlb {
+namespace {
+
+// Forwards the token through shards 1..S-1 and back to the initiator,
+// then lets the initiator evaluate the circle.  Returns the verdict.
+bool complete_circle(QuiescenceDetector& det) {
+  for (std::uint32_t s = 1; s < det.shards(); ++s) {
+    EXPECT_TRUE(det.holds_token(s));
+    EXPECT_FALSE(det.forward_token(s));  // non-initiators never decide
+  }
+  EXPECT_TRUE(det.holds_token(0));
+  return det.forward_token(0);
+}
+
+TEST(Quiescence, SingleShardDecidesInOneCall) {
+  QuiescenceDetector det(1);
+  EXPECT_FALSE(det.quiescent());
+  EXPECT_TRUE(det.forward_token(0));
+  EXPECT_TRUE(det.quiescent());
+  EXPECT_EQ(det.circles(), 1u);
+}
+
+TEST(Quiescence, IdleRingNeedsExactlyOneCircle) {
+  QuiescenceDetector det(3);
+  EXPECT_FALSE(det.forward_token(0));  // launch the first probe
+  EXPECT_TRUE(complete_circle(det));
+  EXPECT_TRUE(det.quiescent());
+  EXPECT_EQ(det.circles(), 1u);
+}
+
+// Safety: a message still in flight (sent, not yet received) must block
+// the verdict, even though every shard looks passive and forwards the
+// token.  Only after the receive — and after the color it left behind
+// has been washed out by a further circle — may the verdict land.
+TEST(Quiescence, InFlightMessageBlocksTheVerdict) {
+  QuiescenceDetector det(3);
+  det.on_send(0);                      // 0 -> 2, still in the ring
+  EXPECT_FALSE(det.forward_token(0));  // probe starts anyway
+
+  // Circle 1: everyone passive, but the global count is +1.
+  EXPECT_FALSE(complete_circle(det));
+  EXPECT_FALSE(det.quiescent());
+
+  det.on_receive(2);  // the message lands; shard 2 turns black
+
+  // Circle 2: counts cancel (+1 - 1 = 0) but shard 2's black color
+  // poisons the token — the receive might have re-activated it after
+  // the token passed, so the circle proves nothing.
+  EXPECT_FALSE(complete_circle(det));
+  EXPECT_FALSE(det.quiescent());
+
+  // Circle 3: all white, zero count — quiescent, two circles after the
+  // system actually became idle (the liveness bound).
+  EXPECT_TRUE(complete_circle(det));
+  EXPECT_TRUE(det.quiescent());
+  EXPECT_EQ(det.circles(), 3u);
+}
+
+// A send/receive pair fully delivered before the probe starts leaves a
+// black receiver; one extra circle washes the color out.
+TEST(Quiescence, DeliveredMessageCostsOneExtraCircle) {
+  QuiescenceDetector det(2);
+  det.on_send(0);
+  det.on_receive(1);
+  EXPECT_FALSE(det.forward_token(0));
+  EXPECT_FALSE(complete_circle(det));  // dirty: shard 1 was black
+  EXPECT_TRUE(complete_circle(det));   // clean
+  EXPECT_EQ(det.circles(), 2u);
+}
+
+// The epoch-fenced engine reuses one detector per epoch: after reset()
+// the next round must behave like a fresh detector while the circle
+// count keeps accumulating.
+TEST(Quiescence, ResetRearmsForTheNextEpoch) {
+  QuiescenceDetector det(2);
+  EXPECT_FALSE(det.forward_token(0));
+  EXPECT_TRUE(complete_circle(det));
+  det.reset();
+  EXPECT_FALSE(det.quiescent());
+  EXPECT_TRUE(det.holds_token(0));  // token stays with the initiator
+
+  det.on_send(0);  // next epoch has traffic: 0 -> 1
+  det.on_receive(1);
+  EXPECT_FALSE(det.forward_token(0));
+  EXPECT_FALSE(complete_circle(det));  // dirty: shard 1 turned black
+  EXPECT_TRUE(complete_circle(det));
+  EXPECT_TRUE(det.quiescent());
+  EXPECT_EQ(det.circles(), 3u);  // cumulative across the reset
+}
+
+TEST(Quiescence, ForwardingWithoutTheTokenThrows) {
+  QuiescenceDetector det(3);
+  EXPECT_THROW(det.forward_token(1), contract_error);
+}
+
+TEST(Quiescence, ResetBeforeVerdictThrows) {
+  QuiescenceDetector det(2);
+  EXPECT_THROW(det.reset(), contract_error);
+}
+
+}  // namespace
+}  // namespace dlb

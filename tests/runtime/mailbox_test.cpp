@@ -132,5 +132,61 @@ TEST(Mailbox, PerProducerOrderIsPreserved) {
   for (std::thread& t : producers) t.join();
 }
 
+TEST(Mailbox, DrainIntoTakesEverythingInOrder) {
+  Mailbox<int> box;
+  for (int i = 0; i < 5; ++i) box.send(i);
+  std::vector<int> out;
+  EXPECT_EQ(box.drain_into(out), 5u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(box.empty());
+  EXPECT_EQ(box.drain_into(out), 0u);  // empty drain is a cheap no-op
+  EXPECT_EQ(out.size(), 5u);           // and appends nothing
+}
+
+TEST(Mailbox, DrainIntoAppendsAfterExistingElements) {
+  Mailbox<int> box;
+  box.send(10);
+  box.send(11);
+  std::vector<int> out{1, 2};
+  EXPECT_EQ(box.drain_into(out), 2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 10, 11}));
+}
+
+// drain_into must be observationally identical to a try_recv loop: same
+// messages, same order, under concurrent producers.  (This pins the
+// batched receive path ThreadedSystem's hot loop switched to.)
+TEST(Mailbox, DrainIntoMatchesRecvSemanticsUnderConcurrency) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  struct Tagged {
+    int producer;
+    int seq;
+  };
+  Mailbox<Tagged> box;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, p] {
+      for (int i = 0; i < kPerProducer; ++i) box.send(Tagged{p, i});
+    });
+  }
+  std::vector<int> next(kProducers, 0);
+  std::vector<Tagged> batch;
+  int received = 0;
+  while (received < kProducers * kPerProducer) {
+    batch.clear();
+    if (box.drain_into(batch) == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (const Tagged& msg : batch) {
+      EXPECT_EQ(msg.seq, next[msg.producer]);  // per-producer FIFO held
+      ++next[msg.producer];
+      ++received;
+    }
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_TRUE(box.empty());
+}
+
 }  // namespace
 }  // namespace dlb

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -127,6 +128,44 @@ TEST(ActiveSchedule, BatchedSamplingMatchesDenseSampling) {
     }
     EXPECT_EQ(dense_rng.state(), batched_rng.state()) << wl.name();
   }
+}
+
+// The async engine's ownership law: the strided schedules over all
+// offsets partition the full schedule — every (step, processor) entry
+// appears in exactly the schedule of offset p mod stride.
+TEST(ActiveSchedule, StridedSchedulesPartitionTheFullSchedule) {
+  Rng layout(5);
+  const WorkloadParams params;
+  const std::vector<Workload> workloads = {
+      Workload::paper_benchmark(24, 150, params, layout),
+      Workload::sparse_hotspot(64, 100, 7, 0.7, 0.3),
+  };
+  for (const Workload& wl : workloads) {
+    for (std::uint32_t stride : {1u, 3u, 4u}) {
+      ActiveSchedule full(wl);
+      std::vector<ActiveSchedule> strided;
+      for (std::uint32_t offset = 0; offset < stride; ++offset)
+        strided.push_back(ActiveSchedule::strided(wl, offset, stride));
+      for (std::uint32_t t = 0; t < wl.horizon(); ++t) {
+        std::vector<std::uint32_t> merged;
+        for (ActiveSchedule& sched : strided)
+          for (const auto& e : sched.advance(t)) {
+            EXPECT_EQ(e.proc % stride,
+                      static_cast<std::uint32_t>(&sched - strided.data()));
+            merged.push_back(e.proc);
+          }
+        std::sort(merged.begin(), merged.end());
+        ASSERT_EQ(merged, active_ids(full.advance(t)))
+            << wl.name() << " stride=" << stride << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(ActiveSchedule, StridedValidatesOffsetAndStride) {
+  const Workload wl = Workload::uniform(8, 4, 0.5, 0.5);
+  EXPECT_THROW(ActiveSchedule::strided(wl, 0, 0), contract_error);
+  EXPECT_THROW(ActiveSchedule::strided(wl, 3, 3), contract_error);
 }
 
 }  // namespace

@@ -6,7 +6,9 @@
 # current directory) plus a short bench/scalability sparse sweep (whose
 # "sparse_step" step_us rows time the obs-detached batched step loop —
 # this is the tracing-off overhead gate: the observability layer must
-# stay free when detached), and compares every metric against the
+# stay free when detached; the "async_step" rows time the barrier-free
+# run_async engine the same way, so regressions in the epoch-fenced
+# drain path fail here too), and compares every metric against the
 # committed baseline BENCH_core.json at the repository root.
 #
 # The comparison is common-mode normalized: on a shared/virtualized box
