@@ -173,7 +173,8 @@ int main(int argc, char** argv) {
 
   TextTable sparse_table({"n", "active", "ref us/step", "batched us/step",
                           "speedup", "parallel us/step", "async us/step",
-                          "relaxed us/step", "shards"});
+                          "relaxed us/step", "shards", "allocs/step",
+                          "async allocs/step"});
   for (std::uint32_t n = 16384; n <= sparse_max_n; n *= 4) {
     BalancerConfig cfg;
     // f = 1.1 makes every load fluctuation trigger a balance, burying the
@@ -223,6 +224,71 @@ int main(int argc, char** argv) {
         sys.run_async(wl, async_shards, relaxed);
       });
     }
+    // ---- Alloc-instrumented pass (DESIGN.md §11) ---------------------
+    //
+    // Separate from the timed columns: each engine re-runs with metrics
+    // attached and the zero-alloc opt-in (reserve_classes) on, and the
+    // alloc.{count,warmup_end_step} publications collapse into one
+    // allocs-per-step number — 0.0 when the allocator went quiet within
+    // the first half of the horizon (the steady state is
+    // allocation-free), count/steps otherwise.  A longer horizon than
+    // the timed sweep so "half the horizon" is a real warmup budget.
+    // Skipped above 2^16: the opt-in pre-sizes every ledger, and that
+    // setup cost is the one part of the contract that scales with n.
+    const std::uint32_t alloc_steps = 200;
+    double serial_alloc = -1.0;
+    double parallel_alloc = -1.0;
+    double async_alloc = -1.0;
+    double relaxed_alloc = -1.0;
+    if (n <= 65536) {
+      const Workload awl = Workload::sparse_hotspot(
+          n, alloc_steps, std::min(active, n), 0.8, 0.5);
+      const auto allocs_per_step = [&](const char* prefix,
+                                       std::uint32_t warmup_units,
+                                       auto&& drive) -> double {
+        obs::MetricsRegistry registry;
+        BalancerConfig acfg = cfg;
+        // The class universe is the `active` producers' classes; 4x
+        // headroom keeps ledger writes allocation-free (§11).
+        acfg.reserve_classes = std::min(n, 4 * active);
+        System sys(n, acfg, 20260807);
+        sys.attach_metrics(&registry);
+        drive(sys);
+        const obs::MetricsSnapshot snap = registry.snapshot();
+        const std::string p(prefix);
+        const obs::MetricValue* count = snap.find(p + ".alloc.count");
+        const obs::MetricValue* warmup =
+            snap.find(p + ".alloc.warmup_end_step");
+        if (count == nullptr || warmup == nullptr) return -1.0;
+        if (warmup->value <= static_cast<std::int64_t>(warmup_units / 2))
+          return 0.0;
+        return static_cast<double>(count->value) /
+               static_cast<double>(alloc_steps);
+      };
+      if (with_serial)
+        serial_alloc = allocs_per_step(
+            "system", alloc_steps, [&](System& sys) { sys.run(awl); });
+      if (with_lockstep)
+        parallel_alloc = allocs_per_step(
+            "run_parallel", alloc_steps,
+            [&](System& sys) { sys.run_parallel(awl, shards); });
+      if (with_async) {
+        // The epoch-fenced engine tallies per epoch, not per step, so
+        // its warmup budget is in epochs.
+        const AsyncOptions det;
+        async_alloc = allocs_per_step(
+            "async",
+            (alloc_steps + det.epoch_steps - 1) / det.epoch_steps,
+            [&](System& sys) { sys.run_async(awl, async_shards); });
+        AsyncOptions relaxed_opts;
+        relaxed_opts.relaxed_order = true;
+        relaxed_alloc = allocs_per_step(
+            "async", alloc_steps, [&](System& sys) {
+              sys.run_async(awl, async_shards, relaxed_opts);
+            });
+      }
+    }
+
     TextTable& row = sparse_table.row();
     row.cell(static_cast<std::size_t>(n))
         .cell(static_cast<std::size_t>(std::min(active, n)));
@@ -252,6 +318,16 @@ int main(int argc, char** argv) {
       row.cell("-").cell("-");
     }
     row.cell(static_cast<std::size_t>(shards));
+    if (serial_alloc >= 0.0) {
+      row.cell(serial_alloc, 1);
+    } else {
+      row.cell("-");
+    }
+    if (async_alloc >= 0.0) {
+      row.cell(async_alloc, 1);
+    } else {
+      row.cell("-");
+    }
     if (with_serial || with_lockstep) {
       bench::JsonRows::Row& jrow = json.row();
       jrow.set("workload", "sparse_step")
@@ -261,6 +337,9 @@ int main(int argc, char** argv) {
       if (with_serial) jrow.set("step_us", batched_us);
       if (with_lockstep) jrow.set("parallel_us", parallel_us);
       if (with_reference) jrow.set("ref_us", ref_us);
+      if (serial_alloc >= 0.0) jrow.set("allocs_per_step", serial_alloc);
+      if (parallel_alloc >= 0.0)
+        jrow.set("parallel_allocs_per_step", parallel_alloc);
     }
     if (with_async) {
       // A separate row keyed (async_step, n) so perf_check.sh gates the
@@ -275,6 +354,9 @@ int main(int argc, char** argv) {
           .set("relaxed_us", relaxed_us);
       if (with_serial && batched_us > 0.0)
         arow.set("speedup_vs_serial", batched_us / relaxed_us);
+      if (async_alloc >= 0.0) arow.set("allocs_per_step", async_alloc);
+      if (relaxed_alloc >= 0.0)
+        arow.set("relaxed_allocs_per_step", relaxed_alloc);
     }
   }
   sparse_table.print(std::cout);

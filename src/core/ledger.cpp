@@ -18,6 +18,20 @@ void erase_sorted(std::vector<std::uint32_t>& v, std::uint32_t j) {
   v.erase(it);
 }
 
+// The per-thread apply_dealt merge buffers, hoisted to an accessor so
+// warm_thread_scratch can pre-size them before a thread's first deal.
+struct MergeScratch {
+  std::vector<std::uint32_t> active;
+  std::vector<std::int64_t> d;
+  std::vector<std::int64_t> b;
+  std::vector<std::uint32_t> marked;
+};
+
+MergeScratch& merge_scratch() {
+  thread_local MergeScratch scratch;
+  return scratch;
+}
+
 }  // namespace
 
 Ledger::Ledger(std::uint32_t classes) : classes_(classes) {
@@ -179,10 +193,11 @@ void Ledger::apply_dealt(const std::uint32_t* cls, std::size_t k,
   // merged buffers to this ledger and parks its old vectors here, so
   // capacities circulate and reach the steady-state maximum after a few
   // balancing operations — after which the write-back allocates nothing.
-  thread_local std::vector<std::uint32_t> active_merge_;
-  thread_local std::vector<std::int64_t> d_merge_;
-  thread_local std::vector<std::int64_t> b_merge_;
-  thread_local std::vector<std::uint32_t> marked_merge_;
+  MergeScratch& merge = merge_scratch();
+  std::vector<std::uint32_t>& active_merge_ = merge.active;
+  std::vector<std::int64_t>& d_merge_ = merge.d;
+  std::vector<std::int64_t>& b_merge_ = merge.b;
+  std::vector<std::uint32_t>& marked_merge_ = merge.marked;
   active_merge_.clear();
   d_merge_.clear();
   b_merge_.clear();
@@ -324,6 +339,23 @@ void Ledger::replace(std::vector<std::int64_t> d_new,
   }
   real_ = real;
   borrowed_ = borrowed;
+}
+
+void Ledger::reserve_active(std::uint32_t k) {
+  const auto cap = static_cast<std::size_t>(std::min(k, classes_));
+  active_.reserve(cap);
+  d_counts_.reserve(cap);
+  b_counts_.reserve(cap);
+  marked_.reserve(cap);
+}
+
+void Ledger::warm_thread_scratch(std::size_t entries) {
+  MergeScratch& scratch = merge_scratch();
+  if (scratch.active.capacity() >= entries) return;
+  scratch.active.reserve(entries);
+  scratch.d.reserve(entries);
+  scratch.b.reserve(entries);
+  scratch.marked.reserve(entries);
 }
 
 std::uint32_t Ledger::first_marked_class() const {

@@ -130,6 +130,19 @@ class Ledger {
   void replace(std::vector<std::int64_t> d_new,
                std::vector<std::int64_t> b_new);
 
+  /// Capacity floor: pre-sizes the compact storage for `k` active-class
+  /// entries (clamped to classes()), so later writes up to that
+  /// occupancy never reallocate — the zero-allocation steady-state knob
+  /// (BalancerConfig::reserve_classes).  Never shrinks.
+  void reserve_active(std::uint32_t k);
+
+  /// Pre-sizes the calling thread's apply_dealt merge scratch for
+  /// `entries` merged entries, so a thread's *first* deal is as
+  /// allocation-free as its hundredth (the lazy warmup would otherwise
+  /// land wherever that first deal happens to fall in the run —
+  /// DESIGN.md §11).  Never shrinks.
+  static void warm_thread_scratch(std::size_t entries);
+
   /// Smallest class index with b[j] > 0, or classes() if none.  O(1).
   std::uint32_t first_marked_class() const;
 

@@ -1,0 +1,73 @@
+// Depth-indexed thread-local vector pool for the balancing hot paths.
+//
+// The partner draw (System::draw_partners) runs on every balancing
+// operation, and balancing operations *nest*: balance → cancel_self_
+// markers → maybe_balance → another balance, and resolve_empty_generator
+// draws twice.  A single thread_local scratch vector would be clobbered
+// by the inner operation while the outer one still reads it — so the
+// pool hands out one warm vector per nesting depth.  After warmup the
+// pool holds as many vectors as the deepest chain ever needed and no
+// lease allocates again; each vector's capacity likewise plateaus at its
+// depth's historical maximum (the BalanceScratch pattern of system.cpp,
+// extended to re-entrant callers).
+//
+// Thread safety: the pool is thread_local — the sequential drivers use
+// one, each async shard / parallel worker its own.  Leases are strictly
+// LIFO by construction (stack scoping), which is what the depth index
+// relies on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dlb::detail {
+
+struct ScratchVecPool {
+  // unique_ptr cells keep each vector's address stable while the pool
+  // itself grows under an outstanding outer lease.
+  std::vector<std::unique_ptr<std::vector<std::uint32_t>>> bufs;
+  std::size_t depth = 0;
+};
+
+inline ScratchVecPool& scratch_vec_pool() {
+  thread_local ScratchVecPool pool;
+  return pool;
+}
+
+/// Pre-grows the calling thread's pool to `depth` vectors of at least
+/// `capacity` elements each, so the first balancing chain on the thread
+/// allocates nothing even if it nests (DESIGN.md §11).  Never shrinks.
+inline void warm_scratch_vec_pool(std::size_t depth, std::size_t capacity) {
+  ScratchVecPool& pool = scratch_vec_pool();
+  while (pool.bufs.size() < depth)
+    pool.bufs.push_back(std::make_unique<std::vector<std::uint32_t>>());
+  for (auto& buf : pool.bufs)
+    if (buf->capacity() < capacity) buf->reserve(capacity);
+}
+
+/// RAII lease of one cleared, warm std::vector<uint32_t> from the
+/// calling thread's pool.  Allocates only when the current nesting depth
+/// exceeds the thread's historical maximum.
+class ScratchVecLease {
+ public:
+  ScratchVecLease() {
+    ScratchVecPool& pool = scratch_vec_pool();
+    if (pool.depth == pool.bufs.size())
+      pool.bufs.push_back(std::make_unique<std::vector<std::uint32_t>>());
+    vec_ = pool.bufs[pool.depth].get();
+    ++pool.depth;
+    vec_->clear();
+  }
+  ~ScratchVecLease() { --scratch_vec_pool().depth; }
+  ScratchVecLease(const ScratchVecLease&) = delete;
+  ScratchVecLease& operator=(const ScratchVecLease&) = delete;
+
+  std::vector<std::uint32_t>& operator*() { return *vec_; }
+  std::vector<std::uint32_t>* operator->() { return vec_; }
+
+ private:
+  std::vector<std::uint32_t>* vec_;
+};
+
+}  // namespace dlb::detail

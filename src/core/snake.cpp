@@ -4,6 +4,19 @@
 
 namespace dlb {
 
+namespace {
+
+std::vector<std::int64_t>& snake_old_col() {
+  thread_local std::vector<std::int64_t> old_col;
+  return old_col;
+}
+
+}  // namespace
+
+void snake_warm_thread_scratch(std::size_t rows) {
+  snake_old_col().reserve(rows);
+}
+
 std::size_t snake_redistribute(
     std::vector<std::vector<std::int64_t>>& counts,
     const SnakeOptions& options) {
@@ -58,9 +71,12 @@ std::size_t snake_redistribute(std::int64_t* counts, std::size_t rows,
   DLB_REQUIRE(options.start < rows, "dealing start out of range");
 
   // Old column values for the flow accounting; rows is tiny (delta + 1)
-  // so a fixed-capacity stack buffer would also do, but delta is
-  // unbounded by the API.
-  std::vector<std::int64_t> old_col(options.flows != nullptr ? rows : 0);
+  // but unbounded by the API, so the buffer is a warm thread-local
+  // instead of a per-call allocation (deals run on every balancing
+  // operation, and the async shards deal concurrently).  No recursion:
+  // snake_redistribute never calls back into itself through the sink.
+  std::vector<std::int64_t>& old_col = snake_old_col();
+  old_col.assign(options.flows != nullptr ? rows : 0, 0);
   const bool pair_flows =
       options.flows != nullptr && options.flows->wants_pair_flows();
 

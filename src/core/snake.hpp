@@ -110,4 +110,9 @@ std::size_t snake_redistribute(std::int64_t* counts, std::size_t rows,
                                std::size_t columns,
                                const SnakeCompactOptions& options);
 
+/// Pre-sizes the calling thread's flow-accounting scratch for deals with
+/// up to `rows` participants, so the thread's first flow-reporting deal
+/// allocates nothing (DESIGN.md §11).  Never shrinks.
+void snake_warm_thread_scratch(std::size_t rows);
+
 }  // namespace dlb

@@ -3,12 +3,26 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/scratch.hpp"
 #include "core/snake.hpp"
+#include "obs/alloc.hpp"
 #include "obs/timer.hpp"
 #include "support/check.hpp"
 #include "workload/schedule.hpp"
 
 namespace dlb {
+
+namespace {
+
+// try_borrow's candidate list, hoisted out of the function so
+// warm_thread_scratch can pre-size it (one warm vector per thread — the
+// sharded workers borrow concurrently).
+std::vector<std::uint32_t>& borrow_candidates() {
+  thread_local std::vector<std::uint32_t> candidates;
+  return candidates;
+}
+
+}  // namespace
 
 System::System(std::uint32_t processors, BalancerConfig config,
                std::uint64_t seed, const Topology* topology)
@@ -24,6 +38,9 @@ System::System(std::uint32_t processors, BalancerConfig config,
   procs_.reserve(processors);
   for (std::uint32_t p = 0; p < processors; ++p)
     procs_.emplace_back(processors);
+  if (config_.reserve_classes > 0)
+    for (ProcessorState& st : procs_)
+      st.ledger.reserve_active(config_.reserve_classes);
 }
 
 void System::attach_metrics(obs::MetricsRegistry* registry) {
@@ -65,10 +82,15 @@ const ProcessorState& System::processor(std::uint32_t p) const {
 }
 
 std::vector<std::int64_t> System::loads() const {
-  std::vector<std::int64_t> out(processors());
+  std::vector<std::int64_t> out;
+  loads_into(out);
+  return out;
+}
+
+void System::loads_into(std::vector<std::int64_t>& out) const {
+  out.resize(processors());
   for (std::uint32_t p = 0; p < processors(); ++p)
     out[p] = procs_[p].ledger.real_load();
-  return out;
 }
 
 std::int64_t System::load(std::uint32_t p) const {
@@ -91,6 +113,18 @@ void System::run(const Workload& workload) {
   // reference loop draws all of a step's workload randomness before any
   // balancing randomness; interleaving would reorder the RNG stream.
   std::vector<std::pair<std::uint32_t, WorkEvent>> events;
+  // Zero-alloc opt-in: pre-size to the bound (one event per active
+  // processor) so the occupancy high-water mark never grows the vector
+  // mid-run.  Gated — the O(n) reserve touches fresh pages, a real cost
+  // for short runs on large systems.
+  if (config_.reserve_classes > 0) events.reserve(processors());
+  warm_thread_scratch();
+  // Per-step allocation accounting (DESIGN.md §11): sampled only with
+  // metrics attached, so the detached hot loop pays nothing.
+  const bool track_allocs = metrics_ != nullptr;
+  obs::AllocPhase alloc_phase;
+  obs::AllocTally alloc_tally;
+  if (track_allocs) alloc_phase.rebase();
   for (std::uint32_t t = 0; t < workload.horizon(); ++t) {
     obs::ScopedTimer step_span(nullptr, trace_, "step", "step", 0, t);
     const std::vector<ActiveSchedule::Entry>& entries = schedule.advance(t);
@@ -108,7 +142,10 @@ void System::run(const Workload& workload) {
     }
     if (post_step_check_) check_invariants();
     emit_loads(t);
+    if (track_allocs)
+      alloc_tally.note(static_cast<std::int64_t>(t), alloc_phase.take());
   }
+  if (track_allocs) obs::publish(*metrics_, "system", alloc_tally);
 }
 
 void System::run_reference(const Workload& workload) {
@@ -125,6 +162,7 @@ void System::run_reference(const Workload& workload) {
 void System::run(const Trace& trace) {
   DLB_REQUIRE(trace.processors() == processors(),
               "trace size must match the system");
+  warm_thread_scratch();
   std::vector<WorkEvent> events(processors());
   for (std::uint32_t t = 0; t < trace.horizon(); ++t) {
     for (std::uint32_t p = 0; p < processors(); ++p)
@@ -256,9 +294,13 @@ bool System::try_borrow(std::uint32_t p, Rng& rng, StepCounters& counters) {
   // classes only — ascending, like the dense scan, so the drawn index
   // maps to the same class.  Thread-local scratch: the sharded phase-1
   // workers borrow concurrently.
-  thread_local std::vector<std::uint32_t> candidates;
+  std::vector<std::uint32_t>& candidates = borrow_candidates();
   candidates.clear();
   const auto& active = ledger.active_classes();
+  // Track the ledger's reserved capacity, not the current occupancy —
+  // an exact-fit reserve would reallocate on every occupancy high-water
+  // mark for the rest of the run (the zero-alloc dribble).
+  candidates.reserve(active.capacity());
   const auto& d_counts = ledger.active_d();
   const auto& b_counts = ledger.active_b();
   for (std::size_t i = 0; i < active.size(); ++i)
@@ -339,7 +381,11 @@ void System::resolve_empty_generator(std::uint32_t p, std::uint32_t j,
   // [D5] The generator j holds none of its own packets.  It first runs a
   // balancing operation with delta random partners, which pulls class-j
   // packets (or markers) toward j.
-  balance(j, draw_partners(j, rng), rng);
+  {
+    detail::ScratchVecLease partners;
+    draw_partners(j, rng, *partners);
+    balance(j, *partners, rng);
+  }
   if (procs_[j].ledger.d(j) > 0 && procs_[p].ledger.borrowed_total() > 0) {
     remote_exchange(p, j, rng);
     return;
@@ -348,31 +394,37 @@ void System::resolve_empty_generator(std::uint32_t p, std::uint32_t j,
   // and markers across a fresh random set, after which p can borrow
   // again (§4: "in any case processor i is allowed to borrow some new
   // load packets ... or has received some of his own load packets").
-  balance(p, draw_partners(p, rng), rng);
+  detail::ScratchVecLease partners;
+  draw_partners(p, rng, *partners);
+  balance(p, *partners, rng);
 }
 
-std::vector<ProcId> System::draw_partners(std::uint32_t initiator,
-                                          Rng& rng) {
+void System::draw_partners(std::uint32_t initiator, Rng& rng,
+                           std::vector<ProcId>& out) {
   const std::uint32_t n = processors();
   if (!partner_radius_.has_value()) {
-    return rng.sample_distinct(n, config_.delta, initiator);
+    rng.sample_distinct_into(out, n, config_.delta, initiator);
+    return;
   }
   // Locality ablation: partners from the topology ball around initiator.
-  std::vector<ProcId> ball;
+  detail::ScratchVecLease ball;
   for (ProcId v = 0; v < n; ++v) {
     if (v == initiator) continue;
     if (topology_->distance(initiator, v) <= *partner_radius_)
-      ball.push_back(v);
+      ball->push_back(v);
   }
-  DLB_ENSURE(!ball.empty(), "neighborhood contains no candidates");
-  if (ball.size() <= config_.delta) return ball;
-  std::vector<ProcId> chosen;
-  chosen.reserve(config_.delta);
-  auto idx = rng.sample_distinct(static_cast<std::uint32_t>(ball.size()),
-                                 config_.delta,
-                                 static_cast<std::uint32_t>(ball.size() + 1));
-  for (std::uint32_t k : idx) chosen.push_back(ball[k]);
-  return chosen;
+  DLB_ENSURE(!ball->empty(), "neighborhood contains no candidates");
+  if (ball->size() <= config_.delta) {
+    out.assign(ball->begin(), ball->end());
+    return;
+  }
+  detail::ScratchVecLease idx;
+  rng.sample_distinct_into(*idx, static_cast<std::uint32_t>(ball->size()),
+                           config_.delta,
+                           static_cast<std::uint32_t>(ball->size() + 1));
+  out.clear();
+  out.reserve(config_.delta);
+  for (std::uint32_t k : *idx) out.push_back((*ball)[k]);
 }
 
 bool System::trigger_fires(std::uint32_t p) const {
@@ -391,7 +443,9 @@ bool System::trigger_fires(std::uint32_t p) const {
 
 void System::maybe_balance(std::uint32_t p, Rng& rng) {
   if (!trigger_fires(p)) return;
-  balance(p, draw_partners(p, rng), rng);
+  detail::ScratchVecLease partners;
+  draw_partners(p, rng, *partners);
+  balance(p, *partners, rng);
 }
 
 namespace {
@@ -474,6 +528,25 @@ struct BalanceScratch {
   std::vector<std::uint32_t> union_scratch;
   std::vector<std::size_t> excluded_cols;
   std::vector<std::int64_t> row_delta;
+
+  // Reserves every buffer to its worst case for an m-participant deal
+  // over n classes: the union holds at most n classes, its merge buffer
+  // peaks at the two inputs' combined size (≤ 2n), and the matrices at
+  // m x n.  Growing to the bound up front (instead of tracking the
+  // occupancy high-water mark) is what makes a deal allocation-free for
+  // the rest of the run even while class occupancy is still rising —
+  // the zero-alloc opt-in (reserve_classes) pays it once per thread.
+  void reserve_bounds(std::size_t m, std::size_t n) {
+    participants.reserve(m);
+    d.reserve(m * n);
+    b.reserve(m * n);
+    // Both 2n, not n: the merge swaps the two buffers, so either one can
+    // end up holding the (≤ 2n) pre-dedup merge output on a later call.
+    union_classes.reserve(2 * n);
+    union_scratch.reserve(2 * n);
+    excluded_cols.reserve(n);
+    row_delta.reserve(m);
+  }
 };
 
 BalanceScratch& balance_scratch() {
@@ -482,6 +555,21 @@ BalanceScratch& balance_scratch() {
 }
 
 }  // namespace
+
+void System::warm_thread_scratch() {
+  if (config_.reserve_classes == 0) return;
+  const std::size_t m = static_cast<std::size_t>(config_.delta) + 1;
+  balance_scratch().reserve_bounds(m, processors());
+  borrow_candidates().reserve(config_.reserve_classes);
+  // The merge peaks at old entries + dealt columns, each bounded by the
+  // per-ledger reserve.
+  Ledger::warm_thread_scratch(
+      2 * static_cast<std::size_t>(config_.reserve_classes));
+  snake_warm_thread_scratch(m);
+  // Depth 8 covers every balance → cancel → re-balance chain seen in
+  // practice; a deeper chain merely re-warms lazily at that depth.
+  detail::warm_scratch_vec_pool(8, config_.delta);
+}
 
 void System::balance(std::uint32_t initiator,
                      const std::vector<ProcId>& partners, Rng& rng) {
@@ -499,6 +587,8 @@ void System::balance_deal(std::uint32_t initiator,
                                 "balance", tid, initiator);
   const std::uint32_t n = processors();
   BalanceScratch& scratch = balance_scratch();
+  if (config_.reserve_classes > 0)
+    scratch.reserve_bounds(partners.size() + 1, n);
   std::vector<ProcId>& participants = scratch.participants;
   participants.clear();
   participants.reserve(partners.size() + 1);
@@ -646,8 +736,9 @@ void System::cancel_self_markers(std::uint32_t p, Rng& rng) {
 
 void System::force_balance(std::uint32_t p) {
   DLB_REQUIRE(p < processors(), "processor id out of range");
-  auto partners = draw_partners(p, rng_);
-  balance(p, partners, rng_);
+  detail::ScratchVecLease partners;
+  draw_partners(p, rng_, *partners);
+  balance(p, *partners, rng_);
 }
 
 void System::emit_borrow_event(BorrowEvent event) {

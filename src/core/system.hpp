@@ -188,6 +188,9 @@ class System {
 
   const ProcessorState& processor(std::uint32_t p) const;
   std::vector<std::int64_t> loads() const;
+  /// Fills `out` with the per-processor real loads, reusing its capacity
+  /// (the allocation-free variant of loads() for polling callers).
+  void loads_into(std::vector<std::int64_t>& out) const;
   std::int64_t load(std::uint32_t p) const;
   std::int64_t total_load() const;
   std::uint64_t total_generated() const { return generated_.get(); }
@@ -253,6 +256,15 @@ class System {
   // Trigger check + balancing operation when it fires.
   void maybe_balance(std::uint32_t p, Rng& rng);
 
+  // Zero-alloc opt-in (reserve_classes > 0, DESIGN.md §11): pre-sizes
+  // every lazily-grown thread_local on the balancing path — balance
+  // scratch, borrow candidates, ledger merge buffers, snake flow
+  // scratch, the partner-draw pool — to its analytic bound.  Each driver
+  // calls this once per worker thread at startup, so a thread whose
+  // first balancing operation lands late in the run does not pay its
+  // one-time warmup there.  No-op without the opt-in.
+  void warm_thread_scratch();
+
   // Balancing operation over initiator + delta random partners.
   void balance(std::uint32_t initiator, const std::vector<ProcId>& partners,
                Rng& rng);
@@ -271,8 +283,12 @@ class System {
                     CostLedger& costs, std::vector<ProcId>* cancel_due,
                     std::uint32_t tid = 0);
 
-  // Draws the delta partners for `initiator` (global or neighborhood).
-  std::vector<ProcId> draw_partners(std::uint32_t initiator, Rng& rng);
+  // Draws the delta partners for `initiator` (global or neighborhood)
+  // into `out`, reusing its capacity.  Callers lease `out` from the
+  // thread's scratch pool (core/scratch.hpp) — balancing operations nest,
+  // so a single scratch vector is not enough.
+  void draw_partners(std::uint32_t initiator, Rng& rng,
+                     std::vector<ProcId>& out);
 
   // Settlement when p's borrow capacity is exhausted: pick a marked class
   // j; remote-exchange against j's generator or run the §4 resolution.

@@ -52,7 +52,6 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <deque>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -63,9 +62,11 @@
 
 #include "core/quiescence.hpp"
 #include "core/system.hpp"
+#include "obs/alloc.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/check.hpp"
+#include "support/ring_queue.hpp"
 #include "support/spsc_ring.hpp"
 #include "workload/schedule.hpp"
 
@@ -124,6 +125,22 @@ class AsyncEngine {
       shard_.push_back(std::make_unique<Shard>(
           s, shards, sys_.rng_.split(),
           ActiveSchedule::strided(workload, s, shards), sys_.topology_));
+      // Zero-alloc opt-in (DESIGN.md §11): warm the per-shard scratch to
+      // its bounds — every sampled event is at most one queued op plus
+      // follow-ups, and an op touches at most delta+1 processors.  A run
+      // must not depend on the workload hitting each high-water mark
+      // early (the allocation would land mid-run, at a schedule-
+      // dependent step).  Gated on the opt-in: the span-scaled reserves
+      // touch O(n) fresh pages, a real cost inside short timed runs.
+      if (sys_.config_.reserve_classes > 0) {
+        Shard& sh = *shard_.back();
+        const std::uint32_t span = (sys_.processors() + shards - 1) / shards;
+        sh.events.reserve(span);
+        sh.fifo.reserve(4 * static_cast<std::size_t>(span) + 64);
+        sh.lock_ids.reserve(sys_.config_.delta + 1);
+        sh.partners.reserve(sys_.config_.delta);
+        sh.cancel_due.reserve(sys_.config_.delta + 1);
+      }
     }
     rings_.resize(static_cast<std::size_t>(shards) * shards);
     for (std::uint32_t from = 0; from < shards; ++from)
@@ -178,14 +195,22 @@ class AsyncEngine {
     std::vector<Msg> deferred;
     bool deferred_moved = false;
     // Own-shard operation queue (follow-ups and, in relaxed mode, the
-    // live event operations), executed in FIFO order.
-    std::deque<Msg> fifo;
+    // live event operations), executed in FIFO order.  A growable ring
+    // (not a deque): capacity plateaus, so the steady state re-enqueues
+    // without touching the allocator.
+    RingQueue<Msg> fifo;
     // Per-destination overflow for full rings, flushed FIFO-first so the
     // per-pair message order is preserved.
     std::vector<std::vector<Msg>> pending;
-    // Scratch for sorted multi-lock acquisition and [D6] collection.
+    // Scratch for sorted multi-lock acquisition, the partner draw, and
+    // [D6] collection.  balance_op never nests within a shard (follow-up
+    // work travels as messages), so one buffer each suffices.
     std::vector<std::uint32_t> lock_ids;
+    std::vector<ProcId> partners;
     std::vector<ProcId> cancel_due;
+    // Heap-allocation accounting of this shard's step loop (merged and
+    // published by the epilogue when metrics are attached).
+    obs::AllocTally alloc;
     std::uint64_t ops = 0;   // operations executed
     std::uint64_t msgs = 0;  // cross-shard messages sent
     // Epochs whose local phase finished (deterministic mode fence).
@@ -307,8 +332,7 @@ class AsyncEngine {
       flush_pending(sh);
       bool did = false;
       while (!sh.fifo.empty()) {
-        const Msg msg = sh.fifo.front();
-        sh.fifo.pop_front();
+        const Msg msg = sh.fifo.pop_front();
         exec(sh, msg);
         ++executed;
         did = true;
@@ -325,8 +349,7 @@ class AsyncEngine {
           // Follow-ups precede the next inbound message, so the order
           // within a slot is fully determined by the messages alone.
           while (!sh.fifo.empty()) {
-            const Msg follow = sh.fifo.front();
-            sh.fifo.pop_front();
+            const Msg follow = sh.fifo.pop_front();
             exec(sh, follow);
             ++executed;
           }
@@ -369,15 +392,15 @@ class AsyncEngine {
   // since the peek), deal, then route the [D6] self-marker cancels to
   // the participants' owners.
   void balance_op(Shard& sh, std::uint32_t p, bool forced) {
-    const std::vector<ProcId> partners = sys_.draw_partners(p, sh.rng);
+    sys_.draw_partners(p, sh.rng, sh.partners);
     sh.lock_ids.clear();
     sh.lock_ids.push_back(p);
-    for (ProcId q : partners) sh.lock_ids.push_back(q);
+    for (ProcId q : sh.partners) sh.lock_ids.push_back(q);
     sh.cancel_due.clear();
     {
       ScopedLockSet guard(locks_, sh.lock_ids);
       if (!forced && !sys_.trigger_fires(p)) return;
-      sys_.balance_deal(p, partners, sh.rng, sh.costs, &sh.cancel_due,
+      sys_.balance_deal(p, sh.partners, sh.rng, sh.costs, &sh.cancel_due,
                         sh.tid);
     }
     for (ProcId q : sh.cancel_due) dispatch(sh, Msg{q, OpKind::Cancel});
@@ -554,6 +577,9 @@ void AsyncEngine::run_threads(void (AsyncEngine::*worker)(Shard&)) {
     for (std::uint32_t s = 0; s < shards_; ++s) {
       threads.emplace_back([this, worker, s, &record_error] {
         try {
+          // Pay the per-thread scratch warmup here, not at this shard's
+          // first balancing operation (which can land arbitrarily late).
+          sys_.warm_thread_scratch();
           (this->*worker)(*shard_[s]);
         } catch (...) {
           record_error();
@@ -597,6 +623,9 @@ void AsyncEngine::run() {
     sys_.metrics_->counter("async.msgs").add(msgs);
     sys_.metrics_->counter("async.ops").add(ops);
     sys_.metrics_->counter("async.circles").add(detector_.circles());
+    obs::AllocTally alloc;
+    for (const auto& sh : shard_) alloc.merge(sh->alloc);
+    obs::publish(*sys_.metrics_, "async", alloc);
   }
   // Relaxed mode has no epoch fences, so the per-epoch invariant check
   // degrades to a single post-run verification.
@@ -628,6 +657,11 @@ void AsyncEngine::det_worker(Shard& sh) {
   const std::uint32_t epoch_steps = options_.epoch_steps;
   const std::uint64_t epochs =
       (static_cast<std::uint64_t>(horizon) + epoch_steps - 1) / epoch_steps;
+  // Allocation accounting is per *epoch* here (the engine's unit of
+  // progress); the tally's step index is the epoch number.
+  const bool track_allocs = sys_.metrics_ != nullptr;
+  obs::AllocPhase alloc_phase;
+  if (track_allocs) alloc_phase.rebase();
   for (std::uint64_t e = 0; e < epochs; ++e) {
     // Wait for shard 0 to open this epoch (quiescence of the previous
     // one), which also publishes every operation's ledger writes.
@@ -703,8 +737,7 @@ void AsyncEngine::det_worker(Shard& sh) {
           wait_local_done(e + 1);
           if (stop_.load(std::memory_order_acquire)) return;
         }
-        sh.fifo.insert(sh.fifo.end(), sh.deferred.begin(),
-                       sh.deferred.end());
+        for (const Msg& deferred : sh.deferred) sh.fifo.push_back(deferred);
         sh.deferred.clear();
         sh.deferred_moved = true;
       }
@@ -729,12 +762,17 @@ void AsyncEngine::det_worker(Shard& sh) {
         close_epoch(e);
       }
     }
+    if (track_allocs)
+      sh.alloc.note(static_cast<std::int64_t>(e), alloc_phase.take());
   }
 }
 
 void AsyncEngine::relaxed_worker(Shard& sh) {
   const std::uint32_t horizon = workload_.horizon();
   const std::uint64_t local_start = timed_ ? now_ns() : 0;
+  const bool track_allocs = sys_.metrics_ != nullptr;
+  obs::AllocPhase alloc_phase;
+  if (track_allocs) alloc_phase.rebase();
   for (std::uint32_t t = 0; t < horizon; ++t) {
     if (stop_.load(std::memory_order_acquire)) return;
     const auto& entries = sh.schedule.advance(t);
@@ -777,6 +815,8 @@ void AsyncEngine::relaxed_worker(Shard& sh) {
       pump(sh);
     }
     pump(sh);
+    if (track_allocs)
+      sh.alloc.note(static_cast<std::int64_t>(t), alloc_phase.take());
   }
   sys_.commit(sh.counters);
   sh.counters = System::StepCounters{};
@@ -804,6 +844,10 @@ void AsyncEngine::relaxed_worker(Shard& sh) {
   }
   sys_.commit(sh.counters);
   sh.counters = System::StepCounters{};
+  // The termination pump is ordinary operation execution — account it
+  // against the final step so late allocations cannot hide.
+  if (track_allocs && horizon > 0)
+    sh.alloc.note(static_cast<std::int64_t>(horizon) - 1, alloc_phase.take());
   if (timed_) {
     const std::uint64_t term_end = now_ns();
     if (drain_hist_ != nullptr) drain_hist_->record(term_end - term_start);

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/system.hpp"
+#include "obs/alloc.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/check.hpp"
@@ -70,6 +71,9 @@ void System::run_parallel(const Workload& workload, std::uint32_t shards) {
     obs::Histogram* work_hist = nullptr;
     obs::Histogram* barrier_hist = nullptr;
     std::uint32_t tid = 0;  // trace track: shard s renders as tid s + 1
+    // Phase-1 heap-allocation accounting (merged with the coordinator's
+    // tally and published when metrics are attached).
+    obs::AllocTally alloc;
   };
 
   // Contiguous partition: the first (n mod shards) shards get one extra.
@@ -85,6 +89,15 @@ void System::run_parallel(const Workload& workload, std::uint32_t shards) {
       // split() draws from rng_, so the stream layout is fixed by the
       // seed and the shard count alone.
       state.emplace_back(workload, begin, end, rng_.split());
+      // Zero-alloc opt-in: warm the per-step scratch to its bounds (≤ 1
+      // event and ≤ 2 deferred entries per owned processor) so the first
+      // unusually busy step — which can land anywhere in the run —
+      // doesn't grow the buffers mid-flight.  Gated: the span-scaled
+      // reserves touch O(n) fresh pages.
+      if (config_.reserve_classes > 0) {
+        state.back().events.reserve(end - begin);
+        state.back().queue.reserve(2 * static_cast<std::size_t>(end - begin));
+      }
       begin = end;
     }
   }
@@ -135,8 +148,15 @@ void System::run_parallel(const Workload& workload, std::uint32_t shards) {
   // threads leave the loop at the same step.
   std::barrier sync(static_cast<std::ptrdiff_t>(shards) + 1);
 
+  const bool track_allocs = metrics_ != nullptr;
+
   const auto worker = [&](Shard& shard) {
     const bool timed = shard.work_hist != nullptr || tracing;
+    // Per-thread scratch warmup at startup, not at the thread's first
+    // borrow/balance (which can land arbitrarily late in the run).
+    warm_thread_scratch();
+    obs::AllocPhase alloc_phase;
+    if (track_allocs) alloc_phase.rebase();
     for (std::uint32_t t = 0; t < workload.horizon(); ++t) {
       std::uint64_t work_end = 0;
       if (!stop.load(std::memory_order_acquire)) {
@@ -183,6 +203,8 @@ void System::run_parallel(const Workload& workload, std::uint32_t shards) {
             trace_->record("local_phase", "shard", work_start,
                            work_end - work_start, shard.tid, t);
         }
+        if (track_allocs)
+          shard.alloc.note(static_cast<std::int64_t>(t), alloc_phase.take());
       }
       sync.arrive_and_wait();  // phase 1 done; coordinator runs serial
       sync.arrive_and_wait();  // serial phase done
@@ -208,10 +230,14 @@ void System::run_parallel(const Workload& workload, std::uint32_t shards) {
     threads.emplace_back(worker, std::ref(state[s]));
 
   const bool coordinator_timed = drain_hist != nullptr || tracing;
+  warm_thread_scratch();  // the serial drain balances on this thread
+  obs::AllocPhase alloc_phase;
+  obs::AllocTally alloc_tally;
   for (std::uint32_t t = 0; t < workload.horizon(); ++t) {
     sync.arrive_and_wait();  // wait for every shard's phase 1
     if (!stop.load(std::memory_order_acquire)) {
       const std::uint64_t drain_start = coordinator_timed ? now_ns() : 0;
+      if (track_allocs) alloc_phase.rebase();
       try {
         std::size_t active = 0;
         for (const Shard& shard : state) active += shard.active;
@@ -245,6 +271,8 @@ void System::run_parallel(const Workload& workload, std::uint32_t shards) {
       } catch (...) {
         record_error();
       }
+      if (track_allocs)
+        alloc_tally.note(static_cast<std::int64_t>(t), alloc_phase.delta());
       if (coordinator_timed) {
         const std::uint64_t drain_end = now_ns();
         if (drain_hist != nullptr)
@@ -259,6 +287,10 @@ void System::run_parallel(const Workload& workload, std::uint32_t shards) {
   }
 
   threads.clear();  // jthread joins
+  if (track_allocs) {
+    for (const Shard& shard : state) alloc_tally.merge(shard.alloc);
+    obs::publish(*metrics_, "run_parallel", alloc_tally);
+  }
   if (error != nullptr) std::rethrow_exception(error);
 }
 

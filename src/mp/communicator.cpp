@@ -11,12 +11,18 @@ namespace dlb {
 
 int Comm::size() const { return world_->size(); }
 
-void Comm::send(int dest, int tag, std::vector<std::int64_t> payload) {
+void Comm::send(int dest, int tag,
+                std::initializer_list<std::int64_t> words) {
+  send(dest, tag, words.begin(), words.size());
+}
+
+void Comm::send(int dest, int tag, const std::int64_t* words,
+                std::size_t count) {
   DLB_REQUIRE(dest >= 0 && dest < world_->size(), "invalid destination");
   MpMessage msg;
   msg.source = rank_;
   msg.tag = tag;
-  msg.payload = std::move(payload);
+  msg.payload.assign(words, count, &world_->payload_pool_);
   world_->faulty_send(rank_, dest, std::move(msg));
 }
 
@@ -33,26 +39,31 @@ std::optional<MpMessage> Comm::recv_for(int source, int tag,
   return world_->timed_recv(rank_, source, tag, timeout);
 }
 
-void Comm::barrier() { (void)world_->gather_all(rank_, 0); }
+void Comm::barrier() {
+  world_->gather_all_into(rank_, 0, gather_scratch_);
+}
 
 bool Comm::barrier_checked() {
-  return world_->gather_all(rank_, 0).degraded;
+  world_->gather_all_into(rank_, 0, gather_scratch_);
+  return gather_scratch_.degraded;
 }
 
 std::int64_t Comm::broadcast(std::int64_t value, int root) {
   DLB_REQUIRE(root >= 0 && root < world_->size(), "invalid root");
-  return world_->gather_all(rank_, value)
-      .values[static_cast<std::size_t>(root)];
+  world_->gather_all_into(rank_, value, gather_scratch_);
+  return gather_scratch_.values[static_cast<std::size_t>(root)];
 }
 
 std::int64_t Comm::allreduce_sum(std::int64_t value) {
+  world_->gather_all_into(rank_, value, gather_scratch_);
   std::int64_t total = 0;
-  for (std::int64_t v : world_->gather_all(rank_, value).values) total += v;
+  for (std::int64_t v : gather_scratch_.values) total += v;
   return total;
 }
 
 std::int64_t Comm::allreduce_min(std::int64_t value) {
-  const GatherResult all = world_->gather_all(rank_, value);
+  world_->gather_all_into(rank_, value, gather_scratch_);
+  const GatherResult& all = gather_scratch_;
   std::int64_t best = value;
   for (std::size_t r = 0; r < all.values.size(); ++r)
     if (all.alive[r]) best = std::min(best, all.values[r]);
@@ -60,7 +71,8 @@ std::int64_t Comm::allreduce_min(std::int64_t value) {
 }
 
 std::int64_t Comm::allreduce_max(std::int64_t value) {
-  const GatherResult all = world_->gather_all(rank_, value);
+  world_->gather_all_into(rank_, value, gather_scratch_);
+  const GatherResult& all = gather_scratch_;
   std::int64_t best = value;
   for (std::size_t r = 0; r < all.values.size(); ++r)
     if (all.alive[r]) best = std::max(best, all.values[r]);
@@ -73,6 +85,10 @@ std::vector<std::int64_t> Comm::allgather(std::int64_t value) {
 
 GatherResult Comm::allgather_checked(std::int64_t value) {
   return world_->gather_all(rank_, value);
+}
+
+void Comm::allgather_checked(std::int64_t value, GatherResult& out) {
+  world_->gather_all_into(rank_, value, out);
 }
 
 void Comm::tick() {
@@ -371,12 +387,12 @@ bool matches(const MpMessage& msg, int source, int tag) {
          (tag < 0 || msg.tag == tag);
 }
 
-template <typename Deque>
-std::optional<MpMessage> take_match(Deque& messages, int source, int tag) {
-  for (auto it = messages.begin(); it != messages.end(); ++it) {
-    if (matches(*it, source, tag)) {
-      MpMessage out = std::move(*it);
-      messages.erase(it);
+std::optional<MpMessage> take_match(RingQueue<MpMessage>& messages,
+                                    int source, int tag) {
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    if (matches(messages[i], source, tag)) {
+      std::optional<MpMessage> out = std::move(messages[i]);
+      messages.erase(i);
       return out;
     }
   }
@@ -398,7 +414,8 @@ MpMessage World::wait_recv(int rank, int source, int tag) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
   std::unique_lock<std::mutex> lock(box.mutex);
   while (true) {
-    if (auto out = take_match(box.messages, source, tag)) return *out;
+    if (auto out = take_match(box.messages, source, tag))
+      return std::move(*out);
     DLB_ENSURE(can_still_arrive(rank, source),
                "recv would block forever: source terminated or crashed "
                "with no matching message queued");
@@ -469,6 +486,12 @@ void World::maybe_complete_round_locked() {
 }
 
 GatherResult World::gather_all(int rank, std::int64_t value) {
+  GatherResult result;
+  gather_all_into(rank, value, result);
+  return result;
+}
+
+void World::gather_all_into(int rank, std::int64_t value, GatherResult& out) {
   CollectiveState& c = collective_;
   std::unique_lock<std::mutex> lock(c.mutex);
   const auto mismatched_peer = [&] {
@@ -498,12 +521,12 @@ GatherResult World::gather_all(int rank, std::int64_t value) {
                "(this used to deadlock)");
     c.cv.wait(lock);
   }
-  GatherResult result;
-  result.values = c.snapshot;
-  result.alive = c.alive_snapshot;
-  result.degraded = c.degraded_snapshot;
+  // Copy-assign into the caller's buffers: same world size every round,
+  // so after the first round this reuses their capacity.
+  out.values = c.snapshot;
+  out.alive = c.alive_snapshot;
+  out.degraded = c.degraded_snapshot;
   if (--c.departing == 0) c.cv.notify_all();
-  return result;
 }
 
 }  // namespace dlb

@@ -48,8 +48,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <initializer_list>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -57,15 +57,19 @@
 
 #include "core/checkpoint.hpp"
 #include "mp/fault.hpp"
+#include "mp/payload.hpp"
 #include "obs/metrics.hpp"
+#include "support/ring_queue.hpp"
 
 namespace dlb {
 
-/// A point-to-point message: a small vector of 64-bit words.
+/// A point-to-point message: a few 64-bit words, stored inline (pooled
+/// spill beyond MpPayload::kInlineWords — see mp/payload.hpp).  Exactly
+/// one cache line, so mailbox slots recycle without touching the heap.
 struct MpMessage {
   int source = -1;
   int tag = 0;
-  std::vector<std::int64_t> payload;
+  MpPayload payload;
 };
 
 /// Control-flow signal thrown by Comm::tick() when the fault plan kills
@@ -97,8 +101,14 @@ class Comm {
   int rank() const { return rank_; }
   int size() const;
 
-  /// Sends `payload` to `dest` with `tag`; never blocks (buffered).
-  void send(int dest, int tag, std::vector<std::int64_t> payload);
+  /// Sends `words` to `dest` with `tag`; never blocks (buffered).  The
+  /// payload is built in place — inline when it fits, else into a spill
+  /// buffer drawn from the world's recycling pool — so steady-state
+  /// sends never touch the allocator.
+  void send(int dest, int tag, std::initializer_list<std::int64_t> words);
+  /// Same, from an array (for payloads whose width is only known at
+  /// runtime).
+  void send(int dest, int tag, const std::int64_t* words, std::size_t count);
 
   /// Receives the oldest matching message; blocks until one arrives.
   /// source == -1 matches any source; tag == -1 matches any tag.
@@ -136,6 +146,10 @@ class Comm {
   std::vector<std::int64_t> allgather(std::int64_t value);
   /// Crash-aware allgather: values plus alive mask plus degraded flag.
   GatherResult allgather_checked(std::int64_t value);
+  /// Allocation-free variant for per-step loops: fills `out`, reusing
+  /// its capacity (the first round per `out` sizes it; later rounds are
+  /// pure copies).
+  void allgather_checked(std::int64_t value, GatherResult& out);
 
   /// Advances this rank's step clock; throws RankCrashed when the fault
   /// plan schedules this rank's death at the current step.
@@ -160,6 +174,9 @@ class Comm {
   World* world_;
   int rank_;
   std::uint32_t step_ = 0;
+  // Collective scratch: barrier/broadcast/allreduce land each round's
+  // snapshot here instead of a fresh GatherResult (warm after round 1).
+  GatherResult gather_scratch_;
 };
 
 /// The SPMD "machine": owns the mailboxes and collective state.
@@ -189,6 +206,10 @@ class World {
   /// launch is running.  May be null (detach); not owned.
   void attach_metrics(obs::MetricsRegistry* registry);
 
+  /// Spill-buffer recycling pool for oversized payloads (tests observe
+  /// reuse through its stats; see mp/payload.hpp).
+  const PayloadPool& payload_pool() const { return payload_pool_; }
+
   /// Fault accounting of the most recent launch().
   FaultStats fault_stats() const;
   /// Crash journal of the most recent launch() (valid after it returns).
@@ -204,7 +225,7 @@ class World {
   struct Mailbox {
     std::mutex mutex;
     std::condition_variable cv;
-    std::deque<MpMessage> messages;
+    RingQueue<MpMessage> messages;
   };
 
   struct CollectiveState {
@@ -234,6 +255,7 @@ class World {
   std::optional<MpMessage> timed_recv(int rank, int source, int tag,
                                       std::chrono::milliseconds timeout);
   GatherResult gather_all(int rank, std::int64_t value);
+  void gather_all_into(int rank, std::int64_t value, GatherResult& out);
 
   void arm_launch();
   void mark_dead(int rank, std::uint32_t step);
@@ -248,6 +270,7 @@ class World {
   int size_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   CollectiveState collective_;
+  PayloadPool payload_pool_;  // spill-buffer recycling for all ranks
 
   FaultPlan plan_;
   bool faults_armed_ = false;

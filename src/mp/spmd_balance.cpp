@@ -9,25 +9,29 @@ namespace dlb {
 
 namespace {
 
-/// Draws up to `want` distinct live partners for `initiator`, uniformly
-/// over the survivors, by rejection from the full rank range.  Every
-/// rank runs this with the same RNG stream and the same alive mask, so
-/// the draw is replicated without coordination.
-std::vector<int> draw_live_partners(Rng& decisions, int n, int initiator,
-                                    std::uint32_t want,
-                                    const std::vector<std::uint8_t>& alive,
-                                    int live_count) {
-  std::vector<int> partners;
+/// Draws up to `want` distinct live partners for `initiator` into
+/// `partners` (cleared first), uniformly over the survivors, by
+/// rejection from the full rank range.  Every rank runs this with the
+/// same RNG stream and the same alive mask, so the draw is replicated
+/// without coordination.  `draw_scratch` is reused caller scratch.
+void draw_live_partners(std::vector<int>& partners,
+                        std::vector<std::uint32_t>& draw_scratch,
+                        Rng& decisions, int n, int initiator,
+                        std::uint32_t want,
+                        const std::vector<std::uint8_t>& alive,
+                        int live_count) {
+  partners.clear();
   const std::uint32_t k =
       std::min<std::uint32_t>(want, static_cast<std::uint32_t>(
                                         std::max(0, live_count - 1)));
   if (live_count == n) {
     // Healthy machine: draw exactly as the fault-free implementation
     // always did, so fault-free runs replay bit-identically.
-    const auto drawn = decisions.sample_distinct(
-        static_cast<std::uint32_t>(n), k, static_cast<std::uint32_t>(initiator));
-    partners.assign(drawn.begin(), drawn.end());
-    return partners;
+    decisions.sample_distinct_into(draw_scratch,
+                                   static_cast<std::uint32_t>(n), k,
+                                   static_cast<std::uint32_t>(initiator));
+    partners.assign(draw_scratch.begin(), draw_scratch.end());
+    return;
   }
   partners.reserve(k);
   while (partners.size() < k) {
@@ -38,7 +42,6 @@ std::vector<int> draw_live_partners(Rng& decisions, int n, int initiator,
       continue;
     partners.push_back(v);
   }
-  return partners;
 }
 
 }  // namespace
@@ -70,6 +73,23 @@ SpmdReport run_spmd_balancer(World& world, const Trace& trace,
     // so no coordination messages are needed to agree on partners.
     Rng decisions(params.decision_seed);
 
+    // Per-step working sets, hoisted so the steady-state loop reuses
+    // their capacity instead of allocating per step/operation.
+    struct Flow {
+      int giver;
+      int taker;
+      std::int64_t amount;
+      int tag;
+    };
+    GatherResult triggers;
+    GatherResult loads;
+    std::vector<Flow> flows;
+    std::vector<int> partners;
+    std::vector<std::uint32_t> draw_scratch;
+    std::vector<int> group;
+    std::vector<std::int64_t> share;
+    std::vector<std::int64_t> delta_v;
+
     for (std::uint32_t t = 0; t < steps; ++t) {
       comm.tick();  // throws RankCrashed at the scheduled death step
       const WorkEvent ev = trace.at(meu, t);
@@ -89,9 +109,8 @@ SpmdReport run_spmd_balancer(World& world, const Trace& trace,
       const bool shrank = load < l_old && l_old >= 1 &&
                           static_cast<double>(load) <=
                               static_cast<double>(l_old) / params.f;
-      const GatherResult triggers =
-          comm.allgather_checked(grew || shrank ? 1 : 0);
-      GatherResult loads = comm.allgather_checked(load);
+      comm.allgather_checked(grew || shrank ? 1 : 0, triggers);
+      comm.allgather_checked(load, loads);
       // Ranks die only at their tick, so both step-t collectives carry
       // the same alive mask and the replicated decisions below consume
       // the decision stream identically on every survivor.
@@ -108,13 +127,7 @@ SpmdReport run_spmd_balancer(World& world, const Trace& trace,
       // packet could stall a sender for the full timeout and push its
       // own outgoing packet into a photo-finish with the downstream
       // receiver's deadline, forking otherwise-deterministic runs.
-      struct Flow {
-        int giver;
-        int taker;
-        std::int64_t amount;
-        int tag;
-      };
-      std::vector<Flow> flows;
+      flows.clear();
       bool participated = false;
       for (int initiator = 0; initiator < n; ++initiator) {
         if (!alive[static_cast<std::size_t>(initiator)]) continue;
@@ -122,10 +135,11 @@ SpmdReport run_spmd_balancer(World& world, const Trace& trace,
         // All survivors draw the same partners from the replicated RNG,
         // uniformly over the live ranks (the paper's uniform-choice
         // model, restricted to survivors).
-        const std::vector<int> partners = draw_live_partners(
-            decisions, n, initiator, params.delta, alive, live);
+        draw_live_partners(partners, draw_scratch, decisions, n, initiator,
+                           params.delta, alive, live);
         if (partners.empty()) continue;
-        std::vector<int> group{initiator};
+        group.clear();
+        group.push_back(initiator);
         group.insert(group.end(), partners.begin(), partners.end());
         std::int64_t pool = 0;
         for (int g : group) pool += loads.values[static_cast<std::size_t>(g)];
@@ -136,13 +150,13 @@ SpmdReport run_spmd_balancer(World& world, const Trace& trace,
         // RNG keeps the remainder fair).
         const std::size_t start =
             static_cast<std::size_t>(decisions.below(group.size()));
-        std::vector<std::int64_t> share(group.size(), base);
+        share.assign(group.size(), base);
         for (std::int64_t k = 0; k < rem; ++k)
           share[(start + static_cast<std::size_t>(k)) % group.size()] += 1;
         // Surplus members ship packets to deficit members (every rank
         // computes the same flow plan, but only the endpoints act on
         // it).  The plan is recorded here and executed below.
-        std::vector<std::int64_t> delta_v(group.size());
+        delta_v.assign(group.size(), 0);
         for (std::size_t i = 0; i < group.size(); ++i)
           delta_v[i] =
               share[i] - loads.values[static_cast<std::size_t>(group[i])];

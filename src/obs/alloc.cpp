@@ -1,0 +1,128 @@
+// Counting replacements for the replaceable global allocation functions
+// ([new.delete] — plain, array, nothrow, sized, and aligned forms), plus
+// the publish helper.  See alloc.hpp for the contract.
+//
+// The replacements forward to malloc/posix_memalign/free and bump two
+// thread-local counters on every successful allocation.  The counters
+// are constinit trivially-initializable integers, so touching them from
+// inside operator new is safe even during thread start-up and static
+// initialization (no dynamic TLS constructor, no recursion into new).
+
+#include "obs/alloc.hpp"
+
+#include <cstdlib>
+#include <new>
+#include <string>
+
+namespace {
+
+struct ThreadCounters {
+  std::uint64_t count;
+  std::uint64_t bytes;
+};
+
+constinit thread_local ThreadCounters tls_counters{0, 0};
+
+void* counted_alloc(std::size_t size) noexcept {
+  void* p = std::malloc(size ? size : 1);
+  if (p != nullptr) {
+    ++tls_counters.count;
+    tls_counters.bytes += size;
+  }
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) noexcept {
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size ? size : 1) != 0) return nullptr;
+  ++tls_counters.count;
+  tls_counters.bytes += size;
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace dlb::obs {
+
+AllocCounts alloc_counts() {
+  return {tls_counters.count, tls_counters.bytes};
+}
+
+void publish(MetricsRegistry& registry, const char* prefix,
+             const AllocTally& tally) {
+  const std::string p(prefix);
+  registry.counter(p + ".alloc.count").add(tally.count);
+  registry.counter(p + ".alloc.bytes").add(tally.bytes);
+  registry.counter(p + ".alloc.dirty_steps").add(tally.dirty_steps);
+  registry.gauge(p + ".alloc.warmup_end_step")
+      .set(tally.last_dirty_step + 1);
+}
+
+}  // namespace dlb::obs

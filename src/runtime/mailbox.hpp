@@ -4,15 +4,20 @@
 // a condition variable; try_recv() polls.  close() wakes all blocked
 // receivers (used only for teardown on error paths — normal shutdown goes
 // through a Shutdown message so no event is ever lost).
+//
+// The queue is a RingQueue, not a std::deque: once the mailbox has seen
+// its high-water depth, send/recv/drain_into reuse the same buffer
+// forever (zero-allocation steady state, DESIGN.md §11).
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <mutex>
 #include <optional>
 #include <vector>
+
+#include "support/ring_queue.hpp"
 
 namespace dlb {
 
@@ -33,17 +38,13 @@ class Mailbox {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
     if (queue_.empty()) return std::nullopt;
-    T out = std::move(queue_.front());
-    queue_.pop_front();
-    return out;
+    return queue_.pop_front();
   }
 
   std::optional<T> try_recv() {
     std::lock_guard<std::mutex> lock(mutex_);
     if (queue_.empty()) return std::nullopt;
-    T out = std::move(queue_.front());
-    queue_.pop_front();
-    return out;
+    return queue_.pop_front();
   }
 
   /// Batch receive: moves every queued message into `out` (appended in
@@ -54,7 +55,8 @@ class Mailbox {
   std::size_t drain_into(std::vector<T>& out) {
     std::lock_guard<std::mutex> lock(mutex_);
     const std::size_t drained = queue_.size();
-    for (T& message : queue_) out.push_back(std::move(message));
+    for (std::size_t i = 0; i < drained; ++i)
+      out.push_back(std::move(queue_[i]));
     queue_.clear();
     return drained;
   }
@@ -68,9 +70,15 @@ class Mailbox {
                       [&] { return !queue_.empty() || closed_; }))
       return std::nullopt;
     if (queue_.empty()) return std::nullopt;
-    T out = std::move(queue_.front());
-    queue_.pop_front();
-    return out;
+    return queue_.pop_front();
+  }
+
+  /// Pre-sizes the ring so traffic up to `depth` queued messages never
+  /// grows the buffer — lets the owner pay the warmup at setup instead
+  /// of at the first in-flight high-water mark mid-run.
+  void reserve(std::size_t depth) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.reserve(depth);
   }
 
   void close() {
@@ -89,7 +97,7 @@ class Mailbox {
  private:
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<T> queue_;
+  RingQueue<T> queue_;
   bool closed_ = false;
 };
 

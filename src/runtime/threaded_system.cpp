@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/alloc.hpp"
 #include "obs/timer.hpp"
 #include "support/check.hpp"
 
@@ -17,6 +18,14 @@ class ThreadedSystem::Worker {
   Worker(std::uint32_t id, ThreadedSystem& owner, const Trace& trace,
          std::uint64_t seed)
       : id_(id), owner_(owner), trace_(trace), rng_(seed) {
+    // Warm the transaction scratch to its bounds up front: a partner
+    // count below delta early on must not leave a short vector that
+    // reallocates the first time every partner accepts late in a run.
+    partners_.reserve(owner_.config_.delta);
+    accepted_.reserve(owner_.config_.delta);
+    partner_loads_.reserve(owner_.config_.delta);
+    replied_.reserve(owner_.config_.delta);
+    drain_buf_.reserve(2 * static_cast<std::size_t>(owner_.processors_));
     if (owner_.faults_on_) {
       links_.resize(owner_.processors_);
       held_.resize(owner_.processors_);
@@ -32,6 +41,9 @@ class ThreadedSystem::Worker {
         owner_.faults_on_
             ? owner_.config_.faults.crash_step(static_cast<int>(id_))
             : -1;
+    const bool track_allocs = owner_.metrics_ != nullptr;
+    obs::AllocPhase alloc_phase;
+    if (track_allocs) alloc_phase.rebase();
     for (std::uint32_t t = 0; t < trace_.horizon(); ++t) {
       if (crash_at >= 0 && crash_at == static_cast<std::int64_t>(t)) {
         die();
@@ -58,6 +70,8 @@ class ThreadedSystem::Worker {
         owner_.journal_.observe(
             id_, t, load_, static_cast<std::int64_t>(stats_.generated),
             static_cast<std::int64_t>(stats_.consumed));
+      if (track_allocs)
+        alloc_.note(static_cast<std::int64_t>(t), alloc_phase.take());
     }
     // Finished our own demand: release delayed in-flight messages, then
     // keep serving transactions from slower threads until everyone is
@@ -65,10 +79,16 @@ class ThreadedSystem::Worker {
     flush_held();
     owner_.done_count_.fetch_add(1, std::memory_order_acq_rel);
     serve_until_shutdown();
+    // Transactions served while idling are steady-state work too;
+    // account them against the final step so nothing hides post-loop.
+    if (track_allocs && trace_.horizon() > 0)
+      alloc_.note(static_cast<std::int64_t>(trace_.horizon()) - 1,
+                  alloc_phase.take());
   }
 
   std::int64_t final_load() const { return load_; }
   const ThreadedStats& stats() const { return stats_; }
+  const obs::AllocTally& alloc_tally() const { return alloc_; }
 
  private:
   using Message = ThreadedSystem::Message;
@@ -330,29 +350,32 @@ class ThreadedSystem::Worker {
     initiate_balance();
   }
 
-  /// Partner draw.  Fault-free: the historical uniform draw over all
-  /// other processors.  With faults: dead processors are blacklisted
-  /// and the draw is redone uniformly over the survivors, preserving
-  /// the uniform-choice model restricted to live processors.
-  std::vector<std::uint32_t> draw_partners() {
-    if (!owner_.faults_on_)
-      return rng_.sample_distinct(owner_.processors_, owner_.config_.delta,
-                                  id_);
+  /// Partner draw into the warm partners_ scratch.  Fault-free: the
+  /// historical uniform draw over all other processors.  With faults:
+  /// dead processors are blacklisted and the draw is redone uniformly
+  /// over the survivors, preserving the uniform-choice model restricted
+  /// to live processors.
+  void draw_partners() {
+    if (!owner_.faults_on_) {
+      rng_.sample_distinct_into(partners_, owner_.processors_,
+                                owner_.config_.delta, id_);
+      return;
+    }
     std::uint32_t live_others = 0;
     for (std::uint32_t p = 0; p < owner_.processors_; ++p)
       if (p != id_ && !is_dead(p)) ++live_others;
     const std::uint32_t k = std::min(owner_.config_.delta, live_others);
-    std::vector<std::uint32_t> partners;
-    partners.reserve(k);
-    while (partners.size() < k) {
+    partners_.clear();
+    partners_.reserve(k);
+    while (partners_.size() < k) {
       const auto v = static_cast<std::uint32_t>(
           rng_.below(owner_.processors_));
       if (v == id_ || is_dead(v)) continue;
-      if (std::find(partners.begin(), partners.end(), v) != partners.end())
+      if (std::find(partners_.begin(), partners_.end(), v) !=
+          partners_.end())
         continue;
-      partners.push_back(v);
+      partners_.push_back(v);
     }
-    return partners;
   }
 
   void initiate_balance() {
@@ -362,18 +385,24 @@ class ThreadedSystem::Worker {
     // threaded.txn_ns when metrics are attached.
     const obs::ScopedTimer txn_span(owner_.txn_hist_, tracer(),
                                     "balance_txn", "txn", id_, txn);
-    const auto partners = draw_partners();
-    if (partners.empty()) {
+    draw_partners();
+    if (partners_.empty()) {
       l_old_ = load_;
       return;
     }
-    for (std::uint32_t q : partners)
+    for (std::uint32_t q : partners_)
       send(q, Message{Message::Type::Invite, 0, txn, 0});
 
-    std::vector<std::uint32_t> accepted;
-    std::vector<std::int64_t> partner_loads;
-    std::vector<std::uint32_t> replied;
-    std::size_t pending = partners.size();
+    // Transaction scratch: member buffers, warm across operations (one
+    // transaction at a time per worker — invites arriving mid-wait are
+    // refused, never served, so these never see nested use).
+    std::vector<std::uint32_t>& accepted = accepted_;
+    std::vector<std::int64_t>& partner_loads = partner_loads_;
+    std::vector<std::uint32_t>& replied = replied_;
+    accepted.clear();
+    partner_loads.clear();
+    replied.clear();
+    std::size_t pending = partners_.size();
     while (pending > 0) {
       auto msg = buffered_message();
       if (!msg.has_value())
@@ -484,6 +513,13 @@ class ThreadedSystem::Worker {
   // plus the consumption cursor (see buffered_message()).
   std::vector<Message> drain_buf_;
   std::size_t drain_pos_ = 0;
+  // Transaction scratch (see initiate_balance) and the step loop's
+  // allocation tally.
+  std::vector<std::uint32_t> partners_;
+  std::vector<std::uint32_t> accepted_;
+  std::vector<std::int64_t> partner_loads_;
+  std::vector<std::uint32_t> replied_;
+  obs::AllocTally alloc_;
   // Fault-mode state (untouched in fault-free runs).
   std::vector<LinkFaultState> links_;
   std::vector<std::optional<Message>> held_;
@@ -508,8 +544,13 @@ ThreadedSystem::ThreadedSystem(std::uint32_t processors,
                 "crash rank out of range");
   faults_on_ = config_.faults.enabled();
   mailboxes_.reserve(processors_);
-  for (std::uint32_t p = 0; p < processors_; ++p)
+  for (std::uint32_t p = 0; p < processors_; ++p) {
     mailboxes_.push_back(std::make_unique<Mailbox<Message>>());
+    // Warm the ring past any realistic in-flight depth (each peer keeps
+    // at most one transaction open: one Invite plus one Assign toward
+    // us, plus our own replies) so steady-state traffic never grows it.
+    mailboxes_.back()->reserve(2 * static_cast<std::size_t>(processors_));
+  }
   dead_ = std::make_unique<std::atomic<std::uint8_t>[]>(processors_);
 }
 
@@ -599,6 +640,9 @@ void ThreadedSystem::run(const Trace& trace) {
         .add(stats_.lost_packets);
     metrics_->counter("threaded.fault.ranks_dead").add(stats_.ranks_dead);
     metrics_->gauge("threaded.lost_load").add(stats_.lost_load);
+    obs::AllocTally alloc;
+    for (const auto& worker : workers) alloc.merge(worker->alloc_tally());
+    obs::publish(*metrics_, "threaded", alloc);
   }
 }
 

@@ -84,6 +84,14 @@ Rng Rng::from_state(const std::array<std::uint64_t, 4>& state) {
 std::vector<std::uint32_t> Rng::sample_distinct(std::uint32_t n,
                                                 std::uint32_t k,
                                                 std::uint32_t exclude) {
+  std::vector<std::uint32_t> out;
+  sample_distinct_into(out, n, k, exclude);
+  return out;
+}
+
+void Rng::sample_distinct_into(std::vector<std::uint32_t>& out,
+                               std::uint32_t n, std::uint32_t k,
+                               std::uint32_t exclude) {
   const std::uint32_t avail = (exclude < n) ? n - 1 : n;
   DLB_REQUIRE(k <= avail, "sample_distinct: not enough values to sample");
   // Sample from a conceptual array of the available values: if `exclude`
@@ -92,7 +100,7 @@ std::vector<std::uint32_t> Rng::sample_distinct(std::uint32_t n,
     auto value = static_cast<std::uint32_t>(v);
     return (exclude < n && value >= exclude) ? value + 1 : value;
   };
-  std::vector<std::uint32_t> out;
+  out.clear();
   out.reserve(k);
   // Floyd's algorithm over the remapped universe of size `avail`.
   for (std::uint32_t j = avail - k; j < avail; ++j) {
@@ -106,7 +114,6 @@ std::vector<std::uint32_t> Rng::sample_distinct(std::uint32_t n,
     }
     out.push_back(seen ? remap(j) : t);
   }
-  return out;
 }
 
 }  // namespace dlb

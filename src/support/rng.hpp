@@ -82,6 +82,12 @@ class Rng {
   std::vector<std::uint32_t> sample_distinct(std::uint32_t n, std::uint32_t k,
                                              std::uint32_t exclude);
 
+  /// sample_distinct into a caller-owned buffer (cleared first): same
+  /// draws, same order, but hot loops reuse `out`'s capacity instead of
+  /// allocating a fresh vector per call.
+  void sample_distinct_into(std::vector<std::uint32_t>& out, std::uint32_t n,
+                            std::uint32_t k, std::uint32_t exclude);
+
   /// Fisher–Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& v) {

@@ -1,0 +1,124 @@
+#include "obs/alloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace dlb::obs {
+namespace {
+
+TEST(AllocCounting, CountsAKnownAllocationScript) {
+  // Three vector reserves of known sizes: exactly three operator-new
+  // calls of exactly the requested byte counts (int64 has no array
+  // cookie and libstdc++ allocates precisely what reserve asks for).
+  AllocPhase phase;
+  phase.rebase();
+  std::vector<std::int64_t> a;
+  a.reserve(8);
+  std::vector<std::int64_t> b;
+  b.reserve(32);
+  std::vector<std::int64_t> c;
+  c.reserve(100);
+  const AllocCounts delta = phase.delta();
+  EXPECT_EQ(delta.count, 3u);
+  EXPECT_EQ(delta.bytes, (8u + 32u + 100u) * sizeof(std::int64_t));
+}
+
+TEST(AllocCounting, QuietSpansReportZero) {
+  std::vector<std::int64_t> warm;
+  warm.reserve(64);
+  AllocPhase phase;
+  phase.rebase();
+  for (int i = 0; i < 64; ++i) warm.push_back(i);  // within capacity
+  warm.clear();
+  const AllocCounts delta = phase.delta();
+  EXPECT_EQ(delta.count, 0u);
+  EXPECT_EQ(delta.bytes, 0u);
+}
+
+TEST(AllocCounting, TakeSamplesAndRebases) {
+  AllocPhase phase;
+  phase.rebase();
+  std::vector<std::int64_t> v;
+  v.reserve(16);
+  EXPECT_EQ(phase.take().count, 1u);
+  // take() rebased: the same allocation is not reported twice.
+  EXPECT_EQ(phase.take().count, 0u);
+}
+
+TEST(AllocCounting, CountersAreThreadLocal) {
+  // A worker thread sampling around its own allocation sees exactly
+  // that allocation — never the spawning thread's activity.
+  AllocCounts worker_delta{};
+  std::thread worker([&worker_delta] {
+    AllocPhase phase;
+    phase.rebase();
+    std::vector<std::int64_t> v;
+    v.reserve(16);
+    worker_delta = phase.delta();
+  });
+  worker.join();
+  EXPECT_EQ(worker_delta.count, 1u);
+  EXPECT_EQ(worker_delta.bytes, 16u * sizeof(std::int64_t));
+}
+
+TEST(AllocTallyTest, TracksDirtyStepsAndWarmupEnd) {
+  AllocTally tally;
+  EXPECT_EQ(tally.last_dirty_step, -1);
+  tally.note(0, AllocCounts{2, 64});
+  tally.note(1, AllocCounts{0, 0});  // clean step: ignored
+  tally.note(2, AllocCounts{1, 32});
+  tally.note(3, AllocCounts{0, 0});
+  EXPECT_EQ(tally.count, 3u);
+  EXPECT_EQ(tally.bytes, 96u);
+  EXPECT_EQ(tally.dirty_steps, 2u);
+  EXPECT_EQ(tally.last_dirty_step, 2);
+}
+
+TEST(AllocTallyTest, MergeCombinesWorkerTallies) {
+  AllocTally a;
+  a.note(5, AllocCounts{1, 8});
+  AllocTally b;
+  b.note(9, AllocCounts{4, 128});
+  a.merge(b);
+  EXPECT_EQ(a.count, 5u);
+  EXPECT_EQ(a.bytes, 136u);
+  EXPECT_EQ(a.dirty_steps, 2u);
+  EXPECT_EQ(a.last_dirty_step, 9);
+}
+
+TEST(AllocPublish, ExportsCountersAndWarmupGauge) {
+  MetricsRegistry registry;
+  AllocTally tally;
+  tally.note(7, AllocCounts{3, 256});
+  publish(registry, "engine", tally);
+  const MetricsSnapshot snap = registry.snapshot();
+  const MetricValue* count = snap.find("engine.alloc.count");
+  const MetricValue* bytes = snap.find("engine.alloc.bytes");
+  const MetricValue* dirty = snap.find("engine.alloc.dirty_steps");
+  const MetricValue* warmup = snap.find("engine.alloc.warmup_end_step");
+  ASSERT_NE(count, nullptr);
+  ASSERT_NE(bytes, nullptr);
+  ASSERT_NE(dirty, nullptr);
+  ASSERT_NE(warmup, nullptr);
+  EXPECT_EQ(count->value, 3);
+  EXPECT_EQ(bytes->value, 256);
+  EXPECT_EQ(dirty->value, 1);
+  EXPECT_EQ(warmup->value, 8);  // last dirty step + 1
+}
+
+TEST(AllocPublish, CleanTallyReportsWarmupZero) {
+  MetricsRegistry registry;
+  publish(registry, "engine", AllocTally{});
+  const MetricsSnapshot snap = registry.snapshot();
+  const MetricValue* warmup = snap.find("engine.alloc.warmup_end_step");
+  ASSERT_NE(warmup, nullptr);
+  EXPECT_EQ(warmup->value, 0);  // no instrumented phase ever allocated
+}
+
+}  // namespace
+}  // namespace dlb::obs

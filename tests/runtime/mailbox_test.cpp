@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/alloc.hpp"
+
 namespace dlb {
 namespace {
 
@@ -186,6 +188,30 @@ TEST(Mailbox, DrainIntoMatchesRecvSemanticsUnderConcurrency) {
   }
   for (std::thread& t : producers) t.join();
   EXPECT_TRUE(box.empty());
+}
+
+// The reason the queue is a RingQueue: once the mailbox has seen its
+// high-water depth, further send/recv/drain cycles reuse the same
+// buffer and never touch the allocator — even when the ring's head
+// wraps around the backing storage many times over.
+TEST(Mailbox, SteadyStateTrafficDoesNotAllocate) {
+  Mailbox<std::uint64_t> box;
+  std::vector<std::uint64_t> batch;
+  batch.reserve(32);
+  for (std::uint64_t i = 0; i < 32; ++i) box.send(i);  // set the high water
+  box.drain_into(batch);
+  obs::AllocPhase phase;
+  phase.rebase();
+  std::uint64_t next = 32;
+  for (int round = 0; round < 200; ++round) {
+    for (std::uint64_t i = 0; i < 20; ++i) box.send(next + i);
+    next += 20;
+    for (int i = 0; i < 10; ++i) box.try_recv();
+    batch.clear();
+    box.drain_into(batch);
+    EXPECT_EQ(batch.size(), 10u);
+  }
+  EXPECT_EQ(phase.delta().count, 0u);
 }
 
 }  // namespace

@@ -9,7 +9,10 @@
 # stay free when detached; the "async_step" rows time the barrier-free
 # run_async engine the same way, so regressions in the epoch-fenced
 # drain path fail here too), and compares every metric against the
-# committed baseline BENCH_core.json at the repository root.
+# committed baseline BENCH_core.json at the repository root.  The sweep
+# also re-runs each engine with the counting allocation hook attached
+# and gates allocs_per_step == 0: the zero-allocation steady state
+# (DESIGN.md §11) is a hard invariant, not a tolerance-checked timing.
 #
 # The comparison is common-mode normalized: on a shared/virtualized box
 # the whole benchmark drifts ±20-30% run to run, and all metrics drift
@@ -83,6 +86,27 @@ for row in fresh["results"]:
 
 if not ratios:
     print("perf_check: no comparable metrics found", file=sys.stderr)
+    sys.exit(1)
+
+# Zero-allocation steady-state gate (DESIGN.md §11): the sparse-sweep
+# rows carry allocs_per_step columns measured with the counting
+# operator-new hook — 0.0 means the engine's allocator went quiet within
+# the first half of the horizon.  Unlike the timing gate this is exact
+# (allocation counts do not drift with machine load), so any nonzero
+# value is a hard failure.
+alloc_failures = []
+for row in fresh["results"]:
+    if row.get("workload") not in ("sparse_step", "async_step"):
+        continue
+    for m, v in row.items():
+        if m.endswith("allocs_per_step"):
+            status = "FAIL" if v != 0 else "ok"
+            print(f"  [{status:>4}] {row['workload']}/n={row['n']} {m}: {v}")
+            if v != 0:
+                alloc_failures.append((key(row), m, v))
+if alloc_failures:
+    print(f"perf_check: {len(alloc_failures)} engine(s) allocate in the "
+          "steady state (allocs_per_step != 0)", file=sys.stderr)
     sys.exit(1)
 
 machine = statistics.median(r for _, _, r in ratios.values())
