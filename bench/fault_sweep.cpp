@@ -24,6 +24,7 @@
 
 #include "bench_common.hpp"
 #include "mp/spmd_balance.hpp"
+#include "mp/spmd_socket.hpp"
 #include "workload/trace.hpp"
 
 using namespace dlb;
@@ -35,14 +36,24 @@ int main(int argc, char** argv) {
       .add_int("ckpt", 10, "journal checkpoint interval (steps)")
       .add_int("timeout-ms", 25, "per-transfer receive deadline")
       .add_int("seed", 1993, "fault-plan seed")
+      .add_string("transport", "local",
+                  "rank wiring: local (threads) or socket (forked "
+                  "processes over Unix-domain sockets; --kill cells are "
+                  "then real SIGKILLs)")
       .add_string("csv_dir", "", "also write the table as CSV into this "
                                  "directory");
   if (!opts.parse(argc, argv)) return 1;
-  const int n = opts.get_int("ranks");
+  const int n = static_cast<int>(opts.get_int("ranks"));
   const auto steps = static_cast<std::uint32_t>(opts.get_int("steps"));
+  const bool socket = opts.get_string("transport") == "socket";
+  if (!socket && opts.get_string("transport") != "local") {
+    std::cerr << "--transport must be local or socket\n";
+    return 1;
+  }
 
   bench::print_header(
-      "fault sweep (drop rate x crash)",
+      socket ? "fault sweep (drop rate x crash), socket transport"
+             : "fault sweep (drop rate x crash)",
       "robustness extension: conservation modulo declared loss under "
       "unreliable links and processor crashes");
 
@@ -70,9 +81,18 @@ int main(int argc, char** argv) {
           static_cast<std::uint32_t>(opts.get_int("ckpt"));
       if (with_crash) plan.kill(n / 2, steps / 2);
 
-      World world(n);
-      world.set_fault_plan(plan);
-      const SpmdReport report = run_spmd_balancer(world, trace, params);
+      SpmdReport report;
+      if (socket) {
+        SocketRunOptions sock;
+        sock.ranks = n;
+        sock.params = params;
+        sock.plan = plan;
+        report = run_spmd_balancer_socket(trace, sock).report;
+      } else {
+        World world(n);
+        world.set_fault_plan(plan);
+        report = run_spmd_balancer(world, trace, params);
+      }
       all_conserved = all_conserved && report.conserved;
 
       table.row()

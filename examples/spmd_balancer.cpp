@@ -8,13 +8,21 @@
 // injected deterministically and the report shows conservation modulo
 // declared loss (see mp/fault.hpp and DESIGN.md §7).
 //
+// With --transport=socket the ranks are real forked processes wired by
+// Unix-domain sockets (mp/spmd_socket.hpp): a --kill there is a real
+// SIGKILL observed by peers through the failure detector, and --restart
+// re-forks the dead rank to replay its on-disk journal.
+//
 //   $ ./build/examples/spmd_balancer                       # fault-free
 //   $ ./build/examples/spmd_balancer --drop=0.1 --kill=3@200 --seed=7
+//   $ ./build/examples/spmd_balancer --transport=socket --ranks=4
+//         --drop=0.1 --kill=2@40 --restart   (one line)
 #include <cstdio>
 #include <iostream>
 #include <string>
 
 #include "mp/spmd_balance.hpp"
+#include "mp/spmd_socket.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 #include "workload/trace.hpp"
@@ -32,7 +40,11 @@ int main(int argc, char** argv) {
       .add_string("kill", "", "crash schedule, e.g. 3@200 (rank@step)")
       .add_int("seed", 7, "fault-plan seed")
       .add_int("ckpt", 25, "journal checkpoint interval (steps)")
-      .add_int("timeout-ms", 50, "p2p receive deadline (ms)");
+      .add_int("timeout-ms", 50, "p2p receive deadline (ms)")
+      .add_string("transport", "local",
+                  "rank wiring: local (threads) or socket (processes)")
+      .add_flag("tcp", "socket transport over TCP loopback, not UDS")
+      .add_flag("restart", "re-fork killed ranks to replay their journal");
   if (!cli.parse(argc, argv)) return 1;
 
   const int n = static_cast<int>(cli.get_int("ranks"));
@@ -71,9 +83,39 @@ int main(int argc, char** argv) {
   Rng trace_rng(32);
   const Trace trace = Trace::record(wl, trace_rng);
 
-  World world(n);
-  world.set_fault_plan(plan);
-  const SpmdReport report = run_spmd_balancer(world, trace, params);
+  const std::string transport = cli.get_string("transport");
+  if (transport != "local" && transport != "socket") {
+    std::cerr << "--transport must be local or socket\n";
+    return 1;
+  }
+
+  SpmdReport report;
+  if (transport == "socket") {
+    SocketRunOptions opts;
+    opts.ranks = n;
+    opts.tcp = cli.get_flag("tcp");
+    opts.params = params;
+    opts.plan = plan;
+    opts.restart_dead = cli.get_flag("restart");
+    const SocketRunResult run = run_spmd_balancer_socket(trace, opts);
+    report = run.report;
+    for (int r = 0; r < n; ++r) {
+      if (run.killed[static_cast<std::size_t>(r)])
+        std::printf("rank %d killed by signal %d%s\n", r,
+                    -run.exit_codes[static_cast<std::size_t>(r)],
+                    run.restarted[static_cast<std::size_t>(r)]
+                        ? "" : " (not restarted)");
+      if (run.restarted[static_cast<std::size_t>(r)])
+        std::printf("rank %d restarted: journal replay recovered load "
+                    "%lld\n", r,
+                    static_cast<long long>(
+                        run.recovered_loads[static_cast<std::size_t>(r)]));
+    }
+  } else {
+    World world(n);
+    world.set_fault_plan(plan);
+    report = run_spmd_balancer(world, trace, params);
+  }
 
   TextTable table({"metric", "value"});
   const auto row = [&](const char* name, long long value) {

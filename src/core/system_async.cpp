@@ -65,6 +65,7 @@
 #include "obs/alloc.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "support/backoff.hpp"
 #include "support/check.hpp"
 #include "support/ring_queue.hpp"
 #include "support/spsc_ring.hpp"
@@ -74,37 +75,9 @@ namespace dlb {
 
 namespace {
 
-inline void spin_pause() {
-#if defined(__x86_64__) || defined(__i386__)
-  __builtin_ia32_pause();
-#elif defined(__aarch64__)
-  asm volatile("yield");
-#else
-  std::this_thread::yield();
-#endif
-}
-
-// Two-phase waiter: a short pause burst for the multicore case (the
-// other shard is literally running), then OS yields.  The yield phase
-// is what keeps the engine functional on oversubscribed or single-core
-// hosts — a raw pause loop there burns the waiter's whole scheduler
-// quantum before the thread holding the token (or lock) ever runs.
-class Backoff {
- public:
-  void wait() {
-    if (spins_ < kSpins) {
-      ++spins_;
-      spin_pause();
-    } else {
-      std::this_thread::yield();
-    }
-  }
-  void reset() { spins_ = 0; }
-
- private:
-  static constexpr std::uint32_t kSpins = 64;
-  std::uint32_t spins_ = 0;
-};
+// The two-phase pause/yield waiter lives in support/backoff.hpp now
+// (shared with the socket transport's receive pump); this engine is its
+// original home and heaviest user.
 
 }  // namespace
 

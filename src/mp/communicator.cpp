@@ -5,6 +5,7 @@
 #include <string>
 #include <thread>
 
+#include "mp/fault_transport.hpp"
 #include "support/check.hpp"
 
 namespace dlb {
@@ -19,24 +20,21 @@ void Comm::send(int dest, int tag,
 void Comm::send(int dest, int tag, const std::int64_t* words,
                 std::size_t count) {
   DLB_REQUIRE(dest >= 0 && dest < world_->size(), "invalid destination");
-  MpMessage msg;
-  msg.source = rank_;
-  msg.tag = tag;
-  msg.payload.assign(words, count, &world_->payload_pool_);
-  world_->faulty_send(rank_, dest, std::move(msg));
+  transport_->send(dest, tag, words, count);
 }
 
 MpMessage Comm::recv(int source, int tag) {
-  return world_->wait_recv(rank_, source, tag);
+  return transport_->recv(source, tag);
 }
 
 std::optional<MpMessage> Comm::try_recv(int source, int tag) {
-  return world_->poll_recv(rank_, source, tag);
+  return transport_->try_recv(source, tag);
 }
 
 std::optional<MpMessage> Comm::recv_for(int source, int tag,
                                         std::chrono::milliseconds timeout) {
-  return world_->timed_recv(rank_, source, tag, timeout);
+  return transport_->recv_until(source, tag,
+                                std::chrono::steady_clock::now() + timeout);
 }
 
 void Comm::barrier() {
@@ -167,16 +165,6 @@ void World::arm_launch() {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_ = FaultStats{};
   }
-  links_.clear();
-  if (faults_armed_) {
-    links_.resize(static_cast<std::size_t>(size_) *
-                  static_cast<std::size_t>(size_));
-    for (int s = 0; s < size_; ++s)
-      for (int d = 0; d < size_; ++d)
-        links_[static_cast<std::size_t>(s) * static_cast<std::size_t>(size_) +
-               static_cast<std::size_t>(d)]
-            .faults.reset(plan_.seed, s, d, plan_.default_link);
-  }
 }
 
 void World::launch(const std::function<void(Comm&)>& body) {
@@ -188,13 +176,24 @@ void World::launch(const std::function<void(Comm&)>& body) {
   threads.reserve(static_cast<std::size_t>(size_));
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([this, r, &body, &first_error, &error_mutex] {
-      Comm comm(*this, r);
+      // The transport stack is per-rank, per-launch: the in-process
+      // backend, wrapped by the fault decorator when a plan is armed.
+      LocalTransport local(*this, r);
+      std::optional<FaultyTransport> faulty;
+      if (faults_armed_)
+        faulty.emplace(local, plan_,
+                       FaultSink{&stats_mutex_, &stats_, wm_.dropped,
+                                 wm_.duplicated, wm_.delayed,
+                                 wm_.sends_to_dead});
+      Transport& transport =
+          faulty ? static_cast<Transport&>(*faulty) : local;
+      Comm comm(*this, r, transport);
       try {
         body(comm);
         // Normal completion: release any delayed in-flight messages
         // (fault-free semantics must not lose traffic), then announce
         // termination so peers error out instead of waiting forever.
-        flush_held(r);
+        if (faulty) faulty->flush();
         mark_terminated(r);
       } catch (const RankCrashed&) {
         // Scheduled death, already marked dead in tick(); in-flight
@@ -278,68 +277,6 @@ void World::post(int dest, MpMessage message) {
     box.messages.push_back(std::move(message));
   }
   box.cv.notify_all();
-}
-
-void World::faulty_send(int source, int dest, MpMessage message) {
-  if (!faults_armed_) {
-    post(dest, std::move(message));
-    return;
-  }
-  if (status(dest) == RankStatus::Dead) {
-    // The wire to a dead rank leads nowhere; count it so protocols'
-    // accounting can reconcile.
-    if (metrics_ != nullptr) wm_.sends_to_dead->add(1);
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.sends_to_dead;
-    return;
-  }
-  Link& link = links_[static_cast<std::size_t>(source) *
-                          static_cast<std::size_t>(size_) +
-                      static_cast<std::size_t>(dest)];
-  const FaultDecision decision = link.faults.next();
-  if (decision.drop) {
-    if (metrics_ != nullptr) wm_.dropped->add(1);
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.messages_dropped;
-    return;
-  }
-  // A message marked `delay` is stashed and released just after the next
-  // message that actually flows on this link (a deterministic reorder);
-  // a previously held message is released now.
-  std::optional<MpMessage> release = std::move(link.held);
-  link.held.reset();
-  if (decision.delay) {
-    link.held = std::move(message);
-    if (metrics_ != nullptr) wm_.delayed->add(1);
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.messages_delayed;
-    }
-    if (release) post(dest, std::move(*release));
-    return;
-  }
-  if (decision.duplicate) {
-    if (metrics_ != nullptr) wm_.duplicated->add(1);
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.messages_duplicated;
-    }
-    post(dest, message);  // copy
-  }
-  post(dest, std::move(message));
-  if (release) post(dest, std::move(*release));
-}
-
-void World::flush_held(int source) {
-  if (!faults_armed_) return;
-  for (int d = 0; d < size_; ++d) {
-    Link& link = links_[static_cast<std::size_t>(source) *
-                            static_cast<std::size_t>(size_) +
-                        static_cast<std::size_t>(d)];
-    if (link.held && status(d) != RankStatus::Dead)
-      post(d, std::move(*link.held));
-    link.held.reset();
-  }
 }
 
 void World::wake_all_mailboxes() {
@@ -429,11 +366,11 @@ std::optional<MpMessage> World::poll_recv(int rank, int source, int tag) {
   return take_match(box.messages, source, tag);
 }
 
-std::optional<MpMessage> World::timed_recv(int rank, int source, int tag,
-                                           std::chrono::milliseconds timeout) {
+std::optional<MpMessage> World::timed_recv(
+    int rank, int source, int tag,
+    std::chrono::steady_clock::time_point deadline) {
   DLB_REQUIRE(source < size_, "invalid source");
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
   std::unique_lock<std::mutex> lock(box.mutex);
   while (true) {
     if (auto out = take_match(box.messages, source, tag)) return out;
@@ -527,6 +464,33 @@ void World::gather_all_into(int rank, std::int64_t value, GatherResult& out) {
   out.alive = c.alive_snapshot;
   out.degraded = c.degraded_snapshot;
   if (--c.departing == 0) c.cv.notify_all();
+}
+
+void LocalTransport::send(int dest, int tag, const std::int64_t* words,
+                          std::size_t count) {
+  MpMessage msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.payload.assign(words, count, &world_->payload_pool_);
+  world_->post(dest, std::move(msg));
+}
+
+MpMessage LocalTransport::recv(int source, int tag) {
+  return world_->wait_recv(rank_, source, tag);
+}
+
+std::optional<MpMessage> LocalTransport::recv_until(
+    int source, int tag, std::chrono::steady_clock::time_point deadline) {
+  return world_->timed_recv(rank_, source, tag, deadline);
+}
+
+std::optional<MpMessage> LocalTransport::try_recv(int source, int tag) {
+  return world_->poll_recv(rank_, source, tag);
+}
+
+PeerState LocalTransport::peer_state(int rank) const {
+  // RankStatus and PeerState agree on values by construction.
+  return static_cast<PeerState>(world_->status(rank));
 }
 
 }  // namespace dlb

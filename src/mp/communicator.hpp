@@ -57,20 +57,13 @@
 
 #include "core/checkpoint.hpp"
 #include "mp/fault.hpp"
+#include "mp/message.hpp"
 #include "mp/payload.hpp"
+#include "mp/transport.hpp"
 #include "obs/metrics.hpp"
 #include "support/ring_queue.hpp"
 
 namespace dlb {
-
-/// A point-to-point message: a few 64-bit words, stored inline (pooled
-/// spill beyond MpPayload::kInlineWords — see mp/payload.hpp).  Exactly
-/// one cache line, so mailbox slots recycle without touching the heap.
-struct MpMessage {
-  int source = -1;
-  int tag = 0;
-  MpPayload payload;
-};
 
 /// Control-flow signal thrown by Comm::tick() when the fault plan kills
 /// the rank.  Deliberately NOT derived from std::exception: application
@@ -170,8 +163,10 @@ class Comm {
 
  private:
   friend class World;
-  Comm(World& world, int rank) : world_(&world), rank_(rank) {}
+  Comm(World& world, int rank, Transport& transport)
+      : world_(&world), transport_(&transport), rank_(rank) {}
   World* world_;
+  Transport* transport_;  // p2p seam; collectives/journal stay on world_
   int rank_;
   std::uint32_t step_ = 0;
   // Collective scratch: barrier/broadcast/allreduce land each round's
@@ -240,20 +235,14 @@ class World {
     bool degraded_snapshot = false;
   };
 
-  /// Per ordered link (source, dest): fault decision stream plus the
-  /// delayed-message slot.  Touched only by the source rank's thread.
-  struct Link {
-    LinkFaultState faults;
-    std::optional<MpMessage> held;
-  };
+  friend class LocalTransport;
 
   void post(int dest, MpMessage message);
-  void faulty_send(int source, int dest, MpMessage message);
-  void flush_held(int source);
   MpMessage wait_recv(int rank, int source, int tag);
   std::optional<MpMessage> poll_recv(int rank, int source, int tag);
-  std::optional<MpMessage> timed_recv(int rank, int source, int tag,
-                                      std::chrono::milliseconds timeout);
+  std::optional<MpMessage> timed_recv(
+      int rank, int source, int tag,
+      std::chrono::steady_clock::time_point deadline);
   GatherResult gather_all(int rank, std::int64_t value);
   void gather_all_into(int rank, std::int64_t value, GatherResult& out);
 
@@ -274,7 +263,6 @@ class World {
 
   FaultPlan plan_;
   bool faults_armed_ = false;
-  std::vector<Link> links_;  // size_ * size_, row-major by source
   std::unique_ptr<std::atomic<std::uint8_t>[]> statuses_;
   LoadJournal journal_;
 
@@ -301,6 +289,34 @@ class World {
   obs::MetricsRegistry* metrics_ = nullptr;
   WorldMetrics wm_;
   std::vector<LinkMetrics> link_metrics_;  // size_ * size_
+};
+
+/// The in-process backend of the transport seam: one thread per rank,
+/// delivery straight into the destination's mailbox.  One instance per
+/// rank per launch (constructed by World::launch); when a fault plan is
+/// armed the FaultyTransport decorator wraps it, reproducing the exact
+/// pre-seam drop/dup/delay semantics.
+class LocalTransport : public Transport {
+ public:
+  LocalTransport(World& world, int rank) : world_(&world), rank_(rank) {}
+
+  int rank() const override { return rank_; }
+  int size() const override { return world_->size(); }
+  void send(int dest, int tag, const std::int64_t* words,
+            std::size_t count) override;
+  MpMessage recv(int source, int tag) override;
+  std::optional<MpMessage> recv_until(
+      int source, int tag,
+      std::chrono::steady_clock::time_point deadline) override;
+  std::optional<MpMessage> try_recv(int source, int tag) override;
+  PeerState peer_state(int rank) const override;
+  /// Termination is announced by World::launch (mark_terminated), not
+  /// here — the mailboxes belong to the World and outlive the launch.
+  void close() override {}
+
+ private:
+  World* world_;
+  int rank_;
 };
 
 }  // namespace dlb

@@ -1,0 +1,110 @@
+#include "mp/journal_io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+namespace {
+
+void write_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0 && errno == EINTR) continue;
+    DLB_ENSURE(n > 0, "journal write failed");
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+JournalWriter::~JournalWriter() { close(); }
+
+void JournalWriter::open(const std::string& path, int rank,
+                         std::uint32_t interval) {
+  DLB_REQUIRE(fd_ < 0, "journal already open");
+  DLB_REQUIRE(interval >= 1, "journal interval must be >= 1");
+  fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_APPEND, 0644);
+  DLB_ENSURE(fd_ >= 0, "cannot create journal file");
+  char line[96];
+  const int len = std::snprintf(line, sizeof(line), "dlb-journal 1 %d %u\n",
+                                rank, interval);
+  write_all(fd_, line, static_cast<std::size_t>(len));
+}
+
+void JournalWriter::record(std::uint32_t step, std::int64_t load,
+                           std::int64_t generated, std::int64_t consumed,
+                           std::int64_t declared_lost) {
+  DLB_REQUIRE(fd_ >= 0, "journal not open");
+  char line[160];
+  const int len = std::snprintf(
+      line, sizeof(line),
+      "o %u %" PRId64 " %" PRId64 " %" PRId64 " %" PRId64 "\n", step, load,
+      generated, consumed, declared_lost);
+  // One write(2) for the whole line: the kernel appends it atomically
+  // for this size, so death between calls tears nothing and death
+  // during the call tears at most the final line (detected on read).
+  write_all(fd_, line, static_cast<std::size_t>(len));
+}
+
+void JournalWriter::close() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+}
+
+std::string journal_path(const std::string& dir, int rank) {
+  return dir + "/journal." + std::to_string(rank);
+}
+
+JournalRecovery recover_journal(const std::string& path) {
+  JournalRecovery rec;
+  std::ifstream in(path);
+  if (!in.is_open()) return rec;
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  std::size_t pos = 0;
+  bool have_header = false;
+  while (pos < content.size()) {
+    const std::size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) break;  // torn trailing line: ignore
+    const std::string line = content.substr(pos, eol - pos);
+    pos = eol + 1;
+    std::istringstream ls(line);
+    if (!have_header) {
+      std::string magic;
+      int version = 0;
+      if (!(ls >> magic >> version >> rec.rank >> rec.interval) ||
+          magic != "dlb-journal" || version != 1 || rec.interval < 1)
+        return rec;  // malformed header: unrecoverable
+      have_header = true;
+      rec.valid = true;
+      continue;
+    }
+    std::string kind;
+    std::uint32_t step = 0;
+    std::int64_t load = 0, generated = 0, consumed = 0, declared = 0;
+    if (!(ls >> kind >> step >> load >> generated >> consumed >> declared) ||
+        kind != "o")
+      continue;  // unknown/garbled line: skip, keep what we have
+    rec.last_step = step;
+    rec.shadow_load = load;
+    rec.generated = generated;
+    rec.consumed = consumed;
+    rec.declared_lost = declared;
+    if (step % rec.interval == 0) rec.committed_load = load;
+  }
+  return rec;
+}
+
+}  // namespace dlb

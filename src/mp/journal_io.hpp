@@ -1,0 +1,81 @@
+// On-disk LoadJournal for real processes.
+//
+// The in-process runtimes keep the crash journal in shared memory
+// (core/checkpoint.hpp's LoadJournal): a crashing *thread* can hand its
+// drift to the survivors directly.  A crashing *process* cannot — its
+// memory vanishes with it — so the socket runtime mirrors the journal
+// to a per-rank file, one complete text line per observed step,
+// written with write(2) at observe time.  Process death (SIGKILL) is
+// not machine death: bytes handed to the kernel survive in the page
+// cache regardless of what happens to the writer, so the journal is
+// exactly as durable as the failure model being tested.
+//
+// Format (line-oriented, locale-independent):
+//   dlb-journal 1 <rank> <interval>
+//   o <step> <load> <generated> <consumed> <declared_lost>
+//   ...
+// Counters are cumulative, so any single line is a complete snapshot;
+// recovery needs only the *last complete* line (a torn final line —
+// possible only if the write(2) itself was interrupted by death — is
+// detected by the missing newline and ignored).  Recovery mirrors
+// LoadJournal semantics: the recovered load is the last line at a
+// checkpoint boundary (step % interval == 0), and the drift between it
+// and the last line of all is the crash loss.  declared_lost rides in
+// every line so a dead receiver's loss declarations are not lost with
+// it — without that, conservation could not close over a crashed rank
+// that had previously declared a timed-out transfer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dlb {
+
+/// Append-only journal writer owned by one rank's process.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Creates/truncates `path` and writes the header.
+  void open(const std::string& path, int rank, std::uint32_t interval);
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Appends one observation line (cumulative counters) with a single
+  /// write(2) call.
+  void record(std::uint32_t step, std::int64_t load, std::int64_t generated,
+              std::int64_t consumed, std::int64_t declared_lost);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Everything recoverable from a rank's journal file.
+struct JournalRecovery {
+  bool valid = false;        // header parsed and >= 0 complete lines
+  int rank = -1;
+  std::uint32_t interval = 1;
+  std::uint32_t last_step = 0;      // step of the last complete line
+  std::int64_t shadow_load = 0;     // last complete line (exact at death)
+  std::int64_t committed_load = 0;  // last checkpoint-boundary line
+  std::int64_t generated = 0;       // cumulative, crash-exact
+  std::int64_t consumed = 0;
+  std::int64_t declared_lost = 0;   // losses this rank declared before dying
+
+  /// Work destroyed by the crash: drift past the last checkpoint
+  /// boundary (may be negative if load shrank since).
+  std::int64_t crash_loss() const { return shadow_load - committed_load; }
+};
+
+/// Parses `path`, ignoring a torn trailing line.  `valid` is false when
+/// the file is missing or its header is malformed.
+JournalRecovery recover_journal(const std::string& path);
+
+/// Canonical per-rank journal path inside a run directory.
+std::string journal_path(const std::string& dir, int rank);
+
+}  // namespace dlb

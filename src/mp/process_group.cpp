@@ -1,0 +1,146 @@
+#include "mp/process_group.hpp"
+
+#include <dirent.h>
+#include <signal.h>
+#include <stdlib.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+pid_t ProcessGroup::fork_rank(int rank, const std::function<int(int)>& body) {
+  const pid_t pid = ::fork();
+  DLB_ENSURE(pid >= 0, "fork failed");
+  if (pid == 0) {
+    int code = 1;
+    try {
+      code = body(rank);
+    } catch (...) {
+      code = 70;  // EX_SOFTWARE: uncaught exception in a child rank
+    }
+    // _exit, not exit: the child shares the parent's stdio buffers and
+    // atexit registrations; running them here would corrupt the parent.
+    ::_exit(code & 0xff);
+  }
+  return pid;
+}
+
+ProcessGroup ProcessGroup::spawn(int ranks,
+                                 const std::function<int(int)>& body) {
+  DLB_REQUIRE(ranks >= 1, "process group needs at least one rank");
+  DLB_REQUIRE(static_cast<bool>(body), "spawn needs a body");
+  ProcessGroup group;
+  group.pids_.resize(static_cast<std::size_t>(ranks), -1);
+  group.status_.assign(static_cast<std::size_t>(ranks), 0);
+  group.done_.assign(static_cast<std::size_t>(ranks), false);
+  for (int r = 0; r < ranks; ++r)
+    group.pids_[static_cast<std::size_t>(r)] = fork_rank(r, body);
+  return group;
+}
+
+std::string ProcessGroup::make_rendezvous_dir() {
+  const char* base = ::getenv("TMPDIR");
+  std::string tmpl = (base != nullptr && *base != '\0') ? base : "/tmp";
+  // Unique per run (mkdtemp) so parallel CI jobs and leftover dirs from
+  // killed runs can never collide on socket paths.
+  tmpl += "/dlb-sock-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  DLB_ENSURE(::mkdtemp(buf.data()) != nullptr,
+             "cannot create rendezvous directory");
+  return std::string(buf.data());
+}
+
+void ProcessGroup::remove_rendezvous_dir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (dirent* entry = ::readdir(d)) {
+    if (std::strcmp(entry->d_name, ".") == 0 ||
+        std::strcmp(entry->d_name, "..") == 0)
+      continue;
+    ::unlink((dir + "/" + entry->d_name).c_str());
+  }
+  ::closedir(d);
+  ::rmdir(dir.c_str());
+}
+
+ProcessGroup::~ProcessGroup() {
+  for (int r = 0; r < size(); ++r) {
+    if (done_[static_cast<std::size_t>(r)] ||
+        pids_[static_cast<std::size_t>(r)] < 0)
+      continue;
+    ::kill(pids_[static_cast<std::size_t>(r)], SIGKILL);
+    reap(r, 0);  // blocking: a SIGKILLed child reaps immediately
+  }
+}
+
+void ProcessGroup::reap(int rank, int options) {
+  const std::size_t i = static_cast<std::size_t>(rank);
+  if (done_[i] || pids_[i] < 0) return;
+  int status = 0;
+  const pid_t got = ::waitpid(pids_[i], &status, options);
+  if (got == pids_[i]) {
+    status_[i] = status;
+    done_[i] = true;
+  }
+}
+
+bool ProcessGroup::wait_all(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    bool all = true;
+    for (int r = 0; r < size(); ++r) {
+      reap(r, WNOHANG);
+      if (!done_[static_cast<std::size_t>(r)]) all = false;
+    }
+    if (all) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds{500});
+  }
+}
+
+bool ProcessGroup::finished(int rank) const {
+  DLB_REQUIRE(rank >= 0 && rank < size(), "invalid rank");
+  return done_[static_cast<std::size_t>(rank)];
+}
+
+bool ProcessGroup::exited(int rank) const {
+  DLB_REQUIRE(finished(rank), "child still running");
+  return WIFEXITED(status_[static_cast<std::size_t>(rank)]);
+}
+
+int ProcessGroup::exit_code(int rank) const {
+  DLB_REQUIRE(finished(rank), "child still running");
+  const int status = status_[static_cast<std::size_t>(rank)];
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+int ProcessGroup::term_signal(int rank) const {
+  DLB_REQUIRE(finished(rank), "child still running");
+  const int status = status_[static_cast<std::size_t>(rank)];
+  return WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+}
+
+void ProcessGroup::kill_rank(int rank, int sig) {
+  DLB_REQUIRE(rank >= 0 && rank < size(), "invalid rank");
+  const std::size_t i = static_cast<std::size_t>(rank);
+  if (done_[i] || pids_[i] < 0) return;
+  ::kill(pids_[i], sig);
+}
+
+void ProcessGroup::respawn(int rank, const std::function<int(int)>& body) {
+  DLB_REQUIRE(rank >= 0 && rank < size(), "invalid rank");
+  DLB_REQUIRE(finished(rank), "respawn of a still-running rank");
+  const std::size_t i = static_cast<std::size_t>(rank);
+  pids_[i] = fork_rank(rank, body);
+  status_[i] = 0;
+  done_[i] = false;
+}
+
+}  // namespace dlb

@@ -1,0 +1,77 @@
+// Real OS processes for the socket transport: fork-based rank launch,
+// exit-code collection, kill, respawn, and orphan reaping.
+//
+// The in-process World gives every rank a thread; ProcessGroup gives
+// every rank a forked child, which is what makes crash testing *real*:
+// a SIGKILLed rank's kernel closes its sockets (peers see EOF), its
+// memory vanishes, and the only state that survives is what it wrote
+// to disk — exactly the failure model the journal-recovery path claims
+// to handle.
+//
+// The parent never shares the children's address space after fork: a
+// child runs `body(rank)` and leaves through _exit (no destructors, no
+// atexit — the parent's stdio/gtest state must not be flushed twice).
+// The destructor reaps every child still running (SIGKILL + waitpid),
+// so a throwing test cannot leak orphans.
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dlb {
+
+class ProcessGroup {
+ public:
+  /// Forks `ranks` children; child r runs `body(r)` and _exits with its
+  /// return value (clamped to 0..255).  The parent returns immediately.
+  static ProcessGroup spawn(int ranks, const std::function<int(int)>& body);
+
+  /// Creates a fresh, unique rendezvous directory under $TMPDIR (or
+  /// /tmp) — one per run, so concurrent CI jobs never collide.
+  static std::string make_rendezvous_dir();
+  /// Best-effort recursive removal of a rendezvous dir (files + dir).
+  static void remove_rendezvous_dir(const std::string& dir);
+
+  ProcessGroup(ProcessGroup&&) noexcept = default;
+  ProcessGroup& operator=(ProcessGroup&&) noexcept = default;
+  ProcessGroup(const ProcessGroup&) = delete;
+  ProcessGroup& operator=(const ProcessGroup&) = delete;
+  ~ProcessGroup();
+
+  int size() const { return static_cast<int>(pids_.size()); }
+
+  /// Waits (monotonic deadline) until every child has exited.  Returns
+  /// false on timeout with stragglers still running (not killed).
+  bool wait_all(std::chrono::milliseconds timeout);
+
+  /// True once `rank`'s child has been reaped.
+  bool finished(int rank) const;
+  /// Exited normally (vs. killed by a signal).  Valid once finished.
+  bool exited(int rank) const;
+  /// Exit code for a normal exit; -1 otherwise.
+  int exit_code(int rank) const;
+  /// Terminating signal for a signalled death; 0 otherwise.
+  int term_signal(int rank) const;
+
+  /// Sends `sig` (default SIGKILL) to a still-running rank.
+  void kill_rank(int rank, int sig);
+
+  /// Re-forks rank `rank`'s slot with a new body (crash recovery);
+  /// the previous child must already be finished.
+  void respawn(int rank, const std::function<int(int)>& body);
+
+ private:
+  ProcessGroup() = default;
+  static pid_t fork_rank(int rank, const std::function<int(int)>& body);
+  void reap(int rank, int options);
+
+  std::vector<pid_t> pids_;
+  std::vector<int> status_;    // raw waitpid status
+  std::vector<bool> done_;
+};
+
+}  // namespace dlb

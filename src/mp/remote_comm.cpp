@@ -1,0 +1,208 @@
+#include "mp/remote_comm.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+SocketComm::SocketComm(Transport& transport, SocketCommConfig config)
+    : transport_(&transport), config_(std::move(config)) {
+  lookahead_.assign(static_cast<std::size_t>(size()), PendingRound{});
+  resolved_.assign(static_cast<std::size_t>(size()), 0);
+  if (!config_.journal_path.empty())
+    journal_.open(config_.journal_path, rank(),
+                  config_.plan.journal_interval);
+}
+
+void SocketComm::send(int dest, int tag, const std::int64_t* words,
+                      std::size_t count) {
+  DLB_REQUIRE(dest >= 0 && dest < size(), "invalid destination");
+  DLB_REQUIRE(tag < Transport::kReservedTagFloor,
+              "application tags must stay below the reserved floor");
+  transport_->send(dest, tag, words, count);
+}
+
+MpMessage SocketComm::recv(int source, int tag) {
+  return transport_->recv(source, tag);
+}
+
+std::optional<MpMessage> SocketComm::try_recv(int source, int tag) {
+  return transport_->try_recv(source, tag);
+}
+
+std::optional<MpMessage> SocketComm::recv_for(
+    int source, int tag, std::chrono::milliseconds timeout) {
+  return transport_->recv_until(
+      source, tag, std::chrono::steady_clock::now() + timeout);
+}
+
+void SocketComm::tick() {
+  if (config_.plan.enabled() &&
+      config_.plan.crash_step(rank()) == static_cast<std::int64_t>(step_)) {
+    // A real crash: the kernel closes our sockets (peers see EOF), the
+    // journal keeps only what record() already handed to write(2), and
+    // nothing below this line runs.  SIGKILL cannot be caught, so the
+    // death is as abrupt as the failure model demands.
+    ::kill(::getpid(), SIGKILL);
+    ::_exit(137);  // unreachable backstop
+  }
+  ++step_;
+}
+
+void SocketComm::journal(std::int64_t load, std::int64_t generated,
+                         std::int64_t consumed) {
+  if (journal_.is_open())
+    journal_.record(step_, load, generated, consumed, declared_lost_);
+}
+
+bool SocketComm::absorb(const MpMessage& msg, GatherResult& out) {
+  const int src = msg.source;
+  if (src < 0 || src >= size() || msg.payload.size() < 2) return false;
+  const std::int64_t msg_round = msg.payload[0];
+  const std::int64_t value = msg.payload[1];
+  if (msg_round == static_cast<std::int64_t>(round_)) {
+    const auto s = static_cast<std::size_t>(src);
+    if (resolved_[s]) return false;  // late copy of a resolved rank
+    out.values[s] = value;
+    out.alive[s] = 1;
+    resolved_[s] = 1;
+    --unresolved_;
+    return true;
+  }
+  if (msg_round > static_cast<std::int64_t>(round_)) {
+    // A fast peer already finished this round and moved on; stash its
+    // next-round contribution (it can be at most one round ahead).
+    PendingRound& p = lookahead_[static_cast<std::size_t>(src)];
+    p.round = msg_round;
+    p.value = value;
+    p.armed = true;
+  }
+  // Older rounds: a straggler from a round we closed without it
+  // (we had proven it down).  Dead stays dead; discard.
+  return false;
+}
+
+void SocketComm::gather_into(std::int64_t value, GatherResult& out) {
+  const int n = size();
+  const int me = rank();
+  ++round_;
+  out.values.assign(static_cast<std::size_t>(n), 0);
+  out.alive.assign(static_cast<std::size_t>(n), 0);
+  std::fill(resolved_.begin(), resolved_.end(), 0);
+  out.values[static_cast<std::size_t>(me)] = value;
+  out.alive[static_cast<std::size_t>(me)] = 1;
+  resolved_[static_cast<std::size_t>(me)] = 1;
+  unresolved_ = n - 1;
+  const std::int64_t msg[2] = {static_cast<std::int64_t>(round_), value};
+  for (int r = 0; r < n; ++r) {
+    if (r == me) continue;
+    if (transport_->peer_alive(r)) transport_->send(r, kTagGather, msg, 2);
+    // Stashed lookahead from the previous round resolves immediately.
+    PendingRound& p = lookahead_[static_cast<std::size_t>(r)];
+    if (p.armed && p.round == static_cast<std::int64_t>(round_)) {
+      const auto s = static_cast<std::size_t>(r);
+      out.values[s] = p.value;
+      out.alive[s] = 1;
+      resolved_[s] = 1;
+      --unresolved_;
+      p.armed = false;
+    }
+  }
+  while (unresolved_ > 0) {
+    // Drain-before-verdict (see header): consume every queued round
+    // message before consulting liveness, so a peer that sent its
+    // contribution and *then* died still counts for this round on
+    // every survivor.
+    while (auto msg_in = transport_->try_recv(-1, kTagGather))
+      absorb(*msg_in, out);
+    if (unresolved_ == 0) break;
+    bool progressed = false;
+    for (int r = 0; r < n; ++r) {
+      const auto s = static_cast<std::size_t>(r);
+      if (resolved_[s]) continue;
+      if (!transport_->peer_alive(r)) {
+        // Proven down with a drained stream: its contribution will
+        // never come.  Degraded slot, zero value — same contract as
+        // the in-process crash-aware collectives.
+        resolved_[s] = 1;
+        --unresolved_;
+        progressed = true;
+      }
+    }
+    if (unresolved_ == 0 || progressed) continue;
+    // Block one slice; liveness (heartbeats, EOFs, suspicion) advances
+    // inside the transport's pump, so this loop terminates within the
+    // failure detector's bound even if a peer silently wedges.
+    if (auto msg_in = transport_->recv_until(
+            -1, kTagGather,
+            std::chrono::steady_clock::now() + config_.gather_slice))
+      absorb(*msg_in, out);
+  }
+  out.degraded = false;
+  for (std::uint8_t a : out.alive)
+    if (a == 0) out.degraded = true;
+}
+
+void SocketComm::barrier() { gather_into(0, gather_scratch_); }
+
+bool SocketComm::barrier_checked() {
+  gather_into(0, gather_scratch_);
+  return gather_scratch_.degraded;
+}
+
+std::int64_t SocketComm::broadcast(std::int64_t value, int root) {
+  DLB_REQUIRE(root >= 0 && root < size(), "invalid root");
+  gather_into(value, gather_scratch_);
+  return gather_scratch_.values[static_cast<std::size_t>(root)];
+}
+
+std::int64_t SocketComm::allreduce_sum(std::int64_t value) {
+  gather_into(value, gather_scratch_);
+  std::int64_t total = 0;
+  for (std::int64_t v : gather_scratch_.values) total += v;
+  return total;
+}
+
+std::int64_t SocketComm::allreduce_min(std::int64_t value) {
+  gather_into(value, gather_scratch_);
+  std::int64_t best = value;
+  for (std::size_t r = 0; r < gather_scratch_.values.size(); ++r)
+    if (gather_scratch_.alive[r])
+      best = std::min(best, gather_scratch_.values[r]);
+  return best;
+}
+
+std::int64_t SocketComm::allreduce_max(std::int64_t value) {
+  gather_into(value, gather_scratch_);
+  std::int64_t best = value;
+  for (std::size_t r = 0; r < gather_scratch_.values.size(); ++r)
+    if (gather_scratch_.alive[r])
+      best = std::max(best, gather_scratch_.values[r]);
+  return best;
+}
+
+std::vector<std::int64_t> SocketComm::allgather(std::int64_t value) {
+  gather_into(value, gather_scratch_);
+  return gather_scratch_.values;
+}
+
+GatherResult SocketComm::allgather_checked(std::int64_t value) {
+  GatherResult out;
+  gather_into(value, out);
+  return out;
+}
+
+void SocketComm::allgather_checked(std::int64_t value, GatherResult& out) {
+  gather_into(value, out);
+}
+
+void SocketComm::close() {
+  journal_.close();
+  transport_->close();
+}
+
+}  // namespace dlb

@@ -1,0 +1,142 @@
+// The SPMD communicator for real processes: the same programming
+// surface as mp/communicator.hpp's Comm (send / recv_for / crash-aware
+// collectives / tick / journal / declare_lost), implemented over the
+// Transport seam instead of the in-process World.
+//
+// Collectives are peer-to-peer: each round every rank sends
+// {round, value} to every peer it believes alive (on a reserved tag,
+// so the fault decorator never dices them — the control plane is
+// modelled as reliable, like the in-process collectives) and gathers
+// until every rank is either heard from or proven down.  Two details
+// make this exact rather than merely likely:
+//
+//   1. Drain-before-verdict.  A peer is resolved as dead only after
+//      the inbox has been drained non-blockingly.  Stream sockets
+//      deliver EOF *after* every byte the peer sent, and the transport
+//      decodes a connection's remaining bytes before marking it down,
+//      so once peer_state says Dead, any round message the peer ever
+//      sent is already queued.  Every survivor therefore reaches the
+//      same verdict for the same round — the alive masks agree, and
+//      the replicated decision streams stay replicated.
+//
+//   2. One-round lookahead.  A fast peer can finish our round (it has
+//      our contribution) and send round r+1 while we still wait on a
+//      slower rank's r.  Such messages are stashed, not discarded — a
+//      peer can never be MORE than one round ahead, because finishing
+//      r+1 would need our r+1 contribution, which we have not sent.
+//
+// Scheduled crashes are real: tick() checks the fault plan and kills
+// its own process with SIGKILL — no goodbye, no flush, no destructor.
+// Deaths happen at the tick, before the step's collectives, so every
+// survivor observes the death before any step-t traffic from the dead
+// rank; combined with (1) this keeps the conservation ledger exact
+// under kills (see mp/spmd_balance.hpp).  The journal mirror
+// (mp/journal_io.hpp) is written per step, so everything the rank had
+// done through its last completed step survives on disk.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mp/communicator.hpp"  // GatherResult
+#include "mp/fault.hpp"
+#include "mp/journal_io.hpp"
+#include "mp/transport.hpp"
+
+namespace dlb {
+
+struct SocketCommConfig {
+  /// Crash schedule (consulted at tick; drop/dup/delay live in the
+  /// FaultyTransport decorator, not here).
+  FaultPlan plan;
+  /// Per-rank journal mirror; empty disables persistence.
+  std::string journal_path;
+  /// Gather poll slice: how long one blocking wait inside a collective
+  /// lasts before liveness is re-checked.
+  std::chrono::milliseconds gather_slice{10};
+};
+
+class SocketComm {
+ public:
+  /// `transport` must outlive the communicator.
+  SocketComm(Transport& transport, SocketCommConfig config);
+
+  int rank() const { return transport_->rank(); }
+  int size() const { return transport_->size(); }
+
+  void send(int dest, int tag, std::initializer_list<std::int64_t> words) {
+    send(dest, tag, words.begin(), words.size());
+  }
+  void send(int dest, int tag, const std::int64_t* words, std::size_t count);
+  MpMessage recv(int source = -1, int tag = -1);
+  std::optional<MpMessage> try_recv(int source = -1, int tag = -1);
+  std::optional<MpMessage> recv_for(int source, int tag,
+                                    std::chrono::milliseconds timeout);
+
+  void barrier();
+  bool barrier_checked();
+  std::int64_t broadcast(std::int64_t value, int root);
+  std::int64_t allreduce_sum(std::int64_t value);
+  std::int64_t allreduce_min(std::int64_t value);
+  std::int64_t allreduce_max(std::int64_t value);
+  std::vector<std::int64_t> allgather(std::int64_t value);
+  GatherResult allgather_checked(std::int64_t value);
+  void allgather_checked(std::int64_t value, GatherResult& out);
+
+  /// Advances the step clock; a scheduled crash is a real SIGKILL of
+  /// this process (never returns in that case).
+  void tick();
+  std::uint32_t step() const { return step_; }
+
+  /// Mirrors the in-process journal: one durable line per step.
+  void journal(std::int64_t load, std::int64_t generated = 0,
+               std::int64_t consumed = 0);
+
+  /// Loss this rank has declared (rides in every journal line so it
+  /// survives this process's death).
+  void declare_lost(std::int64_t amount) { declared_lost_ += amount; }
+  std::int64_t declared_lost() const { return declared_lost_; }
+
+  bool rank_alive(int rank) const {
+    return transport_->peer_state(rank) == PeerState::Alive;
+  }
+
+  std::uint64_t collective_rounds() const { return round_; }
+
+  /// Clean shutdown: announces termination (Goodbye) through the
+  /// transport.  A crash is the absence of this call.
+  void close();
+
+ private:
+  /// Reserved control-plane tag for gather rounds (above the fault
+  /// decorator's dice floor).
+  static constexpr int kTagGather = Transport::kReservedTagFloor + 1;
+
+  struct PendingRound {
+    std::int64_t round = 0;
+    std::int64_t value = 0;
+    bool armed = false;
+  };
+
+  void gather_into(std::int64_t value, GatherResult& out);
+  /// Routes one inbound gather message to the current round or the
+  /// one-round-lookahead stash; returns true if it resolved a rank.
+  bool absorb(const MpMessage& msg, GatherResult& out);
+
+  Transport* transport_;
+  SocketCommConfig config_;
+  JournalWriter journal_;
+  std::uint32_t step_ = 0;
+  std::int64_t declared_lost_ = 0;
+  std::uint64_t round_ = 0;                 // gather round counter
+  std::vector<PendingRound> lookahead_;     // per source rank
+  std::vector<std::uint8_t> resolved_;      // per-round scratch
+  int unresolved_ = 0;
+  GatherResult gather_scratch_;
+};
+
+}  // namespace dlb

@@ -1,0 +1,74 @@
+// Multi-process SPMD balancer runs: fork the ranks (mp/process_group),
+// wire them with the socket transport, run the shared rank body
+// (mp/spmd_rank.hpp), and assemble the machine-wide report from what
+// survives each process — a report file for clean exits, the durable
+// journal mirror for ranks that died.
+//
+// Crash/recovery semantics (the whole point of this runner):
+//   - A scheduled kill (`plan.kill(rank, step)`) is a *real* SIGKILL
+//     the rank delivers to itself at that step's tick — peers observe
+//     an actual process death through the transport's failure
+//     detector, not a simulated flag.
+//   - With `restart_dead`, every killed rank is re-forked after the
+//     run; the new process replays the on-disk journal
+//     (mp/journal_io.hpp) and reports the recovered load — real
+//     cross-process recovery from nothing but the file system.
+//   - Conservation is assembled exactly like the in-process runner:
+//     a dead rank contributes its last committed (checkpoint-boundary)
+//     load, its drift past that boundary is crash loss, and the losses
+//     it *declared* before dying ride in the journal lines.  Then
+//       sum(final) == generated - consumed - transfer_lost - crash_lost
+//     must hold exactly, even under drop faults plus kills.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mp/fault.hpp"
+#include "mp/spmd_balance.hpp"
+#include "workload/trace.hpp"
+
+namespace dlb {
+
+struct SocketRunOptions {
+  int ranks = 4;
+  bool tcp = false;  // TCP loopback instead of Unix-domain sockets
+  SpmdParams params;
+  /// Drop/dup/delay streams (applied by the FaultyTransport decorator
+  /// in every child) and the kill schedule (self-SIGKILL at tick).
+  FaultPlan plan;
+  /// Re-fork killed ranks after the run to replay their journals.
+  bool restart_dead = false;
+  std::chrono::milliseconds heartbeat{50};
+  /// Generous: false suspicion of a live rank would fork the
+  /// replicated decision streams (see mp/remote_comm.hpp).
+  std::chrono::milliseconds suspect_after{5000};
+  std::chrono::milliseconds connect_timeout{10000};
+  std::chrono::milliseconds run_timeout{120000};
+};
+
+struct SocketRunResult {
+  SpmdReport report;
+  /// Per rank: 0 for a clean conserving exit; <0 encodes "killed by
+  /// signal -term_signal" (e.g. -9 for SIGKILL).
+  std::vector<int> exit_codes;
+  std::vector<std::uint8_t> killed;     // died by signal during the run
+  std::vector<std::uint8_t> restarted;  // re-forked for journal replay
+  /// For restarted ranks: the load their new process recovered from
+  /// the journal (== report.final_loads[r] when replay is faithful).
+  std::vector<std::int64_t> recovered_loads;
+  /// Rendezvous/journal directory (removed before returning unless a
+  /// child behaved unexpectedly; kept then, for post-mortems).
+  std::string dir;
+  std::uint64_t transport_retries = 0;  // summed connect retries
+};
+
+/// Runs the balancer over `trace` on `opts.ranks` forked processes.
+/// Throws contract_error if the group does not finish within
+/// `run_timeout` (stragglers are killed first).
+SocketRunResult run_spmd_balancer_socket(const Trace& trace,
+                                         const SocketRunOptions& opts);
+
+}  // namespace dlb

@@ -61,16 +61,24 @@ class Mailbox {
     return drained;
   }
 
-  /// Deadline-based receive for failure-tolerant protocols: blocks up
-  /// to `timeout` and returns nullopt when nothing arrived (or the
-  /// mailbox was closed and drained) by then.
-  std::optional<T> recv_for(std::chrono::milliseconds timeout) {
+  /// Deadline-based receive for failure-tolerant protocols: blocks
+  /// until `deadline` (monotonic clock, so wall-clock adjustments
+  /// cannot stretch or collapse the wait) and returns nullopt when
+  /// nothing arrived (or the mailbox was closed and drained) by then.
+  /// Callers that must wait for several messages against one overall
+  /// budget compute the deadline once and pass it to every call —
+  /// unlike a per-call timeout, the budget cannot compound.
+  std::optional<T> recv_until(std::chrono::steady_clock::time_point deadline) {
     std::unique_lock<std::mutex> lock(mutex_);
-    if (!cv_.wait_for(lock, timeout,
-                      [&] { return !queue_.empty() || closed_; }))
+    if (!cv_.wait_until(lock, deadline,
+                        [&] { return !queue_.empty() || closed_; }))
       return std::nullopt;
     if (queue_.empty()) return std::nullopt;
     return queue_.pop_front();
+  }
+
+  std::optional<T> recv_for(std::chrono::milliseconds timeout) {
+    return recv_until(std::chrono::steady_clock::now() + timeout);
   }
 
   /// Pre-sizes the ring so traffic up to `depth` queued messages never

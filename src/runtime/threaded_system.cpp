@@ -271,14 +271,21 @@ class ThreadedSystem::Worker {
         // Locked: the pre-image of the load is simply load_ — nothing
         // mutates until the Assign lands, so rolling back on a missing
         // Assign means unlocking unchanged.  Answer only this
-        // transaction; refuse everything else.
+        // transaction; refuse everything else.  The wait is a monotonic
+        // deadline, re-armed on every delivered message: traffic proves
+        // the initiator's side of the system is alive, silence for a
+        // whole txn_timeout proves the Assign is not coming.
+        auto deadline =
+            std::chrono::steady_clock::now() + owner_.config_.txn_timeout;
         while (true) {
           auto next = buffered_message();
           if (!next.has_value())
             next = owner_.faults_on_
-                       ? owner_.mailboxes_[id_]->recv_for(
-                             owner_.config_.txn_timeout)
+                       ? owner_.mailboxes_[id_]->recv_until(deadline)
                        : owner_.mailboxes_[id_]->recv();
+          if (next.has_value())
+            deadline = std::chrono::steady_clock::now() +
+                       owner_.config_.txn_timeout;
           if (!next.has_value()) {
             if (owner_.faults_on_) {
               // Missing Assign: roll back.  If it straggles in later it
@@ -403,12 +410,18 @@ class ThreadedSystem::Worker {
     partner_loads.clear();
     replied.clear();
     std::size_t pending = partners_.size();
+    // One monotonic deadline for the whole collection, re-armed only
+    // when a pending reply actually resolves: strays and duplicates
+    // cannot keep postponing the verdict, so the worst-case wait is
+    // bounded by (partners × txn_timeout), not by inbound chatter.
+    auto deadline =
+        std::chrono::steady_clock::now() + owner_.config_.txn_timeout;
     while (pending > 0) {
+      const std::size_t pending_before = pending;
       auto msg = buffered_message();
       if (!msg.has_value())
         msg = owner_.faults_on_
-                  ? owner_.mailboxes_[id_]->recv_for(
-                        owner_.config_.txn_timeout)
+                  ? owner_.mailboxes_[id_]->recv_until(deadline)
                   : owner_.mailboxes_[id_]->recv();
       if (!msg.has_value()) {
         if (owner_.faults_on_) {
@@ -469,6 +482,9 @@ class ThreadedSystem::Worker {
         case Message::Type::Shutdown:
           DLB_ENSURE(false, "unexpected message while initiating");
       }
+      if (pending < pending_before)
+        deadline =
+            std::chrono::steady_clock::now() + owner_.config_.txn_timeout;
     }
 
     if (accepted.empty()) {

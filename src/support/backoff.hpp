@@ -1,0 +1,52 @@
+// Two-phase spin-then-yield waiter, shared by every busy-wait loop in
+// the concurrent runtimes (PR 6 introduced it inside the async engine;
+// the socket transport's spin-then-block receive pump reuses it).
+//
+// Phase 1 is a short burst of architectural pause instructions for the
+// multicore case — the event being waited on (another shard's store,
+// bytes landing in a socket buffer) is typically nanoseconds away when
+// the producer is literally running on another core.  Phase 2 falls
+// back to OS yields, which is what keeps waiters functional on
+// oversubscribed or single-core hosts: a raw pause loop there burns the
+// waiter's whole scheduler quantum before the thread (or process)
+// being waited on ever runs.  Callers reset() whenever they make
+// progress so the cheap phase is re-entered.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+namespace dlb {
+
+inline void spin_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+class Backoff {
+ public:
+  void wait() {
+    if (spins_ < kSpins) {
+      ++spins_;
+      spin_pause();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  void reset() { spins_ = 0; }
+
+  /// True while still in the cheap pause phase — lets pollers decide
+  /// when to switch from non-blocking probes to a blocking wait.
+  bool spinning() const { return spins_ < kSpins; }
+
+ private:
+  static constexpr std::uint32_t kSpins = 64;
+  std::uint32_t spins_ = 0;
+};
+
+}  // namespace dlb

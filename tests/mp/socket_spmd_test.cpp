@@ -1,0 +1,133 @@
+// End-to-end multi-process balancer runs (mp/spmd_socket.hpp): forked
+// ranks over real sockets, a real SIGKILL mid-run, and journal-replay
+// recovery — the acceptance gate for the crash/recovery claim:
+//
+//   - a fault-free socket run conserves exactly and exits clean,
+//   - under drop faults plus a scheduled kill, the assembled ledger
+//     still closes exactly (conservation modulo *declared* loss),
+//   - a restarted rank is a genuinely new process whose only input is
+//     the on-disk journal, and the load it recovers equals the load
+//     the report assembled for the dead rank.
+#include "mp/spmd_socket.hpp"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+
+#include <fstream>
+
+#include "mp/journal_io.hpp"
+#include "mp/process_group.hpp"
+#include "workload/trace.hpp"
+
+namespace dlb {
+namespace {
+
+Trace make_trace(int ranks, std::uint32_t steps) {
+  Rng wl_rng(31);
+  const Workload wl = Workload::paper_benchmark(
+      static_cast<std::uint32_t>(ranks), steps, WorkloadParams{}, wl_rng);
+  Rng trace_rng(32);
+  return Trace::record(wl, trace_rng);
+}
+
+void expect_ledger_closes(const SpmdReport& report) {
+  EXPECT_TRUE(report.conserved);
+  EXPECT_EQ(report.total_load, report.generated - report.consumed -
+                                   report.transfer_lost - report.crash_lost);
+}
+
+TEST(SocketSpmdTest, FaultFreeRunConservesAndExitsClean) {
+  SocketRunOptions opts;
+  opts.ranks = 4;
+  const SocketRunResult run = run_spmd_balancer_socket(make_trace(4, 80), opts);
+  expect_ledger_closes(run.report);
+  EXPECT_EQ(run.report.ranks_dead, 0u);
+  EXPECT_EQ(run.report.transfer_lost, 0);
+  EXPECT_EQ(run.report.crash_lost, 0);
+  for (int code : run.exit_codes) EXPECT_EQ(code, 0);
+  EXPECT_EQ(run.report.final_loads.size(), 4u);
+}
+
+TEST(SocketSpmdTest, TcpLoopbackBackendConserves) {
+  SocketRunOptions opts;
+  opts.ranks = 3;
+  opts.tcp = true;
+  const SocketRunResult run = run_spmd_balancer_socket(make_trace(3, 50), opts);
+  expect_ledger_closes(run.report);
+  EXPECT_EQ(run.report.ranks_dead, 0u);
+}
+
+TEST(SocketSpmdTest, DropPlusRealKillKeepsLedgerExact) {
+  SocketRunOptions opts;
+  opts.ranks = 4;
+  opts.plan.seed = 99;
+  opts.plan.default_link.drop = 0.2;
+  opts.plan.journal_interval = 10;
+  opts.plan.kill(1, 35);
+  const SocketRunResult run = run_spmd_balancer_socket(make_trace(4, 90), opts);
+  expect_ledger_closes(run.report);
+  EXPECT_EQ(run.report.ranks_dead, 1u);
+  EXPECT_TRUE(run.killed[1]);
+  EXPECT_EQ(run.exit_codes[1], -SIGKILL);  // a real signal, not an exit
+  EXPECT_GT(run.report.messages_dropped, 0u);
+  for (int r = 0; r < 4; ++r) {
+    if (r != 1) {
+      EXPECT_EQ(run.exit_codes[static_cast<std::size_t>(r)], 0);
+    }
+  }
+}
+
+TEST(SocketSpmdTest, RestartedRankRecoversItsJournaledLoad) {
+  SocketRunOptions opts;
+  opts.ranks = 4;
+  opts.restart_dead = true;
+  opts.plan.seed = 7;
+  opts.plan.default_link.drop = 0.1;
+  opts.plan.journal_interval = 25;
+  opts.plan.kill(2, 40);
+  const SocketRunResult run =
+      run_spmd_balancer_socket(make_trace(4, 100), opts);
+  expect_ledger_closes(run.report);
+  ASSERT_TRUE(run.killed[2]);
+  ASSERT_TRUE(run.restarted[2]);
+  // The restarted process recovered, from nothing but the file system,
+  // exactly the load the report assembled for the dead rank.
+  EXPECT_EQ(run.recovered_loads[2], run.report.final_loads[2]);
+  // Kill at step 40 with boundary interval 25: the journal's committed
+  // value is the step-25 boundary, and the drift past it is crash loss.
+  EXPECT_GE(run.report.crash_lost, 0);
+}
+
+TEST(SocketSpmdTest, JournalRoundtripAndTornTailRecovery) {
+  const std::string dir = ProcessGroup::make_rendezvous_dir();
+  const std::string path = journal_path(dir, 3);
+  {
+    JournalWriter writer;
+    writer.open(path, 3, 5);
+    writer.record(1, 10, 12, 2, 0);
+    writer.record(5, 14, 20, 6, 1);   // boundary (step % 5 == 0)
+    writer.record(7, 17, 25, 8, 1);   // shadow past the boundary
+    writer.close();
+  }
+  // Simulate a torn final line (death mid-write): the recovery must
+  // fall back to the last *complete* line.
+  {
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << "o 8 99";  // no newline, incomplete fields
+  }
+  const JournalRecovery rec = recover_journal(path);
+  ASSERT_TRUE(rec.valid);
+  EXPECT_EQ(rec.rank, 3);
+  EXPECT_EQ(rec.interval, 5u);
+  EXPECT_EQ(rec.last_step, 7u);
+  EXPECT_EQ(rec.shadow_load, 17);
+  EXPECT_EQ(rec.committed_load, 14);
+  EXPECT_EQ(rec.crash_loss(), 3);
+  EXPECT_EQ(rec.generated, 25);
+  EXPECT_EQ(rec.consumed, 8);
+  EXPECT_EQ(rec.declared_lost, 1);
+  ProcessGroup::remove_rendezvous_dir(dir);
+}
+
+}  // namespace
+}  // namespace dlb

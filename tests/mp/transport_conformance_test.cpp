@@ -1,0 +1,258 @@
+// Backend-parameterized conformance suite for the Transport seam: the
+// same contract checks run against the in-process LocalTransport
+// (threads + mailboxes) and the multi-process SocketTransport (forked
+// ranks + stream sockets).  What the protocols above rely on:
+//
+//   - per-link FIFO ordering,
+//   - deadline-honouring timed receives (monotonic clock),
+//   - fault-decorator semantics above any backend (dup delivered
+//     twice, reserved tags never diced),
+//   - peer death detected, with every pre-death message still
+//     delivered first (drain-before-verdict),
+//   - the end-to-end stake: conservation modulo declared loss under
+//     drop + kill on both backends.
+//
+// Local ranks report through a shared result vector; socket ranks are
+// real processes and report through exit codes.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mp/communicator.hpp"
+#include "mp/fault.hpp"
+#include "mp/fault_transport.hpp"
+#include "mp/process_group.hpp"
+#include "mp/socket_transport.hpp"
+#include "mp/spmd_balance.hpp"
+#include "mp/spmd_socket.hpp"
+#include "workload/trace.hpp"
+
+namespace dlb {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+struct RankCtx {
+  Transport& t;
+  int rank = -1;
+  int size = 0;
+  /// Dies like a crash for the backend: SIGKILL (socket) or dead-mark +
+  /// RankCrashed unwind (local).  Never returns.
+  std::function<void()> die;
+};
+
+/// Body returns 0 on success, a small code identifying the failed
+/// check otherwise; a rank that died reports -SIGKILL.
+using RankBody = std::function<int(RankCtx&)>;
+
+std::vector<int> run_local(int ranks, const RankBody& body) {
+  World world(ranks);
+  // Arm a kill-at-step-0 for every rank: die() is then one tick() away
+  // for whichever rank the body chooses (ranks that never call die()
+  // never tick, so the plan is inert for them).
+  FaultPlan plan;
+  for (int r = 0; r < ranks; ++r) plan.kill(r, 0);
+  world.set_fault_plan(plan);
+  std::vector<int> results(static_cast<std::size_t>(ranks), 0);
+  world.launch([&](Comm& comm) {
+    const int r = comm.rank();
+    LocalTransport transport(world, r);
+    RankCtx ctx{transport, r, ranks, [&comm, &results, r] {
+                  results[static_cast<std::size_t>(r)] = -SIGKILL;
+                  comm.tick();  // scheduled crash: marks dead and unwinds
+                }};
+    results[static_cast<std::size_t>(r)] = body(ctx);
+  });
+  return results;
+}
+
+std::vector<int> run_socket(int ranks, const RankBody& body,
+                            bool tcp = false) {
+  const std::string dir = ProcessGroup::make_rendezvous_dir();
+  auto group = ProcessGroup::spawn(ranks, [&](int r) -> int {
+    SocketOptions opts;
+    opts.dir = dir;
+    opts.tcp = tcp;
+    opts.suspect_after = milliseconds(10000);  // EOF must win, not silence
+    SocketTransport transport(r, ranks, opts);
+    RankCtx ctx{transport, r, ranks, [] {
+                  ::kill(::getpid(), SIGKILL);
+                  ::_exit(137);  // unreachable
+                }};
+    const int rc = body(ctx);
+    transport.close();
+    return rc;
+  });
+  EXPECT_TRUE(group.wait_all(milliseconds(60000)));
+  std::vector<int> results(static_cast<std::size_t>(ranks), 99);
+  for (int r = 0; r < ranks; ++r) {
+    if (!group.finished(r)) continue;
+    results[static_cast<std::size_t>(r)] =
+        group.exited(r) ? group.exit_code(r) : -group.term_signal(r);
+  }
+  ProcessGroup::remove_rendezvous_dir(dir);
+  return results;
+}
+
+class TransportConformance : public ::testing::TestWithParam<const char*> {
+ protected:
+  bool socket_backend() const {
+    return std::string(GetParam()) == "socket";
+  }
+  std::vector<int> run(int ranks, const RankBody& body) {
+    return socket_backend() ? run_socket(ranks, body) : run_local(ranks, body);
+  }
+};
+
+TEST_P(TransportConformance, PerLinkFifoOrdering) {
+  constexpr int kMessages = 200;
+  const auto results = run(2, [](RankCtx& ctx) -> int {
+    if (ctx.rank == 1) {
+      for (std::int64_t i = 0; i < kMessages; ++i) {
+        const std::int64_t w[1] = {i};
+        ctx.t.send(0, 7, w, 1);
+      }
+      // Stay alive until the receiver confirms, so no backend can
+      // confuse completion with termination.
+      ctx.t.recv(0, 8);
+      return 0;
+    }
+    for (std::int64_t i = 0; i < kMessages; ++i) {
+      const MpMessage msg = ctx.t.recv(1, 7);
+      if (msg.payload.size() != 1 || msg.payload[0] != i) return 2;
+    }
+    const std::int64_t done[1] = {1};
+    ctx.t.send(1, 8, done, 1);
+    return 0;
+  });
+  EXPECT_EQ(results, (std::vector<int>{0, 0}));
+}
+
+TEST_P(TransportConformance, RecvUntilHonoursItsDeadline) {
+  const auto results = run(2, [](RankCtx& ctx) -> int {
+    if (ctx.rank == 1) {
+      // Hold the line open (alive, silent) through rank 0's wait.
+      ctx.t.recv(0, 6);
+      return 0;
+    }
+    const auto t0 = steady_clock::now();
+    const auto msg = ctx.t.recv_until(1, 5, t0 + milliseconds(120));
+    const auto waited = std::chrono::duration_cast<milliseconds>(
+        steady_clock::now() - t0);
+    if (msg.has_value()) return 2;       // nothing was ever sent on tag 5
+    if (waited < milliseconds(110)) return 3;  // returned early
+    const std::int64_t done[1] = {1};
+    ctx.t.send(1, 6, done, 1);
+    return 0;
+  });
+  EXPECT_EQ(results, (std::vector<int>{0, 0}));
+}
+
+TEST_P(TransportConformance, FaultDecoratorDuplicatesAndSparesControlPlane) {
+  const auto results = run(2, [](RankCtx& ctx) -> int {
+    FaultPlan plan;
+    plan.default_link.duplicate = 1.0;  // every data message twice
+    std::mutex mutex;
+    FaultStats stats;
+    FaultSink sink;
+    sink.mutex = &mutex;
+    sink.stats = &stats;
+    FaultyTransport faulty(ctx.t, plan, sink);
+    if (ctx.rank == 1) {
+      const std::int64_t w[1] = {77};
+      faulty.send(0, 3, w, 1);  // diced: arrives twice
+      const std::int64_t c[1] = {88};
+      faulty.send(0, Transport::kReservedTagFloor + 2, c, 1);  // un-diced
+      faulty.recv(0, 4);
+      return 0;
+    }
+    const MpMessage first = faulty.recv(1, 3);
+    const MpMessage second = faulty.recv(1, 3);
+    if (first.payload[0] != 77 || second.payload[0] != 77) return 2;
+    const MpMessage ctl = faulty.recv(1, Transport::kReservedTagFloor + 2);
+    if (ctl.payload[0] != 88) return 3;
+    // Exactly two data copies and one control copy: nothing further.
+    if (faulty.try_recv(-1, -1).has_value()) return 4;
+    const std::int64_t done[1] = {1};
+    faulty.send(1, 4, done, 1);
+    return 0;
+  });
+  EXPECT_EQ(results, (std::vector<int>{0, 0}));
+}
+
+TEST_P(TransportConformance, DeathIsDetectedAfterDrainingPreDeathTraffic) {
+  const auto results = run(2, [](RankCtx& ctx) -> int {
+    if (ctx.rank == 1) {
+      const std::int64_t w[1] = {42};
+      ctx.t.send(0, 3, w, 1);
+      ctx.t.recv(0, 9);  // rank 0 saw the farewell; now die for real
+      ctx.die();
+      return 1;  // unreachable
+    }
+    // The farewell must arrive while the peer is still alive.
+    const MpMessage msg = ctx.t.recv(1, 3);
+    if (msg.payload.size() != 1 || msg.payload[0] != 42) return 2;
+    const std::int64_t go[1] = {1};
+    ctx.t.send(1, 9, go, 1);
+    // Detection: EOF evidence (socket) / dead mark (local) must land
+    // well inside the 10 s silence backstop — this is the OS-speed
+    // detection claim, measured.
+    const auto t0 = steady_clock::now();
+    while (!ctx.t.peer_dead(1)) {
+      if (steady_clock::now() - t0 > milliseconds(5000)) return 3;
+      ctx.t.recv_until(1, 3, steady_clock::now() + milliseconds(10));
+    }
+    const auto latency = std::chrono::duration_cast<milliseconds>(
+        steady_clock::now() - t0);
+    if (latency > milliseconds(3000)) return 4;
+    return 0;
+  });
+  EXPECT_EQ(results, (std::vector<int>{0, -SIGKILL}));
+}
+
+TEST_P(TransportConformance, ConservationHoldsUnderDropAndKill) {
+  constexpr int kRanks = 4;
+  constexpr std::uint32_t kSteps = 60;
+  Rng wl_rng(31);
+  const Workload wl = Workload::paper_benchmark(
+      static_cast<std::uint32_t>(kRanks), kSteps, WorkloadParams{}, wl_rng);
+  Rng trace_rng(32);
+  const Trace trace = Trace::record(wl, trace_rng);
+
+  FaultPlan plan;
+  plan.seed = 2026;
+  plan.default_link.drop = 0.2;
+  plan.journal_interval = 10;
+  plan.kill(2, 30);
+
+  SpmdReport report;
+  if (socket_backend()) {
+    SocketRunOptions opts;
+    opts.ranks = kRanks;
+    opts.plan = plan;
+    report = run_spmd_balancer_socket(trace, opts).report;
+  } else {
+    World world(kRanks);
+    world.set_fault_plan(plan);
+    report = run_spmd_balancer(world, trace, SpmdParams{});
+  }
+  EXPECT_TRUE(report.conserved)
+      << report.total_load << " != " << report.generated << " - "
+      << report.consumed << " - " << report.transfer_lost << " - "
+      << report.crash_lost;
+  EXPECT_EQ(report.ranks_dead, 1u);
+  EXPECT_GT(report.messages_dropped, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TransportConformance,
+                         ::testing::Values("local", "socket"));
+
+}  // namespace
+}  // namespace dlb

@@ -40,7 +40,8 @@ if ! command -v python3 >/dev/null 2>&1; then
 fi
 
 cmake --preset default >/dev/null
-cmake --build --preset default -j "$jobs" --target micro_core scalability
+cmake --build --preset default -j "$jobs" \
+    --target micro_core scalability transport_rtt
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
@@ -52,9 +53,14 @@ trap 'rm -rf "$workdir"' EXIT
 "$repo/build/bench/scalability" --steps 1 --runs 1 --max_n 16 \
     --sparse_max_n 65536 --json_out "$workdir/BENCH_scalability.json" \
     >/dev/null
+# Socket-transport latency rows (rtt_us / txn_us): forked ranks over
+# unix-domain sockets, so a regression in the framing, pump or
+# spin-then-block receive path fails here.
+"$repo/build/bench/transport_rtt" \
+    --json_out "$workdir/BENCH_transport.json" >/dev/null
 
 python3 - "$repo/BENCH_core.json" "$workdir/BENCH_core.json" "$tol" \
-    "$workdir/BENCH_scalability.json" <<'EOF'
+    "$workdir/BENCH_scalability.json" "$workdir/BENCH_transport.json" <<'EOF'
 import json
 import statistics
 import sys
@@ -72,7 +78,8 @@ def key(row):
     return (row.get("workload", "sparse"), row["n"])
 
 baseline = {key(r): r for r in base["results"]}
-metrics = ("generate_ns", "consume_ns", "balance_ns", "step_us")
+metrics = ("generate_ns", "consume_ns", "balance_ns", "step_us",
+           "rtt_us", "txn_us")
 
 ratios = {}  # (workload, n, metric) -> (fresh, base, fresh/base)
 for row in fresh["results"]:
