@@ -10,19 +10,168 @@
 // speed; no-balancing is the worst on spread and failures.
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 #include "baselines/adapter.hpp"
 #include "baselines/diffusion.hpp"
 #include "baselines/dimension_exchange.hpp"
 #include "baselines/gradient.hpp"
+#include "baselines/latency_probe.hpp"
+#include "baselines/rss.hpp"
 #include "baselines/rsu.hpp"
 #include "baselines/simple.hpp"
 #include "baselines/stealing.hpp"
 #include "bench_common.hpp"
 #include "metrics/imbalance.hpp"
 #include "support/stats.hpp"
+#include "workload/serving.hpp"
 
 using namespace dlb;
+
+namespace {
+
+// ---- Serving mode -----------------------------------------------------
+//
+// Zipf-skewed session traffic (workload/serving.hpp) replayed against
+// the strategies that matter for a request-serving frontend: the
+// industry-standard RSS indirection table, work stealing, the paper's
+// algorithm, and the no-balancing floor.  Each strategy runs behind a
+// LatencyProbe, so the table reports p50/p99/p999 queueing latency (in
+// steps, FIFO-drain semantics) next to the imbalance and cost columns.
+// Percentiles are averaged across trace realizations.
+int run_serving(const CliOptions& opts, std::uint32_t n, std::uint32_t steps,
+                std::uint32_t runs, Rng& master) {
+  std::vector<double> alphas;
+  {
+    std::stringstream ss(opts.get_string("alphas"));
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      if (!tok.empty()) alphas.push_back(std::stod(tok));
+    }
+  }
+  if (alphas.empty()) {
+    std::cerr << "--alphas needs at least one value\n";
+    return 1;
+  }
+  const auto sessions =
+      static_cast<std::uint64_t>(opts.get_int("sessions"));
+
+  bench::print_header(
+      "Request serving under Zipf skew — tail latency vs imbalance",
+      "balance buys tail latency: table steering strands flash-crowd "
+      "backlog, randomized partners drain it");
+
+  const std::size_t kStrategies = 5;
+  const char* names[kStrategies] = {"none", "rss-indirection", "stealing",
+                                    "dlb f=1.1 d=2", "dlb f=1.1 d=4"};
+
+  bench::JsonRows json;
+  TextTable table({"alpha", "strategy", "lat p50", "lat p99", "lat p999",
+                   "lat mean", "served", "avg CoV", "failures", "messages",
+                   "moved"});
+  for (const double alpha : alphas) {
+    struct Agg {
+      RunningMoments p50, p99, p999, mean_lat, cov, failures, messages,
+          moved;
+      std::uint64_t served = 0;
+      std::uint64_t arrived = 0;
+    };
+    std::vector<Agg> agg(kStrategies);
+    for (std::uint32_t run = 0; run < runs; ++run) {
+      ServingParams params;
+      params.alpha = alpha;
+      params.sessions = sessions;
+      const std::uint64_t wl_seed = master.next();
+      const Workload wl = ServingWorkload::build(n, steps, params, wl_seed);
+      Rng trace_rng = master.split();
+      const Trace trace = Trace::record(wl, trace_rng);
+      const std::uint64_t seed = master.next();
+
+      std::vector<std::unique_ptr<LoadBalancer>> strategies(kStrategies);
+      strategies[0] = std::make_unique<NoBalancing>(n);
+      strategies[1] = std::make_unique<RssIndirection>(
+          n, RssIndirection::Params{}, seed);
+      strategies[2] = std::make_unique<WorkStealing>(
+          n, WorkStealing::Params{}, seed + 1);
+      {
+        BalancerConfig cfg;
+        cfg.f = 1.1;
+        cfg.delta = 2;
+        strategies[3] = std::make_unique<DlbAdapter>(n, cfg, seed + 2);
+        cfg.delta = 4;
+        strategies[4] = std::make_unique<DlbAdapter>(n, cfg, seed + 3);
+      }
+
+      for (std::size_t s = 0; s < kStrategies; ++s) {
+        LatencyProbe probe(*strategies[s]);
+        RunningMoments cov_over_time;
+        run_trace(probe, trace,
+                  [&](std::uint32_t, const std::vector<std::int64_t>& loads) {
+                    cov_over_time.add(measure_imbalance(loads).cov);
+                  });
+        const LatencyTracker& lat = probe.latency();
+        agg[s].p50.add(lat.percentile(0.50));
+        agg[s].p99.add(lat.percentile(0.99));
+        agg[s].p999.add(lat.percentile(0.999));
+        agg[s].mean_lat.add(lat.mean());
+        agg[s].cov.add(cov_over_time.mean());
+        agg[s].served += lat.served();
+        agg[s].arrived += lat.arrived();
+        agg[s].failures.add(
+            static_cast<double>(strategies[s]->consume_failures()));
+        agg[s].messages.add(
+            static_cast<double>(strategies[s]->messages()));
+        agg[s].moved.add(
+            static_cast<double>(strategies[s]->packets_moved()));
+      }
+    }
+    for (std::size_t s = 0; s < kStrategies; ++s) {
+      const double served_frac =
+          agg[s].arrived == 0
+              ? 0.0
+              : static_cast<double>(agg[s].served) /
+                    static_cast<double>(agg[s].arrived);
+      table.row()
+          .cell(format_double(alpha, 2))
+          .cell(names[s])
+          .cell(agg[s].p50.mean(), 1)
+          .cell(agg[s].p99.mean(), 1)
+          .cell(agg[s].p999.mean(), 1)
+          .cell(agg[s].mean_lat.mean(), 2)
+          .cell(served_frac, 3)
+          .cell(agg[s].cov.mean(), 3)
+          .cell(agg[s].failures.mean(), 0)
+          .cell(agg[s].messages.mean(), 0)
+          .cell(agg[s].moved.mean(), 0);
+      json.row()
+          .set("workload", "serving")
+          .set("n", n)
+          .set("alpha", alpha)
+          .set("strategy", names[s])
+          .set("lat_p50", agg[s].p50.mean())
+          .set("lat_p99", agg[s].p99.mean())
+          .set("lat_p999", agg[s].p999.mean())
+          .set("lat_mean", agg[s].mean_lat.mean())
+          .set("served_frac", served_frac)
+          .set("cov", agg[s].cov.mean())
+          .set("consume_failures", agg[s].failures.mean())
+          .set("messages", agg[s].messages.mean())
+          .set("packets_moved", agg[s].moved.mean());
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n(latency in steps, FIFO-drain virtual clock; 'served' = "
+               "fraction of arrivals consumed within the horizon.  RSS "
+               "steers arrivals for free but cannot migrate backlog; the "
+               "paper's algorithm pays messages/moves to drain it.)\n";
+
+  const std::string json_out = opts.get_string("json_out");
+  if (!json_out.empty() && json.write_file(json_out))
+    std::cout << "(json written to " << json_out << ")\n";
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   CliOptions opts;
@@ -30,12 +179,26 @@ int main(int argc, char** argv) {
                                  "diffusion torus)")
       .add_int("steps", 500, "global time steps")
       .add_int("runs", 30, "trace realizations")
-      .add_int("seed", 1993, "master seed");
+      .add_int("seed", 1993, "master seed")
+      .add_string("workload", "paper", "demand model: paper|serving")
+      .add_string("alphas", "0.8,1.1,1.4",
+                  "serving mode: comma-separated Zipf exponents")
+      .add_int("sessions", 2000000, "serving mode: user-session universe")
+      .add_string("json_out", "", "serving mode: write rows as JSON "
+                                  "(BENCH_core.json shape)");
   if (!opts.parse(argc, argv)) return 1;
   const auto n = static_cast<std::uint32_t>(opts.get_int("processors"));
   const auto steps = static_cast<std::uint32_t>(opts.get_int("steps"));
   const auto runs = static_cast<std::uint32_t>(opts.get_int("runs"));
   Rng master(static_cast<std::uint64_t>(opts.get_int("seed")));
+
+  const std::string workload = opts.get_string("workload");
+  if (workload == "serving") return run_serving(opts, n, steps, runs, master);
+  if (workload != "paper") {
+    std::cerr << "unknown --workload '" << workload
+              << "' (expected paper|serving)\n";
+    return 1;
+  }
 
   bench::print_header(
       "Baseline comparison on identical demand traces (§7 workload)",

@@ -81,7 +81,8 @@ class JsonRows {
         row.set(m.name + ".count", m.count)
             .set(m.name + ".mean", m.mean)
             .set(m.name + ".p50", m.p50)
-            .set(m.name + ".p99", m.p99);
+            .set(m.name + ".p99", m.p99)
+            .set(m.name + ".p999", m.p999);
       } else {
         row.set(m.name, static_cast<std::int64_t>(m.value));
       }

@@ -1,5 +1,7 @@
 #include "baselines/adapter.hpp"
 
+#include "support/check.hpp"
+
 namespace dlb {
 
 DlbAdapter::DlbAdapter(std::uint32_t processors, BalancerConfig config,
@@ -8,6 +10,17 @@ DlbAdapter::DlbAdapter(std::uint32_t processors, BalancerConfig config,
 
 std::string DlbAdapter::name() const {
   return "dlb(" + system_->config().describe() + ")";
+}
+
+void DlbAdapter::begin_run() {
+  // Re-anchor the delta baselines to the system's current totals.  A
+  // reused adapter (or one whose System was manipulated between runs)
+  // otherwise starts the run with stale baselines: totals below the
+  // baseline would silently suppress counting until the gap refills,
+  // undercounting the run's true cost.
+  const CostTotals& totals = system_->costs().totals();
+  moved_baseline_ = totals.packets_moved_net;
+  messages_baseline_ = totals.messages;
 }
 
 void DlbAdapter::generate(std::uint32_t p) {
@@ -30,7 +43,15 @@ void DlbAdapter::sync_costs() {
   // Comparisons against label-free baselines use the *net* flow: the
   // physical migration implied by total-load changes.  The gross
   // class-labeled traffic remains available via system().costs().
+  // Within a run the system's totals are monotone; a totals value below
+  // the baseline means the baseline is stale (reuse without begin_run,
+  // or an external reset mid-run) and deltas would silently vanish —
+  // fail loudly instead.
   const CostTotals& totals = system_->costs().totals();
+  DLB_REQUIRE(totals.packets_moved_net >= moved_baseline_ &&
+                  totals.messages >= messages_baseline_,
+              "DlbAdapter cost totals moved backwards within a run; "
+              "baselines are stale (missing begin_run?)");
   if (totals.packets_moved_net > moved_baseline_) {
     count_moved(totals.packets_moved_net - moved_baseline_);
     moved_baseline_ = totals.packets_moved_net;

@@ -16,6 +16,7 @@ class DlbAdapter final : public LoadBalancer {
              std::uint64_t seed);
 
   std::string name() const override;
+  void begin_run() override;
   void generate(std::uint32_t p) override;
   bool consume(std::uint32_t p) override;
   std::vector<std::int64_t> loads() const override;

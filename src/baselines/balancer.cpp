@@ -12,6 +12,7 @@ void run_trace(
     LoadBalancer& balancer, const Trace& trace,
     const std::function<void(std::uint32_t, const std::vector<std::int64_t>&)>&
         on_step) {
+  balancer.begin_run();
   for (std::uint32_t t = 0; t < trace.horizon(); ++t) {
     for (std::uint32_t p = 0; p < trace.processors(); ++p) {
       const WorkEvent ev = trace.at(p, t);

@@ -26,6 +26,11 @@ class LoadBalancer {
 
   virtual std::string name() const = 0;
 
+  /// Start-of-run hook, called by run_trace before the first step.
+  /// Strategies that mirror external cost totals (DlbAdapter) re-anchor
+  /// their delta baselines here so a reused instance cannot undercount.
+  virtual void begin_run() {}
+
   /// The application generated one packet on processor p.
   virtual void generate(std::uint32_t p) = 0;
 

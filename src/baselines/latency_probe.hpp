@@ -1,0 +1,66 @@
+// Decorator wiring a LatencyTracker into any LoadBalancer.
+//
+// run_trace drives strategies through the LoadBalancer interface only;
+// the probe interposes on that interface, stamping every generate with
+// the current virtual step and draining the tracker's FIFO on every
+// *successful* consume (failed consumes serve nothing, so they leave
+// the backlog aging — which is exactly how a policy's stranded load
+// shows up in the tail).  The probe forwards everything else untouched
+// and reads its clock from the end_step(t) stream, so it composes with
+// any strategy without that strategy knowing it is being measured.
+#pragma once
+
+#include "baselines/balancer.hpp"
+#include "metrics/latency.hpp"
+
+namespace dlb {
+
+class LatencyProbe final : public LoadBalancer {
+ public:
+  /// `inner` must outlive the probe.
+  explicit LatencyProbe(LoadBalancer& inner) : inner_(inner) {}
+
+  std::string name() const override { return inner_.name(); }
+
+  void begin_run() override {
+    // Fresh measurement per run: a reused probe must not carry the old
+    // run's clock or its pending cohorts (their stamps are from the old
+    // timeline, so new consumes would drain them at nonsense latencies —
+    // or trip the tracker's FIFO-order guards).
+    now_ = 0;
+    tracker_.reset();
+    inner_.begin_run();
+  }
+
+  void generate(std::uint32_t p) override {
+    tracker_.on_generate(now_);
+    inner_.generate(p);
+  }
+
+  bool consume(std::uint32_t p) override {
+    const bool ok = inner_.consume(p);
+    // A reused inner balancer may serve backlog that predates this
+    // measurement window (begin_run resets the tracker, not the
+    // balancer); such packets have no arrival stamp here, so they are
+    // excluded from the distribution rather than guessed at.
+    if (ok && tracker_.pending() > 0) tracker_.on_consume(now_);
+    return ok;
+  }
+
+  void end_step(std::uint32_t t) override {
+    inner_.end_step(t);
+    now_ = t + 1;
+  }
+
+  std::vector<std::int64_t> loads() const override { return inner_.loads(); }
+
+  const LatencyTracker& latency() const { return tracker_; }
+  LoadBalancer& inner() { return inner_; }
+
+ private:
+  LoadBalancer& inner_;
+  LatencyTracker tracker_;
+  std::uint32_t now_ = 0;
+};
+
+}  // namespace dlb

@@ -1,0 +1,109 @@
+#include "baselines/rss.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+namespace {
+
+std::uint32_t next_pow2(std::uint32_t v) {
+  std::uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+RssIndirection::RssIndirection(std::uint32_t processors, Params params,
+                               std::uint64_t seed)
+    : loads_(processors, 0), params_(params), hash_salt_(seed) {
+  DLB_REQUIRE(processors >= 1, "RSS needs at least one processor");
+  DLB_REQUIRE(params_.trigger > 1.0, "trigger must exceed 1 (max/avg)");
+  DLB_REQUIRE(params_.check_period >= 1, "check_period must be positive");
+  DLB_REQUIRE(params_.decay >= 0.0 && params_.decay <= 1.0,
+              "decay out of [0,1]");
+  std::uint32_t buckets = params_.buckets;
+  if (buckets == 0) buckets = std::max(128u, next_pow2(4 * processors));
+  DLB_REQUIRE((buckets & (buckets - 1)) == 0,
+              "bucket table size must be a power of two");
+  table_.resize(buckets);
+  bucket_flow_.assign(buckets, 0.0);
+  // Round-robin initial spread, then a seeded shuffle so the
+  // bucket->processor map carries no alignment with the flow hash.
+  for (std::uint32_t b = 0; b < buckets; ++b) table_[b] = b % processors;
+  Rng rng(seed);
+  rng.shuffle(table_);
+}
+
+std::uint32_t RssIndirection::bucket_of(std::uint32_t flow) const {
+  // Same SplitMix64 mixing as ServingWorkload::session_processor so the
+  // steering hash is as good as the demand hash.
+  SplitMix64 mix(hash_salt_ ^ (std::uint64_t{flow} * 0x9e3779b97f4a7c15ULL));
+  return static_cast<std::uint32_t>(mix.next() &
+                                    (std::uint64_t{table_.size()} - 1));
+}
+
+void RssIndirection::generate(std::uint32_t p) {
+  // The arrival processor IS the flow's load class (the demand traces
+  // key arrivals by class); the table steers it to its serving
+  // processor.  Steering happens before queueing, so it moves no queued
+  // packet and costs no message — that is the point of the data-plane
+  // table.
+  const std::uint32_t b = bucket_of(p);
+  ++loads_[table_[b]];
+  bucket_flow_[b] += 1.0;
+}
+
+bool RssIndirection::consume(std::uint32_t p) {
+  if (loads_[p] <= 0) {
+    count_failure();
+    return false;
+  }
+  --loads_[p];
+  return true;
+}
+
+void RssIndirection::end_step(std::uint32_t t) {
+  if ((t + 1) % params_.check_period != 0) return;
+  maybe_rebalance();
+  for (double& f : bucket_flow_) f *= (1.0 - params_.decay);
+}
+
+void RssIndirection::maybe_rebalance() {
+  const auto n = static_cast<std::uint32_t>(loads_.size());
+  if (n < 2) return;
+  for (std::uint32_t round = 0; round < params_.max_reassign; ++round) {
+    std::int64_t total = 0;
+    std::uint32_t hottest = 0;
+    std::uint32_t coldest = 0;
+    for (std::uint32_t p = 0; p < n; ++p) {
+      total += loads_[p];
+      if (loads_[p] > loads_[hottest]) hottest = p;
+      if (loads_[p] < loads_[coldest]) coldest = p;
+    }
+    const double avg =
+        static_cast<double>(total) / static_cast<double>(n);
+    if (avg <= 0.0 ||
+        static_cast<double>(loads_[hottest]) <= params_.trigger * avg)
+      return;
+    // Greedy biggest-flow reassignment: among the buckets currently
+    // mapped to the hottest processor, remap the one carrying the most
+    // (EWMA) traffic to the coldest processor.  Future arrivals follow;
+    // queued backlog stays (real RSS cannot migrate it).
+    std::int32_t best = -1;
+    for (std::uint32_t b = 0; b < table_.size(); ++b) {
+      if (table_[b] != hottest) continue;
+      if (best < 0 || bucket_flow_[b] >
+                          bucket_flow_[static_cast<std::uint32_t>(best)])
+        best = static_cast<std::int32_t>(b);
+    }
+    if (best < 0) return;  // hot load is all backlog, no inbound bucket
+    table_[static_cast<std::uint32_t>(best)] = coldest;
+    ++reassignments_;
+    count_message();  // one control-plane table update
+  }
+}
+
+}  // namespace dlb

@@ -1,0 +1,72 @@
+// RSS-style indirection-table balancer — the industry-standard
+// table-driven approach (NIC receive-side scaling, Maglev-style
+// consistent-table frontends): a fixed power-of-two bucket table maps
+// load classes (flows) to processors; packets are steered at arrival
+// time by hashing their class into the table, and a controller reacts
+// to observed imbalance by greedily remapping the biggest-flow buckets
+// away from the most loaded processor.
+//
+// Contrasts with the paper's randomized-partner algorithm on three
+// axes the serving bench makes visible:
+//   - steering is data-plane-free (the hash costs nothing and moves no
+//     packets), so its message/migration counters stay near zero;
+//   - already-queued backlog is NOT migrated on reassignment (real RSS
+//     cannot reach into NIC/processor queues), so a flash crowd's
+//     backlog drains only at the victim's service rate — that is where
+//     the tail latency diverges under skew;
+//   - reassignment granularity is a whole bucket, so a single flow
+//     bigger than the per-processor capacity cannot be split.
+#pragma once
+
+#include "baselines/balancer.hpp"
+#include "support/rng.hpp"
+
+namespace dlb {
+
+class RssIndirection final : public LoadBalancer {
+ public:
+  struct Params {
+    /// Indirection-table size; 0 = smallest power of two >= 4n
+    /// (clamped to at least 128, like NIC tables).  Must be a power of
+    /// two when given.
+    std::uint32_t buckets = 0;
+    /// Rebalance when max_load / avg_load exceeds this.
+    double trigger = 1.5;
+    /// Steps between imbalance checks (control-plane reaction time).
+    std::uint32_t check_period = 10;
+    /// Buckets remapped per triggered check.
+    std::uint32_t max_reassign = 4;
+    /// Per-check decay of the per-bucket flow counters (EWMA): rate
+    /// estimates follow the current mix instead of the whole history.
+    double decay = 0.5;
+  };
+
+  RssIndirection(std::uint32_t processors, Params params, std::uint64_t seed);
+
+  std::string name() const override { return "rss-indirection"; }
+  void generate(std::uint32_t p) override;
+  bool consume(std::uint32_t p) override;
+  void end_step(std::uint32_t t) override;
+  std::vector<std::int64_t> loads() const override { return loads_; }
+
+  /// Control-plane bucket remaps executed so far (each also counts one
+  /// message in the LoadBalancer counters).
+  std::uint64_t reassignments() const { return reassignments_; }
+  std::uint32_t bucket_count() const {
+    return static_cast<std::uint32_t>(table_.size());
+  }
+  /// The bucket a load class hashes into (exposed for tests).
+  std::uint32_t bucket_of(std::uint32_t flow) const;
+
+ private:
+  void maybe_rebalance();
+
+  std::vector<std::int64_t> loads_;       // per-processor queue depth
+  std::vector<std::uint32_t> table_;      // bucket -> processor
+  std::vector<double> bucket_flow_;       // EWMA packets per bucket
+  Params params_;
+  std::uint64_t hash_salt_;
+  std::uint64_t reassignments_ = 0;
+};
+
+}  // namespace dlb

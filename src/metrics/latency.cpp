@@ -1,0 +1,36 @@
+#include "metrics/latency.hpp"
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+void LatencyTracker::on_generate(std::uint32_t t) {
+  DLB_REQUIRE(queue_.empty() || queue_.back().step <= t,
+              "latency tracker: arrival steps must be non-decreasing");
+  if (!queue_.empty() && queue_.back().step == t) {
+    ++queue_.back().count;
+  } else {
+    queue_.push_back(Cohort{t, 1});
+  }
+  ++arrived_;
+}
+
+void LatencyTracker::on_consume(std::uint32_t t) {
+  DLB_REQUIRE(!queue_.empty(),
+              "latency tracker: consume without outstanding arrival");
+  Cohort& oldest = queue_.front();
+  DLB_REQUIRE(oldest.step <= t,
+              "latency tracker: consume before the packet arrived");
+  hist_.record(t - oldest.step);
+  ++served_;
+  if (--oldest.count == 0) queue_.pop_front();
+}
+
+void LatencyTracker::reset() {
+  queue_.clear();
+  arrived_ = 0;
+  served_ = 0;
+  hist_.reset();
+}
+
+}  // namespace dlb

@@ -1,0 +1,70 @@
+// Per-packet queueing-latency accounting on the virtual (step) clock.
+//
+// The serving scenario reports tail latency next to the imbalance
+// metrics: every generated packet is stamped with its arrival step, and
+// every successful consume drains the oldest outstanding stamp — the
+// system-wide FIFO service discipline.  The recorded latency is
+// (consume step - arrival step) in steps, fed into an obs::Histogram
+// for p50/p99/p999.
+//
+// Semantics: the tracker sees the balancer as a black box.  Packets are
+// indistinguishable, so it cannot attribute a specific consume to a
+// specific packet; charging the oldest outstanding arrival measures the
+// best-case FIFO queueing delay *given the consume completions the
+// policy achieved*.  Policies differ through exactly one channel — when
+// their consume attempts succeed: a balancer that strands backlog on
+// hot processors fails the cold processors' consume attempts, the
+// backlog ages, and the tail percentiles grow.  Migration itself is
+// charged zero latency (consistent with the paper's constant-time
+// operation model); message costs are reported separately by the
+// LoadBalancer counters.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "obs/metrics.hpp"
+
+namespace dlb {
+
+class LatencyTracker {
+ public:
+  /// A packet arrived at step t.  Steps must be non-decreasing across
+  /// calls (the virtual clock only moves forward).
+  void on_generate(std::uint32_t t);
+
+  /// A packet was served at step t: drains the oldest outstanding
+  /// arrival and records (t - arrival).  Requires pending() > 0 —
+  /// guaranteed when the caller only reports *successful* consumes,
+  /// since the balancer cannot serve packets that never arrived.
+  void on_consume(std::uint32_t t);
+
+  /// Packets arrived / served so far; pending = arrived - served.
+  std::uint64_t arrived() const { return arrived_; }
+  std::uint64_t served() const { return served_; }
+  std::uint64_t pending() const { return arrived_ - served_; }
+
+  /// Queueing-latency distribution in steps over the served packets.
+  const obs::Histogram& histogram() const { return hist_; }
+  double percentile(double q) const { return hist_.percentile(q); }
+  double mean() const { return hist_.mean(); }
+
+  /// Forgets all arrivals, services, and the distribution — a fresh
+  /// measurement (the probe calls this at the start of every run).
+  void reset();
+
+ private:
+  // Run-length encoded arrival queue: arrivals come in step order, so
+  // one (step, count) pair per step with arrivals suffices — the memory
+  // is O(distinct backlogged steps), not O(backlogged packets).
+  struct Cohort {
+    std::uint32_t step;
+    std::uint64_t count;
+  };
+  std::deque<Cohort> queue_;
+  std::uint64_t arrived_ = 0;
+  std::uint64_t served_ = 0;
+  obs::Histogram hist_;
+};
+
+}  // namespace dlb

@@ -8,7 +8,7 @@
 namespace dlb::obs {
 
 void Histogram::record(std::uint64_t value) {
-  buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  cells_[cell_of(value)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
   // Monotone clamp via CAS; contention is negligible (extrema settle
@@ -38,32 +38,30 @@ double Histogram::mean() const {
 
 double Histogram::percentile(double q) const {
   DLB_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
-  const auto counts = buckets();
+  const auto counts = cells();
   std::uint64_t n = 0;
   for (std::uint64_t c : counts) n += c;
   if (n == 0) return 0.0;
   // Rank of the order statistic (nearest-rank, 1-based), then walk the
-  // buckets to the one containing it.
+  // fine cells to the one containing it.
   const auto rank = static_cast<std::uint64_t>(
       std::max(1.0, std::min(static_cast<double>(n),
                              q * static_cast<double>(n) + 0.5)));
   std::uint64_t before = 0;
-  std::size_t b = 0;
-  for (; b < kBuckets; ++b) {
-    if (before + counts[b] >= rank) break;
-    before += counts[b];
+  std::size_t c = 0;
+  for (; c < kCells; ++c) {
+    if (before + counts[c] >= rank) break;
+    before += counts[c];
   }
-  if (b >= kBuckets) b = kBuckets - 1;
-  // Linear interpolation across the bucket's span, clamped to the
-  // recorded extrema so single-bucket distributions report sane edges.
-  const double lo = static_cast<double>(bucket_lo(b));
-  const double hi = static_cast<double>(b + 1 >= kBuckets
-                                            ? max()
-                                            : bucket_lo(b + 1));
+  if (c >= kCells) c = kCells - 1;
+  // Linear interpolation across the cell's span, clamped to the
+  // recorded extrema so single-cell distributions report sane edges.
+  const double lo = cell_lo(c);
+  const double hi = cell_hi(c);
   const double inside =
-      counts[b] == 0
+      counts[c] == 0
           ? 0.0
-          : static_cast<double>(rank - before) / static_cast<double>(counts[b]);
+          : static_cast<double>(rank - before) / static_cast<double>(counts[c]);
   double v = lo + (hi - lo) * inside;
   v = std::min(v, static_cast<double>(max()));
   v = std::max(v, static_cast<double>(min()));
@@ -72,9 +70,25 @@ double Histogram::percentile(double q) const {
 
 std::array<std::uint64_t, Histogram::kBuckets> Histogram::buckets() const {
   std::array<std::uint64_t, kBuckets> out{};
-  for (std::size_t i = 0; i < kBuckets; ++i)
-    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kCells; ++i)
+    out[i / kSubBuckets] += cells_[i].load(std::memory_order_relaxed);
   return out;
+}
+
+std::array<std::uint64_t, Histogram::kCells> Histogram::cells() const {
+  std::array<std::uint64_t, kCells> out{};
+  for (std::size_t i = 0; i < kCells; ++i)
+    out[i] = cells_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i < kCells; ++i)
+    cells_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
 }
 
 MetricsRegistry::Cell& MetricsRegistry::cell(const std::string& name,
@@ -140,6 +154,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
         v.p50 = c.histogram->percentile(0.50);
         v.p90 = c.histogram->percentile(0.90);
         v.p99 = c.histogram->percentile(0.99);
+        v.p999 = c.histogram->percentile(0.999);
         break;
     }
     out.values.push_back(std::move(v));
@@ -201,7 +216,8 @@ void write_group(std::ostream& os, const MetricsSnapshot& snap,
       os << "{\"count\": " << v.count << ", \"sum\": " << v.total
          << ", \"min\": " << v.min << ", \"max\": " << v.max
          << ", \"mean\": " << v.mean << ", \"p50\": " << v.p50
-         << ", \"p90\": " << v.p90 << ", \"p99\": " << v.p99 << '}';
+         << ", \"p90\": " << v.p90 << ", \"p99\": " << v.p99
+         << ", \"p999\": " << v.p999 << '}';
     } else {
       os << v.value;
     }
@@ -221,14 +237,14 @@ void MetricsSnapshot::write_json(std::ostream& os) const {
 }
 
 void MetricsSnapshot::write_csv(std::ostream& os) const {
-  os << "name,kind,value,count,sum,min,max,mean,p50,p90,p99\n";
+  os << "name,kind,value,count,sum,min,max,mean,p50,p90,p99,p999\n";
   for (const MetricValue& v : values) {
     const char* kind = v.kind == MetricValue::Kind::Counter   ? "counter"
                        : v.kind == MetricValue::Kind::Gauge   ? "gauge"
                                                               : "histogram";
     os << v.name << ',' << kind << ',' << v.value << ',' << v.count << ','
        << v.total << ',' << v.min << ',' << v.max << ',' << v.mean << ','
-       << v.p50 << ',' << v.p90 << ',' << v.p99 << '\n';
+       << v.p50 << ',' << v.p90 << ',' << v.p99 << ',' << v.p999 << '\n';
   }
 }
 

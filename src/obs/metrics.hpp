@@ -9,11 +9,15 @@
 // atomic RMW when attached.  A snapshot() walks the registry under its
 // mutex and yields plain values, exportable as JSON or CSV.
 //
-// Histograms bucket by floor(log2(value)) — 64 buckets cover the full
-// uint64 range — and answer percentile queries by linear interpolation
-// inside the selected bucket.  The guarantee is therefore bucket-level:
-// the reported p-quantile lies in the same power-of-two bucket as the
-// exact order statistic (tested against a sorted-vector oracle).
+// Histograms bucket log-linearly (HdrHistogram-style): 64 power-of-two
+// major buckets, each split into kSubBuckets linear sub-buckets, and
+// percentile queries interpolate linearly inside the sub-bucket holding
+// the requested order statistic.  The quantile therefore lands in the
+// same 1/kSubBuckets slice of the power-of-two bucket as the exact
+// order statistic, bounding the relative error by 1/kSubBuckets
+// (6.25%) — tight enough that a p999 latency column is meaningful
+// instead of collapsing onto power-of-two edges (tested against a
+// sorted-vector oracle).
 #pragma once
 
 #include <atomic>
@@ -51,15 +55,20 @@ class Gauge {
   std::atomic<std::int64_t> v_{0};
 };
 
-/// Log2-bucketed histogram of non-negative values (typically
-/// nanoseconds).  record() is wait-free; percentile() interpolates
-/// within the bucket holding the requested order statistic.
+/// Log-linear histogram of non-negative values (typically nanoseconds):
+/// 64 power-of-two major buckets, each split into kSubBuckets linear
+/// sub-buckets.  record() is wait-free; percentile() interpolates
+/// within the sub-bucket holding the requested order statistic, so the
+/// relative error is bounded by 1/kSubBuckets instead of a full binary
+/// order of magnitude.
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = 64;
+  static constexpr std::size_t kSubBuckets = 16;
+  static constexpr std::size_t kCells = kBuckets * kSubBuckets;
 
-  /// Bucket index for a value: 0 holds {0, 1}, bucket i >= 1 holds
-  /// [2^i, 2^(i+1)).
+  /// Major bucket index for a value: 0 holds {0, 1}, bucket i >= 1
+  /// holds [2^i, 2^(i+1)).
   static std::size_t bucket_of(std::uint64_t value) {
     return value <= 1 ? 0
                       : static_cast<std::size_t>(63 - __builtin_clzll(value));
@@ -67,6 +76,36 @@ class Histogram {
   /// Inclusive lower edge of bucket `i`.
   static std::uint64_t bucket_lo(std::size_t i) {
     return i == 0 ? 0 : (std::uint64_t{1} << i);
+  }
+  /// Fine cell index: major bucket b, then the value's position within
+  /// the bucket span scaled to kSubBuckets.  Buckets narrower than
+  /// kSubBuckets (b <= 4) leave some sub-cells unused; integer values
+  /// then map injectively, making small values exact.
+  static std::size_t cell_of(std::uint64_t value) {
+    const std::size_t b = bucket_of(value);
+    const std::uint64_t lo = bucket_lo(b);
+    const std::uint64_t span = b == 0 ? 2 : lo;  // bucket width
+    // Divide-before-multiply when the span allows it: (value-lo) *
+    // kSubBuckets overflows 64 bits in the top buckets.  2^b is
+    // divisible by kSubBuckets for b >= 4, so the division is exact.
+    const std::uint64_t sub = span >= kSubBuckets
+                                  ? (value - lo) / (span / kSubBuckets)
+                                  : (value - lo) * kSubBuckets / span;
+    return b * kSubBuckets + static_cast<std::size_t>(sub);
+  }
+  /// Inclusive lower edge of fine cell `c`.
+  static double cell_lo(std::size_t c) {
+    const std::size_t b = c / kSubBuckets;
+    const std::size_t sub = c % kSubBuckets;
+    const double lo = static_cast<double>(bucket_lo(b));
+    const double span = b == 0 ? 2.0 : lo;
+    return lo + span * static_cast<double>(sub) /
+                    static_cast<double>(kSubBuckets);
+  }
+  /// Exclusive upper edge of fine cell `c`.
+  static double cell_hi(std::size_t c) {
+    return c + 1 >= kCells ? 18446744073709551616.0  // 2^64
+                           : cell_lo(c + 1);
   }
 
   void record(std::uint64_t value);
@@ -78,15 +117,23 @@ class Histogram {
   std::uint64_t max() const;
   double mean() const;
 
-  /// Value at quantile q in [0, 1]: the exact order statistic's bucket,
-  /// linearly interpolated.  Returns 0 when empty.
+  /// Value at quantile q in [0, 1]: the exact order statistic's fine
+  /// cell, linearly interpolated.  Returns 0 when empty.
   double percentile(double q) const;
 
-  /// Per-bucket counts (index by bucket_of).
+  /// Per-major-bucket counts (index by bucket_of), aggregated over the
+  /// sub-buckets.
   std::array<std::uint64_t, kBuckets> buckets() const;
+  /// Per-fine-cell counts (index by cell_of).
+  std::array<std::uint64_t, kCells> cells() const;
+
+  /// Forgets everything recorded.  Not atomic with respect to
+  /// concurrent record() calls — callers reset between runs, not
+  /// mid-measurement.
+  void reset();
 
  private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::array<std::atomic<std::uint64_t>, kCells> cells_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};
   std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
@@ -109,6 +156,7 @@ struct MetricValue {
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
 };
 
 /// A point-in-time copy of every instrument, ordered by name.
@@ -117,9 +165,9 @@ struct MetricsSnapshot {
 
   const MetricValue* find(const std::string& name) const;
   /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
-  /// sum, min, max, mean, p50, p90, p99}}}
+  /// sum, min, max, mean, p50, p90, p99, p999}}}
   void write_json(std::ostream& os) const;
-  /// name,kind,value,count,sum,min,max,mean,p50,p90,p99 rows.
+  /// name,kind,value,count,sum,min,max,mean,p50,p90,p99,p999 rows.
   void write_csv(std::ostream& os) const;
 };
 

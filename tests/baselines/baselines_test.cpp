@@ -179,6 +179,35 @@ TEST(DlbAdapter, ReportsCosts) {
   EXPECT_GT(adapter.packets_moved(), 0u);
 }
 
+TEST(DlbAdapter, BeginRunReanchorsCostBaselines) {
+  // The adapter counts *deltas* of the wrapped System's cost ledger.  If
+  // the System is driven directly between run_trace calls, the ledger
+  // advances outside the adapter's counting; begin_run (called by
+  // run_trace) must re-anchor the baselines so the externally-opened gap
+  // is not attributed to the next run.
+  const auto trace = hotspot_trace(8, 200, 10);
+  DlbAdapter adapter(8, BalancerConfig{}, 47);
+  run_trace(adapter, trace);
+  const std::uint64_t counted_before = adapter.messages();
+
+  Rng rng(2);
+  adapter.system().run(
+      Workload::paper_benchmark(8, 100, WorkloadParams{}, rng));
+  const std::uint64_t totals_before_replay =
+      adapter.system().costs().totals().messages;
+  EXPECT_GT(totals_before_replay, 0u);
+
+  Rng rng2(3);
+  const Trace replay =
+      Trace::record(Workload::uniform(8, 20, 0.0, 0.5), rng2);
+  run_trace(adapter, replay);
+  const std::uint64_t replay_delta =
+      adapter.system().costs().totals().messages - totals_before_replay;
+  // Exactly the replay's own ledger delta was counted — nothing leaked
+  // from the direct run.
+  EXPECT_EQ(adapter.messages() - counted_before, replay_delta);
+}
+
 TEST(Comparison, DlbBeatsNoBalancingOnHotspot) {
   const auto trace = hotspot_trace(16, 400, 11);
   DlbAdapter ours(16, BalancerConfig{}, 44);

@@ -1,0 +1,114 @@
+// RSS indirection-table baseline: conservation, table invariants, the
+// controller's reaction to skew, and the cost-model contract (steering
+// is free, remaps are control-plane messages).
+#include <gtest/gtest.h>
+
+#include "baselines/rss.hpp"
+#include "baselines/simple.hpp"
+#include "metrics/imbalance.hpp"
+#include "support/check.hpp"
+#include "workload/trace.hpp"
+
+namespace dlb {
+namespace {
+
+void expect_conservation(LoadBalancer& balancer, const Trace& trace) {
+  const std::int64_t expected =
+      static_cast<std::int64_t>(trace.total_generations()) -
+      (static_cast<std::int64_t>(trace.total_consume_attempts()) -
+       static_cast<std::int64_t>(balancer.consume_failures()));
+  EXPECT_EQ(balancer.total_load(), expected) << balancer.name();
+}
+
+TEST(RssIndirection, TableDefaultsToPowerOfTwoAtLeast4n) {
+  RssIndirection small(8, {}, 1);
+  EXPECT_EQ(small.bucket_count(), 128u);  // clamped to the NIC-like floor
+  RssIndirection big(100, {}, 1);
+  EXPECT_EQ(big.bucket_count(), 512u);  // next pow2 >= 400
+  const std::uint32_t buckets = big.bucket_count();
+  EXPECT_EQ(buckets & (buckets - 1), 0u);
+  for (std::uint32_t flow = 0; flow < 1000; ++flow)
+    EXPECT_LT(big.bucket_of(flow), buckets);
+}
+
+TEST(RssIndirection, RejectsNonPowerOfTwoTable) {
+  RssIndirection::Params params;
+  params.buckets = 100;
+  EXPECT_THROW(RssIndirection(8, params, 1), contract_error);
+}
+
+TEST(RssIndirection, ConservesLoadAndSteeringIsFree) {
+  Rng rng(3);
+  const Trace trace =
+      Trace::record(Workload::uniform(16, 300, 0.5, 0.4), rng);
+  RssIndirection rss(16, {}, 7);
+  run_trace(rss, trace);
+  expect_conservation(rss, trace);
+  // Data-plane contract: hashing a packet into the table moves nothing.
+  // The only cost is control-plane remaps, one message each.
+  EXPECT_EQ(rss.packets_moved(), 0u);
+  EXPECT_EQ(rss.messages(), rss.reassignments());
+}
+
+TEST(RssIndirection, ControllerReactsToSkew) {
+  // One flow (arrival processor 0) carries all traffic: the controller
+  // must notice the imbalance at its check period and remap buckets.
+  Rng rng(5);
+  const Trace trace =
+      Trace::record(Workload::hotspot(16, 300, 1, 0.9, 0.2), rng);
+  RssIndirection rss(16, {}, 11);
+  run_trace(rss, trace);
+  EXPECT_GT(rss.reassignments(), 0u);
+}
+
+TEST(RssIndirection, AdaptiveTableBeatsFrozenTableUnderSkew) {
+  // Same skewed trace, controller on vs off (check_period > horizon):
+  // moving hot buckets away from the victim must cut consume failures
+  // and end-state imbalance.  Single-flow caveat: one flow cannot be
+  // split, so use several hot arrival processors.
+  Rng rng(6);
+  const Trace trace =
+      Trace::record(Workload::hotspot(16, 400, 4, 0.9, 0.25), rng);
+
+  RssIndirection adaptive(16, {}, 13);
+  run_trace(adaptive, trace);
+
+  RssIndirection::Params frozen_params;
+  frozen_params.check_period = 100000;  // never checks within the horizon
+  RssIndirection frozen(16, frozen_params, 13);
+  run_trace(frozen, trace);
+
+  EXPECT_EQ(frozen.reassignments(), 0u);
+  EXPECT_GT(adaptive.reassignments(), 0u);
+  const auto r_adaptive = measure_imbalance(adaptive.loads());
+  const auto r_frozen = measure_imbalance(frozen.loads());
+  EXPECT_LT(r_adaptive.max_deviation, r_frozen.max_deviation);
+  EXPECT_LE(adaptive.consume_failures(), frozen.consume_failures());
+}
+
+TEST(RssIndirection, ReassignmentDoesNotMigrateBacklog) {
+  // Pile backlog onto whatever processor bucket_of(flow 0) maps to, then
+  // trigger a rebalance: the table may change, but the queued packets
+  // stay where they are (real RSS cannot reach into queues).
+  RssIndirection rss(4, {}, 17);
+  for (int i = 0; i < 100; ++i) rss.generate(0);
+  const std::vector<std::int64_t> before = rss.loads();
+  for (std::uint32_t t = 0; t < 50; ++t) rss.end_step(t);
+  EXPECT_GT(rss.reassignments(), 0u);
+  EXPECT_EQ(rss.loads(), before);
+}
+
+TEST(RssIndirection, ConsumeFailsOnlyWhenEmpty) {
+  RssIndirection rss(2, {}, 19);
+  EXPECT_FALSE(rss.consume(0));
+  EXPECT_EQ(rss.consume_failures(), 1u);
+  rss.generate(0);
+  const std::vector<std::int64_t> loads = rss.loads();
+  // The packet landed on table_[bucket_of(0)] — consume from there.
+  const std::uint32_t holder = loads[0] == 1 ? 0u : 1u;
+  EXPECT_TRUE(rss.consume(holder));
+  EXPECT_EQ(rss.total_load(), 0);
+}
+
+}  // namespace
+}  // namespace dlb
