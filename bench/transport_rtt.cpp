@@ -23,6 +23,7 @@
 #include "mp/process_group.hpp"
 #include "mp/remote_comm.hpp"
 #include "mp/socket_transport.hpp"
+#include "obs/metrics.hpp"
 #include "support/check.hpp"
 
 using namespace dlb;
@@ -31,15 +32,36 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-double read_reported_us(const std::string& path) {
+// One leg's outcome: the latency plus the delivered wire traffic the
+// measuring rank observed on its hottest incoming link.  The counts
+// are exact, not sampled — the protocol blocks until every frame is
+// through, so messages == what the shape dictates and bytes/messages
+// is the deterministic framing overhead the perf gate pins.
+struct LegResult {
+  double us = 0.0;
+  std::uint64_t link_messages = 0;
+  std::uint64_t link_bytes = 0;
+};
+
+LegResult read_reported(const std::string& path) {
   std::ifstream in(path);
-  double us = -1.0;
-  DLB_ENSURE(static_cast<bool>(in >> us) && us >= 0.0,
+  LegResult r;
+  DLB_ENSURE(static_cast<bool>(in >> r.us >> r.link_messages >>
+                               r.link_bytes) &&
+                 r.us >= 0.0,
              "measuring rank reported nothing");
-  return us;
+  return r;
 }
 
-double time_rtt(bool tcp, int pings) {
+void report_leg(const std::string& path, double us,
+                obs::MetricsRegistry& reg, int from) {
+  const std::string link = "mp.link." + std::to_string(from) + "->0";
+  std::ofstream(path) << us << " "
+                      << reg.counter(link + ".messages").value() << " "
+                      << reg.counter(link + ".bytes").value() << "\n";
+}
+
+LegResult time_rtt(bool tcp, int pings) {
   const std::string dir = ProcessGroup::make_rendezvous_dir();
   const std::string report = dir + "/measured_us";
   auto group = ProcessGroup::spawn(2, [&dir, &report, tcp, pings](int r) {
@@ -47,6 +69,8 @@ double time_rtt(bool tcp, int pings) {
     opts.dir = dir;
     opts.tcp = tcp;
     SocketTransport t(r, 2, opts);
+    obs::MetricsRegistry reg;
+    if (r == 0) t.attach_obs(SocketObs{nullptr, &reg});
     const std::int64_t word[1] = {42};
     const int warmup = pings / 10 + 1;
     if (r == 0) {
@@ -63,7 +87,7 @@ double time_rtt(bool tcp, int pings) {
           std::chrono::duration<double, std::micro>(Clock::now() - t0)
               .count() /
           pings;
-      std::ofstream(report) << us << "\n";
+      report_leg(report, us, reg, 1);
     } else {
       for (int i = 0; i < warmup + pings; ++i) {
         t.recv(0, 1);
@@ -75,12 +99,12 @@ double time_rtt(bool tcp, int pings) {
   });
   DLB_ENSURE(group.wait_all(std::chrono::milliseconds(120000)),
              "rtt bench did not finish");
-  const double us = read_reported_us(report);
+  const LegResult res = read_reported(report);
   ProcessGroup::remove_rendezvous_dir(dir);
-  return us;
+  return res;
 }
 
-double time_txn(bool tcp, int rounds) {
+LegResult time_txn(bool tcp, int rounds) {
   constexpr int kRanks = 4;
   const std::string dir = ProcessGroup::make_rendezvous_dir();
   const std::string report = dir + "/measured_us";
@@ -90,6 +114,8 @@ double time_txn(bool tcp, int rounds) {
     opts.dir = dir;
     opts.tcp = tcp;
     SocketTransport t(r, kRanks, opts);
+    obs::MetricsRegistry reg;
+    if (r == 0) t.attach_obs(SocketObs{nullptr, &reg});
     SocketComm comm(t, SocketCommConfig{});
     const int next = (r + 1) % kRanks;
     const int prev = (r + kRanks - 1) % kRanks;
@@ -111,16 +137,18 @@ double time_txn(bool tcp, int rounds) {
           std::chrono::duration<double, std::micro>(Clock::now() - t0)
               .count() /
           rounds;
-      std::ofstream(report) << us << "\n";
+      // The hottest incoming link at rank 0 is prev->0: two gather
+      // contributions plus the ring transfer per transaction.
+      report_leg(report, us, reg, prev);
     }
     comm.close();
     return 0;
   });
   DLB_ENSURE(group.wait_all(std::chrono::milliseconds(240000)),
              "txn bench did not finish");
-  const double us = read_reported_us(report);
+  const LegResult res = read_reported(report);
   ProcessGroup::remove_rendezvous_dir(dir);
-  return us;
+  return res;
 }
 
 }  // namespace
@@ -140,28 +168,47 @@ int main(int argc, char** argv) {
       "engineering extension: the cost of a real process boundary under "
       "the transputer-style message protocol");
 
-  const double rtt_us =
+  const LegResult rtt =
       time_rtt(tcp, static_cast<int>(opts.get_int("pings")));
-  const double txn_us =
+  const LegResult txn =
       time_txn(tcp, static_cast<int>(opts.get_int("rounds")));
+  const auto per_msg = [](const LegResult& r) {
+    return r.link_messages == 0
+               ? 0.0
+               : static_cast<double>(r.link_bytes) /
+                     static_cast<double>(r.link_messages);
+  };
 
-  TextTable table({"workload", "ranks", "latency us"});
-  table.row().cell("socket_rtt").cell(std::size_t{2}).cell(rtt_us, 1);
-  table.row().cell("socket_txn").cell(std::size_t{4}).cell(txn_us, 1);
+  TextTable table(
+      {"workload", "ranks", "latency us", "link msgs", "wire B/msg"});
+  table.row().cell("socket_rtt").cell(std::size_t{2}).cell(rtt.us, 1)
+      .cell(static_cast<std::size_t>(rtt.link_messages))
+      .cell(per_msg(rtt), 1);
+  table.row().cell("socket_txn").cell(std::size_t{4}).cell(txn.us, 1)
+      .cell(static_cast<std::size_t>(txn.link_messages))
+      .cell(per_msg(txn), 1);
   table.print(std::cout);
   std::cout << "\ntransport: " << (tcp ? "tcp loopback" : "unix-domain")
             << "; txn = two 4-rank gather rounds + one deadline-guarded "
-               "p2p transfer\n";
+               "p2p transfer; link columns = delivered traffic on the "
+               "measuring rank's hottest incoming link (exact, so the "
+               "perf gate pins wire overhead)\n";
 
   bench::JsonRows json;
   json.row()
       .set("workload", "socket_rtt")
       .set("n", std::int64_t{2})
-      .set("rtt_us", rtt_us);
+      .set("rtt_us", rtt.us)
+      .set("link_messages", static_cast<std::int64_t>(rtt.link_messages))
+      .set("link_bytes", static_cast<std::int64_t>(rtt.link_bytes))
+      .set("wire_bytes_per_msg", per_msg(rtt));
   json.row()
       .set("workload", "socket_txn")
       .set("n", std::int64_t{4})
-      .set("txn_us", txn_us);
+      .set("txn_us", txn.us)
+      .set("link_messages", static_cast<std::int64_t>(txn.link_messages))
+      .set("link_bytes", static_cast<std::int64_t>(txn.link_bytes))
+      .set("wire_bytes_per_msg", per_msg(txn));
   const std::string json_out = opts.get_string("json_out");
   if (!json_out.empty() && json.write_file(json_out))
     std::cout << "(json written to " << json_out << ")\n";

@@ -44,7 +44,13 @@ int main(int argc, char** argv) {
       .add_string("transport", "local",
                   "rank wiring: local (threads) or socket (processes)")
       .add_flag("tcp", "socket transport over TCP loopback, not UDS")
-      .add_flag("restart", "re-fork killed ranks to replay their journal");
+      .add_flag("restart", "re-fork killed ranks to replay their journal")
+      .add_string("trace_out", "",
+                  "socket runs: merged Perfetto trace (per-rank process "
+                  "tracks, cross-rank flow arcs, crash instants)")
+      .add_string("metrics_out", "",
+                  "socket runs: merged machine metrics JSON (per-rank "
+                  "and aggregate mp.* / spmd.* instruments)");
   if (!cli.parse(argc, argv)) return 1;
 
   const int n = static_cast<int>(cli.get_int("ranks"));
@@ -88,6 +94,12 @@ int main(int argc, char** argv) {
     std::cerr << "--transport must be local or socket\n";
     return 1;
   }
+  const std::string trace_out = cli.get_string("trace_out");
+  const std::string metrics_out = cli.get_string("metrics_out");
+  if (transport != "socket" && (!trace_out.empty() || !metrics_out.empty())) {
+    std::cerr << "--trace_out/--metrics_out require --transport=socket\n";
+    return 1;
+  }
 
   SpmdReport report;
   if (transport == "socket") {
@@ -97,8 +109,16 @@ int main(int argc, char** argv) {
     opts.params = params;
     opts.plan = plan;
     opts.restart_dead = cli.get_flag("restart");
+    opts.trace_out = trace_out;
+    opts.metrics_out = metrics_out;
     const SocketRunResult run = run_spmd_balancer_socket(trace, opts);
     report = run.report;
+    if (!trace_out.empty())
+      std::printf("merged trace: %s (%llu matched send->recv flows)\n",
+                  trace_out.c_str(),
+                  static_cast<unsigned long long>(run.matched_flow_pairs));
+    if (!metrics_out.empty())
+      std::printf("merged metrics: %s\n", metrics_out.c_str());
     for (int r = 0; r < n; ++r) {
       if (run.killed[static_cast<std::size_t>(r)])
         std::printf("rank %d killed by signal %d%s\n", r,

@@ -1,0 +1,51 @@
+#include "mp/clock_sync.hpp"
+
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace dlb {
+
+ClockSyncResult sync_clocks(Transport& transport,
+                            const obs::TraceBuffer& clock, int reference,
+                            int pings) {
+  DLB_REQUIRE(reference >= 0 && reference < transport.size(),
+              "clock sync: reference rank out of range");
+  DLB_REQUIRE(pings >= 1, "clock sync: need at least one ping");
+  ClockSyncResult out;
+  if (transport.size() <= 1) return out;
+
+  if (transport.rank() == reference) {
+    // Serve exactly (size-1) * pings echo requests.  The control plane
+    // is reliable and no rank dies before its sync round finishes, so
+    // the count needs no termination handshake.
+    const int expect = (transport.size() - 1) * pings;
+    for (int i = 0; i < expect; ++i) {
+      MpMessage msg = transport.recv(-1, kTagClockSync);
+      DLB_REQUIRE(msg.payload.size() == 1, "clock sync: bad ping");
+      const std::int64_t echo[2] = {
+          msg.payload[0], static_cast<std::int64_t>(clock.now_ns())};
+      transport.send(msg.source, kTagClockSync, echo, 2);
+    }
+    return out;
+  }
+
+  std::int64_t best_rtt = std::numeric_limits<std::int64_t>::max();
+  for (int i = 0; i < pings; ++i) {
+    const auto t0 = static_cast<std::int64_t>(clock.now_ns());
+    transport.send(reference, kTagClockSync, &t0, 1);
+    MpMessage msg = transport.recv(reference, kTagClockSync);
+    const auto t3 = static_cast<std::int64_t>(clock.now_ns());
+    DLB_REQUIRE(msg.payload.size() == 2 && msg.payload[0] == t0,
+                "clock sync: bad echo");
+    const std::int64_t rtt = t3 - t0;
+    if (rtt < best_rtt) {
+      best_rtt = rtt;
+      out.offset_ns = msg.payload[1] - (t0 + t3) / 2;
+      out.rtt_ns = rtt;
+    }
+  }
+  return out;
+}
+
+}  // namespace dlb

@@ -1,0 +1,51 @@
+// Pairwise clock-offset estimation for multi-process tracing.
+//
+// Every forked rank stamps its trace events with its own TraceBuffer
+// clock (steady_clock since the buffer's construction), so timestamps
+// from different ranks live on unrelated axes.  Before the workload
+// starts — and before any scheduled fault can fire — all ranks run one
+// round of NTP-style ping exchange against a reference rank over a
+// reserved control-plane tag:
+//
+//   client r:  t0 = now, send {t0} ............ reference: T1 = now,
+//              t3 = now on echo {t0, T1}                   echo back
+//
+// For each ping, offset = T1 - (t0 + t3) / 2 maps the client clock
+// onto the reference clock (reference_now ~= local_now + offset); the
+// sample taken over the minimum-RTT ping bounds the estimation error
+// by rtt_min / 2, a few tens of microseconds over loopback — far finer
+// than the millisecond-scale skew the staggered rendezvous introduces
+// between buffer epochs.  The reference rank's own offset is 0 by
+// definition.
+//
+// The exchange uses blocking receives on a reserved tag (the fault
+// decorator never dices the control plane), and the reference serves a
+// fixed request count, so the round needs no termination protocol.
+#pragma once
+
+#include <cstdint>
+
+#include "mp/transport.hpp"
+#include "obs/trace.hpp"
+
+namespace dlb {
+
+/// Reserved control-plane tag for the clock-sync exchange
+/// (kReservedTagFloor + 1 is the gather round in mp/remote_comm.hpp).
+inline constexpr int kTagClockSync = Transport::kReservedTagFloor + 2;
+
+struct ClockSyncResult {
+  /// reference_now_ns ~= local now_ns() + offset_ns.
+  std::int64_t offset_ns = 0;
+  /// RTT of the sample the offset was taken from (0 on the reference).
+  std::int64_t rtt_ns = 0;
+};
+
+/// Collective: every rank must call this exactly once, right after the
+/// transport mesh completes and before any traffic that could kill a
+/// rank.  `clock` supplies the timestamps (the same buffer the rank's
+/// trace events use, so injected epoch shifts flow into the estimate).
+ClockSyncResult sync_clocks(Transport& transport, const obs::TraceBuffer& clock,
+                            int reference = 0, int pings = 16);
+
+}  // namespace dlb

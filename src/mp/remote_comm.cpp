@@ -46,10 +46,18 @@ void SocketComm::tick() {
     // A real crash: the kernel closes our sockets (peers see EOF), the
     // journal keeps only what record() already handed to write(2), and
     // nothing below this line runs.  SIGKILL cannot be caught, so the
-    // death is as abrupt as the failure model demands.
+    // death is as abrupt as the failure model demands.  The crash
+    // instant and the on_crash flush are a courtesy of the *scheduled*
+    // kill — a real crash would get neither, which is why the
+    // per-journal metrics flush exists.
+    if (config_.trace != nullptr)
+      config_.trace->instant("crash", "crash", 0, step_);
+    if (config_.on_crash) config_.on_crash(step_);
     ::kill(::getpid(), SIGKILL);
     ::_exit(137);  // unreachable backstop
   }
+  if (config_.trace != nullptr)
+    config_.trace->instant("step", "spmd", 0, step_);
   ++step_;
 }
 
@@ -57,6 +65,7 @@ void SocketComm::journal(std::int64_t load, std::int64_t generated,
                          std::int64_t consumed) {
   if (journal_.is_open())
     journal_.record(step_, load, generated, consumed, declared_lost_);
+  if (config_.on_journal) config_.on_journal();
 }
 
 bool SocketComm::absorb(const MpMessage& msg, GatherResult& out) {

@@ -37,6 +37,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <initializer_list>
 #include <optional>
 #include <string>
@@ -46,6 +47,7 @@
 #include "mp/fault.hpp"
 #include "mp/journal_io.hpp"
 #include "mp/transport.hpp"
+#include "obs/trace.hpp"
 
 namespace dlb {
 
@@ -58,6 +60,20 @@ struct SocketCommConfig {
   /// Gather poll slice: how long one blocking wait inside a collective
   /// lasts before liveness is re-checked.
   std::chrono::milliseconds gather_slice{10};
+  /// Optional per-rank trace buffer: tick() records a "step" instant,
+  /// and a scheduled crash records a "crash" instant before the
+  /// SIGKILL.
+  obs::TraceBuffer* trace = nullptr;
+  /// Called after every journal record — the hook the obs export uses
+  /// to flush a durable metrics snapshot next to the journal, so a
+  /// rank killed later still contributes everything through its last
+  /// completed step to post-crash aggregation.
+  std::function<void()> on_journal;
+  /// Called right before a scheduled SIGKILL (after the "crash"
+  /// instant is recorded): last chance to hand rank-local obs state to
+  /// write(2).  Must not assume it ever runs — a real crash would not
+  /// call it either; the per-journal flush is the durability story.
+  std::function<void(std::uint32_t step)> on_crash;
 };
 
 class SocketComm {

@@ -50,6 +50,24 @@ void send_all(int fd, const std::uint8_t* data, std::size_t len) {
   }
 }
 
+/// Flow id binding a framed send to its matching decode: per-link
+/// sequence number tagged with the ordered (src, dst) pair.  Unique as
+/// long as ranks fit in a byte and a link carries < 2^48 data frames —
+/// both far beyond anything this transport is asked to do.
+std::uint64_t flow_id_of(int src, int dst, std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint8_t>(src)) << 56) |
+         (static_cast<std::uint64_t>(static_cast<std::uint8_t>(dst)) << 48) |
+         (seq & ((std::uint64_t{1} << 48) - 1));
+}
+
+/// Flow category: application transfers vs reserved control plane (the
+/// merged trace filters on this; Chrome binds flows by (cat, id, name)
+/// so both endpoints must derive it identically — they do, from the
+/// tag).
+const char* flow_cat(int tag) {
+  return tag < Transport::kReservedTagFloor ? "transfer" : "ctrl";
+}
+
 bool matches(const MpMessage& msg, int source, int tag) {
   return (source < 0 || msg.source == source) && (tag < 0 || msg.tag == tag);
 }
@@ -311,12 +329,31 @@ void SocketTransport::send(int dest, int tag, const std::int64_t* words,
     msg.tag = tag;
     msg.payload.assign(words, count, &pool_);
     inbox_.push_back(std::move(msg));
+    if (m_sent_ != nullptr) {
+      m_sent_->add();
+      m_delivered_->add();
+    }
     return;
   }
   Peer& p = peers_[static_cast<std::size_t>(dest)];
   if (p.state != PeerState::Alive) return;  // the wire leads nowhere
+  const std::uint64_t t0 = tracing() ? trace_->now_ns() : 0;
   enqueue_frame(p, FrameKind::Data, tag, words, count);
+  const std::uint64_t seq = p.tx_seq++;
+  if (m_sent_ != nullptr) {
+    const std::uint64_t wire = encode_scratch_.size();
+    m_sent_->add();
+    m_sent_bytes_->add(wire);
+    link_tx_[static_cast<std::size_t>(dest)].messages->add();
+    link_tx_[static_cast<std::size_t>(dest)].bytes->add(wire);
+  }
+  if (tracing())
+    trace_->record_flow("mp.msg", flow_cat(tag), t0, 0,
+                        flow_id_of(rank_, dest, seq), /*start=*/true,
+                        static_cast<std::uint64_t>(tag));
   flush_peer(dest);
+  if (tracing())
+    trace_->span_end("send", "mp", t0, 0, static_cast<std::uint64_t>(tag));
 }
 
 void SocketTransport::flush_peer(int peer_rank) {
@@ -332,7 +369,8 @@ void SocketTransport::flush_peer(int peer_rank) {
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
       return;  // kernel buffer full; POLLOUT will resume the flush
-    mark_peer_down(peer_rank);  // EPIPE/ECONNRESET: peer socket is gone
+    // EPIPE/ECONNRESET: peer socket is gone
+    mark_peer_down(peer_rank, "send_error");
     return;
   }
   p.tx.clear();
@@ -358,6 +396,8 @@ void SocketTransport::ingest(int peer_rank) {
     break;
   }
   if (got_bytes) p.last_heard = Clock::now();
+  const std::uint64_t t0 = tracing() ? trace_->now_ns() : 0;
+  std::uint64_t data_frames = 0;
   // Decode everything we have before passing the liveness verdict: a
   // Goodbye that raced the close must count as clean termination.
   std::size_t off = 0;
@@ -369,6 +409,7 @@ void SocketTransport::ingest(int peer_rank) {
     if (d.status == frame::DecodeStatus::Corrupt) {
       // Corruption == loss: drop the frame, count it, resync.
       ++frames_corrupt_;
+      if (m_corrupt_ != nullptr) m_corrupt_->add();
       continue;
     }
     ++frames_received_;
@@ -379,11 +420,29 @@ void SocketTransport::ingest(int peer_rank) {
         msg.tag = d.header.tag;
         frame::read_words(d, msg.payload, &pool_);
         inbox_.push_back(std::move(msg));
+        const std::uint64_t seq = p.rx_seq++;
+        ++data_frames;
+        if (m_delivered_ != nullptr) {
+          m_delivered_->add();
+          m_delivered_bytes_->add(d.consumed);
+          link_rx_[static_cast<std::size_t>(peer_rank)].messages->add();
+          link_rx_[static_cast<std::size_t>(peer_rank)].bytes->add(
+              d.consumed);
+        }
+        if (tracing())
+          trace_->record_flow("mp.msg", flow_cat(d.header.tag),
+                              trace_->now_ns(), 0,
+                              flow_id_of(peer_rank, rank_, seq),
+                              /*start=*/false,
+                              static_cast<std::uint64_t>(d.header.tag));
         break;
       }
       case FrameKind::Goodbye:
         p.said_goodbye = true;
         p.state = PeerState::Terminated;
+        if (tracing())
+          trace_->instant("goodbye", "detector", 0,
+                          static_cast<std::uint64_t>(peer_rank));
         break;
       case FrameKind::Hello:
       case FrameKind::Heartbeat:
@@ -391,10 +450,12 @@ void SocketTransport::ingest(int peer_rank) {
     }
   }
   p.rx.erase(p.rx.begin(), p.rx.begin() + static_cast<std::ptrdiff_t>(off));
-  if (down) mark_peer_down(peer_rank);
+  if (tracing() && data_frames > 0)
+    trace_->span_end("ingest", "mp", t0, 0, data_frames);
+  if (down) mark_peer_down(peer_rank, "eof");
 }
 
-void SocketTransport::mark_peer_down(int peer_rank) {
+void SocketTransport::mark_peer_down(int peer_rank, const char* verdict) {
   Peer& p = peers_[static_cast<std::size_t>(peer_rank)];
   if (p.fd >= 0) {
     ::close(p.fd);
@@ -402,8 +463,12 @@ void SocketTransport::mark_peer_down(int peer_rank) {
   }
   p.tx.clear();
   p.tx_off = 0;
-  if (p.state == PeerState::Alive)
+  if (p.state == PeerState::Alive) {
     p.state = p.said_goodbye ? PeerState::Terminated : PeerState::Dead;
+    if (tracing())
+      trace_->instant(p.said_goodbye ? "goodbye" : verdict, "detector", 0,
+                      static_cast<std::uint64_t>(peer_rank));
+  }
 }
 
 void SocketTransport::pump(std::chrono::milliseconds budget) {
@@ -414,8 +479,10 @@ void SocketTransport::pump(std::chrono::milliseconds budget) {
     for (int r = 0; r < size_; ++r) {
       if (r == rank_) continue;
       Peer& p = peers_[static_cast<std::size_t>(r)];
-      if (p.state == PeerState::Alive && p.fd >= 0)
+      if (p.state == PeerState::Alive && p.fd >= 0) {
         enqueue_frame(p, FrameKind::Heartbeat, 0, nullptr, 0);
+        if (m_heartbeats_ != nullptr) m_heartbeats_->add();
+      }
     }
   }
   std::vector<pollfd> fds;
@@ -453,8 +520,36 @@ void SocketTransport::pump(std::chrono::milliseconds budget) {
       Peer& p = peers_[static_cast<std::size_t>(r)];
       if (p.state == PeerState::Alive && p.fd >= 0 &&
           check - p.last_heard > opts_.suspect_after)
-        mark_peer_down(r);  // silent too long: suspected dead
+        mark_peer_down(r, "suspect");  // silent too long: suspected dead
     }
+  }
+}
+
+void SocketTransport::attach_obs(const SocketObs& obs) {
+  trace_ = obs.trace;
+  if (obs.metrics == nullptr) return;
+  obs::MetricsRegistry& reg = *obs.metrics;
+  m_sent_ = &reg.counter("mp.sent");
+  m_sent_bytes_ = &reg.counter("mp.sent_bytes");
+  m_delivered_ = &reg.counter("mp.delivered");
+  m_delivered_bytes_ = &reg.counter("mp.delivered_bytes");
+  m_corrupt_ = &reg.counter("mp.frames_corrupt");
+  m_heartbeats_ = &reg.counter("mp.heartbeats");
+  m_recv_timeouts_ = &reg.counter("mp.recv_timeouts");
+  link_tx_.assign(static_cast<std::size_t>(size_), LinkCell{});
+  link_rx_.assign(static_cast<std::size_t>(size_), LinkCell{});
+  const std::string me = std::to_string(rank_);
+  for (int r = 0; r < size_; ++r) {
+    if (r == rank_) continue;
+    const std::string out = "mp.link." + me + "->" + std::to_string(r);
+    const std::string in = "mp.link." + std::to_string(r) + "->" + me;
+    link_tx_[static_cast<std::size_t>(r)] = {
+        &reg.counter(out + ".sent_messages"),
+        &reg.counter(out + ".sent_bytes")};
+    // Delivered traffic keeps the local backend's naming, so merged
+    // machine metrics read uniformly across transports.
+    link_rx_[static_cast<std::size_t>(r)] = {&reg.counter(in + ".messages"),
+                                             &reg.counter(in + ".bytes")};
   }
 }
 
@@ -499,6 +594,7 @@ std::optional<MpMessage> SocketTransport::recv_until(
     const auto now = Clock::now();
     if (now >= deadline) {
       ++recv_timeouts_;
+      if (m_recv_timeouts_ != nullptr) m_recv_timeouts_->add();
       return std::nullopt;
     }
     if (backoff.spinning()) {

@@ -7,12 +7,15 @@
 #include <optional>
 #include <sstream>
 
+#include "mp/clock_sync.hpp"
 #include "mp/fault_transport.hpp"
 #include "mp/journal_io.hpp"
 #include "mp/process_group.hpp"
 #include "mp/remote_comm.hpp"
 #include "mp/socket_transport.hpp"
 #include "mp/spmd_rank.hpp"
+#include "obs/merge.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace dlb {
@@ -21,6 +24,32 @@ namespace {
 
 std::string report_path(const std::string& dir, int rank) {
   return dir + "/report." + std::to_string(rank);
+}
+
+std::string trace_path(const std::string& dir, int rank) {
+  return dir + "/trace." + std::to_string(rank);
+}
+
+std::string metrics_path(const std::string& dir, int rank) {
+  return dir + "/metrics." + std::to_string(rank);
+}
+
+bool obs_enabled(const SocketRunOptions& opts) {
+  return opts.collect_obs || !opts.trace_out.empty() ||
+         !opts.metrics_out.empty();
+}
+
+/// Write-then-rename, like every other file the ranks publish: the
+/// parent (or a post-mortem reader) never sees a torn file.
+template <typename Body>
+void write_file_atomic(const std::string& path, Body&& body) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    body(out);
+  }
+  DLB_ENSURE(std::rename(tmp.c_str(), path.c_str()) == 0,
+             "cannot publish " + path);
 }
 
 std::string recovered_path(const std::string& dir, int rank) {
@@ -115,6 +144,17 @@ RankReport read_report(const std::string& dir, int rank) {
 /// The forked rank: transport stack, shared balancer body, report.
 int child_rank(int rank, const Trace& trace, const SocketRunOptions& opts,
                const std::string& dir) {
+  // Rank-local observability, attached before any traffic so both ends
+  // of every link count flow sequences from zero.  Declared ahead of
+  // the transport: the export lambdas must outlive it.
+  const bool obs_on = obs_enabled(opts);
+  std::optional<obs::MetricsRegistry> reg;
+  std::optional<obs::TraceBuffer> tbuf;
+  if (obs_on) {
+    reg.emplace();
+    tbuf.emplace(std::size_t{1} << 15);
+  }
+
   SocketOptions so;
   so.dir = dir;
   so.tcp = opts.tcp;
@@ -122,6 +162,7 @@ int child_rank(int rank, const Trace& trace, const SocketRunOptions& opts,
   so.suspect_after = opts.suspect_after;
   so.connect_timeout = opts.connect_timeout;
   SocketTransport socket(rank, opts.ranks, so);
+  if (obs_on) socket.attach_obs(SocketObs{&*tbuf, &*reg});
 
   // Per-process fault accounting (the parent sums the reports).
   std::mutex stats_mutex;
@@ -134,9 +175,38 @@ int child_rank(int rank, const Trace& trace, const SocketRunOptions& opts,
   Transport& transport =
       faulty ? static_cast<Transport&>(*faulty) : socket;
 
+  // Clock-sync against rank 0 right after the mesh completes — before
+  // the first tick, so no scheduled kill can strand the exchange.
+  std::int64_t clock_offset = 0;
+  if (obs_on) clock_offset = sync_clocks(transport, *tbuf).offset_ns;
+
+  const auto flush_metrics = [&] {
+    if (!reg) return;
+    write_file_atomic(metrics_path(dir, rank),
+                      [&](std::ostream& os) { reg->write_state(os); });
+  };
+  const auto flush_trace = [&] {
+    if (!tbuf) return;
+    write_file_atomic(trace_path(dir, rank), [&](std::ostream& os) {
+      obs::write_rank_trace(os, *tbuf, rank, clock_offset);
+    });
+  };
+
   SocketCommConfig cc;
   cc.plan = opts.plan;
   cc.journal_path = journal_path(dir, rank);
+  if (obs_on) {
+    cc.trace = &*tbuf;
+    // Durable metrics ride alongside the journal: deaths happen at the
+    // next tick, *before* any step traffic, so the last per-journal
+    // flush already covers every message a killed rank ever sent and
+    // post-crash aggregation closes exactly.
+    cc.on_journal = flush_metrics;
+    cc.on_crash = [&](std::uint32_t) {
+      flush_metrics();
+      flush_trace();
+    };
+  }
   SocketComm comm(transport, cc);
 
   RankTallies tally;
@@ -150,6 +220,18 @@ int child_rank(int rank, const Trace& trace, const SocketRunOptions& opts,
     final_load = rec.valid ? rec.shadow_load : 0;
   }
   if (faulty) faulty->flush();
+  if (obs_on) {
+    // Rank-local run tallies as gauges (gauges sum across the merge,
+    // so the aggregate spmd.final_load is the machine's total load).
+    reg->gauge("spmd.final_load").set(final_load);
+    reg->gauge("spmd.rounds_initiated").set(tally.rounds_initiated);
+    reg->gauge("spmd.packets_moved").set(tally.packets_moved);
+    reg->gauge("spmd.recv_timeouts")
+        .set(static_cast<std::int64_t>(tally.recv_timeouts));
+    reg->gauge("spmd.declared_lost").set(comm.declared_lost());
+    flush_metrics();
+    flush_trace();
+  }
   write_report(dir, rank, final_load, comm, tally, stats, socket);
   comm.close();
   return 0;
@@ -310,6 +392,41 @@ SocketRunResult run_spmd_balancer_socket(const Trace& trace,
     const double avg =
         static_cast<double>(live_total) / static_cast<double>(live_ranks);
     report.max_over_avg = static_cast<double>(report.max_live_load) / avg;
+  }
+
+  // Fold the per-rank observability exports into one machine view:
+  // metrics merged twice (once under a "rank<r>." prefix, once into
+  // the unprefixed aggregate), traces stitched into a single Perfetto
+  // file with per-rank process tracks and cross-rank flow arcs.
+  if (obs_enabled(opts)) {
+    obs::MetricsRegistry merged;
+    obs::TraceMerger merger;
+    for (int r = 0; r < n; ++r) {
+      // A rank killed before its first flush leaves no files; the
+      // survivors' view still merges.
+      std::ifstream in(metrics_path(res.dir, r));
+      if (in.is_open()) {
+        std::stringstream buf;
+        buf << in.rdbuf();
+        std::istringstream per_rank(buf.str());
+        obs::merge_state(per_rank, merged,
+                         "rank" + std::to_string(r) + ".");
+        std::istringstream aggregate(buf.str());
+        obs::merge_state(aggregate, merged);
+      }
+      if (std::ifstream(trace_path(res.dir, r)).is_open())
+        merger.add_rank_file(trace_path(res.dir, r));
+    }
+    res.merged_metrics = merged.snapshot();
+    res.matched_flow_pairs = merger.matched_flows().size();
+    if (!opts.metrics_out.empty())
+      write_file_atomic(opts.metrics_out, [&](std::ostream& os) {
+        res.merged_metrics.write_json(os);
+      });
+    if (!opts.trace_out.empty())
+      write_file_atomic(opts.trace_out, [&](std::ostream& os) {
+        merger.write_chrome_json(os);
+      });
   }
 
   if (!unexpected) ProcessGroup::remove_rendezvous_dir(res.dir);

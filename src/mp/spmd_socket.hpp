@@ -28,6 +28,7 @@
 
 #include "mp/fault.hpp"
 #include "mp/spmd_balance.hpp"
+#include "obs/metrics.hpp"
 #include "workload/trace.hpp"
 
 namespace dlb {
@@ -47,6 +48,17 @@ struct SocketRunOptions {
   std::chrono::milliseconds suspect_after{5000};
   std::chrono::milliseconds connect_timeout{10000};
   std::chrono::milliseconds run_timeout{120000};
+  /// Cross-process observability.  When any of the three below is set,
+  /// every rank attaches a private MetricsRegistry + TraceBuffer to
+  /// its transport, clock-syncs against rank 0 right after the
+  /// rendezvous (mp/clock_sync.hpp), flushes a durable metrics
+  /// snapshot next to the journal every step, and exports a rank trace
+  /// file at clean exit or scheduled kill; the parent then merges
+  /// everything (obs/merge.hpp) into SocketRunResult::merged_metrics
+  /// and the files below.
+  std::string trace_out;    // merged Perfetto trace path; empty = none
+  std::string metrics_out;  // merged machine-metrics JSON; empty = none
+  bool collect_obs = false; // merge in-memory only (tests)
 };
 
 struct SocketRunResult {
@@ -63,6 +75,12 @@ struct SocketRunResult {
   /// child behaved unexpectedly; kept then, for post-mortems).
   std::string dir;
   std::uint64_t transport_retries = 0;  // summed connect retries
+  /// Machine-level metrics (observability runs only): every rank's
+  /// instruments both under a "rank<r>." prefix and folded into an
+  /// unprefixed aggregate (counters/gauges add, histograms cell-merge).
+  obs::MetricsSnapshot merged_metrics;
+  /// Send/recv flow pairs the trace merger matched across ranks.
+  std::uint64_t matched_flow_pairs = 0;
 };
 
 /// Runs the balancer over `trace` on `opts.ranks` forked processes.

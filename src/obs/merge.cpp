@@ -1,0 +1,219 @@
+#include "obs/merge.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "obs/metrics.hpp"  // json_escape
+#include "support/check.hpp"
+
+namespace dlb::obs {
+
+namespace {
+
+bool whitespace_free(const char* s) {
+  for (; *s; ++s)
+    if (*s == ' ' || *s == '\t' || *s == '\n' || *s == '\r') return false;
+  return true;
+}
+
+}  // namespace
+
+void write_rank_trace(std::ostream& os, const TraceBuffer& buf, int rank,
+                      std::int64_t clock_offset_ns) {
+  os << "dlb-rank-trace 1 " << rank << ' ' << clock_offset_ns << ' '
+     << buf.dropped() << '\n';
+  for (const TraceEvent& e : buf.events()) {
+    DLB_REQUIRE(whitespace_free(e.name) && whitespace_free(e.cat),
+                "rank trace: event names/categories must be whitespace-free");
+    os << "e " << static_cast<int>(e.phase) << ' ' << e.ts_ns << ' '
+       << e.dur_ns << ' ' << e.tid << ' ' << e.flow_id << ' ' << e.arg << ' '
+       << (*e.name ? e.name : "-") << ' ' << (*e.cat ? e.cat : "-") << '\n';
+  }
+}
+
+void TraceMerger::add_rank_file(const std::string& path) {
+  std::ifstream is(path);
+  DLB_REQUIRE(is.good(), "trace merge: cannot open " + path);
+  add_rank(is);
+}
+
+void TraceMerger::add_rank(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  int rank = -1;
+  std::int64_t offset = 0;
+  std::uint64_t dropped = 0;
+  is >> magic >> version >> rank >> offset >> dropped;
+  DLB_REQUIRE(!is.fail() && magic == "dlb-rank-trace" && version == 1 &&
+                  rank >= 0,
+              "trace merge: bad rank-trace header");
+  DLB_REQUIRE(offsets_.count(rank) == 0,
+              "trace merge: duplicate rank " + std::to_string(rank));
+  offsets_[rank] = offset;
+  dropped_[rank] = dropped;
+  std::string line;
+  std::getline(is, line);  // rest of the header line
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    int phase = 0;
+    std::uint64_t ts = 0;
+    Raw r;
+    ls >> tag >> phase >> ts >> r.dur_ns >> r.tid >> r.flow_id >> r.arg >>
+        r.name >> r.cat;
+    DLB_REQUIRE(!ls.fail() && tag == 'e' && phase >= 0 && phase <= 3,
+                "trace merge: bad event record: " + line);
+    if (r.name == "-") r.name.clear();
+    if (r.cat == "-") r.cat.clear();
+    r.phase = static_cast<TracePhase>(phase);
+    r.ts_ns = static_cast<std::int64_t>(ts) + offset;
+    r.rank = rank;
+    raw_.push_back(std::move(r));
+  }
+}
+
+std::int64_t TraceMerger::offset_ns(int rank) const {
+  auto it = offsets_.find(rank);
+  DLB_REQUIRE(it != offsets_.end(),
+              "trace merge: no such rank " + std::to_string(rank));
+  return it->second;
+}
+
+std::uint64_t TraceMerger::dropped(int rank) const {
+  auto it = dropped_.find(rank);
+  DLB_REQUIRE(it != dropped_.end(),
+              "trace merge: no such rank " + std::to_string(rank));
+  return it->second;
+}
+
+std::int64_t TraceMerger::base_ns() const {
+  std::int64_t base = std::numeric_limits<std::int64_t>::max();
+  for (const Raw& r : raw_) base = std::min(base, r.ts_ns);
+  return raw_.empty() ? 0 : base;
+}
+
+std::vector<MergedEvent> TraceMerger::events() const {
+  const std::int64_t base = base_ns();
+  std::vector<MergedEvent> out;
+  out.reserve(raw_.size());
+  for (const Raw& r : raw_) {
+    MergedEvent e;
+    e.name = r.name;
+    e.cat = r.cat;
+    e.ts_ns = static_cast<std::uint64_t>(r.ts_ns - base);
+    e.dur_ns = r.dur_ns;
+    e.rank = r.rank;
+    e.tid = r.tid;
+    e.phase = r.phase;
+    e.flow_id = r.flow_id;
+    e.arg = r.arg;
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MergedEvent& a, const MergedEvent& b) {
+              return a.ts_ns < b.ts_ns;
+            });
+  return out;
+}
+
+std::vector<FlowPair> TraceMerger::matched_flows() const {
+  const std::int64_t base = base_ns();
+  struct Half {
+    int rank = -1;
+    std::int64_t ts = 0;
+    std::uint64_t arg = 0;
+    bool seen = false;
+  };
+  std::map<std::uint64_t, std::pair<Half, Half>> halves;  // id -> (s, f)
+  for (const Raw& r : raw_) {
+    if (r.phase != TracePhase::FlowStart && r.phase != TracePhase::FlowEnd)
+      continue;
+    auto& [s, f] = halves[r.flow_id];
+    Half& h = r.phase == TracePhase::FlowStart ? s : f;
+    h.rank = r.rank;
+    h.ts = r.ts_ns;
+    h.arg = r.arg;
+    h.seen = true;
+  }
+  std::vector<FlowPair> out;
+  for (const auto& [id, sf] : halves) {
+    const auto& [s, f] = sf;
+    if (!s.seen || !f.seen) continue;
+    FlowPair p;
+    p.id = id;
+    p.src_rank = s.rank;
+    p.dst_rank = f.rank;
+    p.send_ts_ns = static_cast<std::uint64_t>(s.ts - base);
+    p.recv_ts_ns = static_cast<std::uint64_t>(f.ts - base);
+    p.arg = s.arg;
+    out.push_back(p);
+  }
+  return out;
+}
+
+void TraceMerger::write_chrome_json(std::ostream& os) const {
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  // Every rank that contributed a file gets a process track; detector
+  // verdicts can indict a rank whose own file never made it out (e.g.
+  // killed before its first flush), so collect those pids too.
+  std::map<int, bool> pids;  // rank -> has own file
+  for (const auto& [rank, off] : offsets_) pids[rank] = true;
+  for (const Raw& r : raw_)
+    if (r.cat == "detector") pids.emplace(static_cast<int>(r.arg), false);
+  for (const auto& [rank, own] : pids) {
+    comma();
+    os << R"({"name": "process_name", "ph": "M", "pid": )" << rank
+       << R"(, "tid": 0, "args": {"name": "rank )" << rank << "\"}}";
+    comma();
+    os << R"({"name": "process_sort_index", "ph": "M", "pid": )" << rank
+       << R"(, "tid": 0, "args": {"sort_index": )" << rank << "}}";
+    if (own) {
+      comma();
+      os << R"({"name": "process_labels", "ph": "M", "pid": )" << rank
+         << R"(, "tid": 0, "args": {"labels": "clock_offset_ns=)"
+         << offsets_.at(rank) << "\"}}";
+    }
+  }
+  for (const MergedEvent& e : events()) {
+    comma();
+    // Detector verdicts are drawn on the indicted rank's track; the
+    // noticing rank is preserved in args.by.
+    const bool detector = e.cat == "detector";
+    const int pid = detector ? static_cast<int>(e.arg) : e.rank;
+    const double ts = static_cast<double>(e.ts_ns) / 1000.0;
+    os << "{\"name\": \"" << json_escape(e.name) << "\", \"cat\": \""
+       << json_escape(e.cat) << "\", ";
+    switch (e.phase) {
+      case TracePhase::Instant:
+        os << R"("ph": "i", "s": "p", )";
+        break;
+      case TracePhase::Span:
+        os << "\"ph\": \"X\", \"dur\": "
+           << static_cast<double>(e.dur_ns) / 1000.0 << ", ";
+        break;
+      case TracePhase::FlowStart:
+        os << "\"ph\": \"s\", \"id\": " << e.flow_id << ", ";
+        break;
+      case TracePhase::FlowEnd:
+        os << "\"ph\": \"f\", \"bp\": \"e\", \"id\": " << e.flow_id << ", ";
+        break;
+    }
+    os << "\"ts\": " << ts << ", \"pid\": " << pid << ", \"tid\": " << e.tid
+       << ", \"args\": {\"v\": " << e.arg;
+    if (detector) os << ", \"by\": " << e.rank;
+    os << "}}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace dlb::obs

@@ -1,0 +1,115 @@
+// Cross-process trace stitching: per-rank trace files -> one Perfetto
+// trace.
+//
+// Each forked rank owns a private TraceBuffer whose epoch is its own
+// construction instant, so raw timestamps from different ranks are not
+// comparable.  The export path therefore ships, per rank, the raw
+// events *plus* a clock offset estimated against a reference rank
+// (mp/clock_sync.hpp): reference_now ~= local_now + offset.  The
+// TraceMerger applies the offsets, rebases everything so the earliest
+// event sits at t = 0, and writes a single Chrome trace-event JSON
+// where rank r's events live under pid r ("rank r" process track, the
+// offset recorded as a process label).
+//
+// Two event classes get special treatment:
+//   - FlowStart/FlowEnd pairs (mp send -> matching recv, bound by flow
+//     id) become Chrome flow events, so a balance transaction renders
+//     as causal arcs across the rank tracks; matched_flows() exposes
+//     the same pairs for programmatic checks (e.g. monotonicity of
+//     corrected send/recv timestamps).
+//   - failure-detector verdicts (cat "detector", arg = the indicted
+//     rank) are rerouted onto the indicted rank's track, so a SIGKILL
+//     shows up where the rank died, not where it was noticed.
+//
+// File format ("rank trace", one per rank in the rendezvous dir):
+//   dlb-rank-trace 1 <rank> <clock_offset_ns> <dropped>
+//   e <phase> <ts_ns> <dur_ns> <tid> <flow_id> <arg> <name> <cat>
+// Names and categories are whitespace-free (enforced at write time).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace dlb::obs {
+
+/// Writes one rank's buffer in the rank-trace format.  `offset_ns`
+/// maps the rank's clock onto the reference clock (see above); the
+/// reference rank itself writes 0.
+void write_rank_trace(std::ostream& os, const TraceBuffer& buf, int rank,
+                      std::int64_t clock_offset_ns);
+
+/// One merged event: offset-corrected onto the reference clock,
+/// rebased so the earliest event in the merged trace is at 0, and
+/// attributed to its source rank.
+struct MergedEvent {
+  std::string name;
+  std::string cat;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  int rank = 0;
+  std::uint32_t tid = 0;
+  TracePhase phase = TracePhase::Instant;
+  std::uint64_t flow_id = 0;
+  std::uint64_t arg = 0;
+};
+
+/// A FlowStart/FlowEnd pair matched by flow id (timestamps rebased
+/// like MergedEvent's).
+struct FlowPair {
+  std::uint64_t id = 0;
+  int src_rank = 0;
+  int dst_rank = 0;
+  std::uint64_t send_ts_ns = 0;
+  std::uint64_t recv_ts_ns = 0;
+  std::uint64_t arg = 0;  // as recorded on the send side (message tag)
+};
+
+class TraceMerger {
+ public:
+  /// Parses one rank-trace file and folds it in.  Throws contract_error
+  /// on an unreadable/malformed file or a duplicate rank.
+  void add_rank_file(const std::string& path);
+  /// Same, from an already-open stream.
+  void add_rank(std::istream& is);
+
+  int ranks() const { return static_cast<int>(offsets_.size()); }
+  bool has_rank(int rank) const { return offsets_.count(rank) != 0; }
+  /// The clock offset recorded in rank's file (throws if absent).
+  std::int64_t offset_ns(int rank) const;
+  std::uint64_t dropped(int rank) const;
+
+  /// All events, corrected + rebased, sorted by timestamp.
+  std::vector<MergedEvent> events() const;
+  /// Send/recv pairs bound by flow id; halves whose partner never made
+  /// it into any rank file (dropped message, dead rank) are skipped.
+  std::vector<FlowPair> matched_flows() const;
+
+  /// The merged Chrome trace-event JSON (see file comment).
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  struct Raw {
+    std::string name;
+    std::string cat;
+    std::int64_t ts_ns = 0;  // offset-corrected, NOT yet rebased
+    std::uint64_t dur_ns = 0;
+    int rank = 0;
+    std::uint32_t tid = 0;
+    TracePhase phase = TracePhase::Instant;
+    std::uint64_t flow_id = 0;
+    std::uint64_t arg = 0;
+  };
+
+  std::int64_t base_ns() const;  // earliest corrected timestamp
+
+  std::map<int, std::int64_t> offsets_;
+  std::map<int, std::uint64_t> dropped_;
+  std::vector<Raw> raw_;
+};
+
+}  // namespace dlb::obs

@@ -1,7 +1,9 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "support/check.hpp"
 
@@ -20,6 +22,39 @@ void Histogram::record(std::uint64_t value) {
   seen = max_.load(std::memory_order_relaxed);
   while (value > seen &&
          !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::State Histogram::state() const {
+  State out;
+  out.count = count();
+  out.sum = sum();
+  out.min = min();
+  out.max = max();
+  for (std::size_t i = 0; i < kCells; ++i) {
+    const std::uint64_t n = cells_[i].load(std::memory_order_relaxed);
+    if (n != 0) out.cells.emplace_back(i, n);
+  }
+  return out;
+}
+
+void Histogram::merge(const State& other) {
+  if (other.count == 0) return;
+  for (const auto& [cell, n] : other.cells) {
+    DLB_REQUIRE(cell < kCells, "histogram merge: cell index out of range");
+    cells_[cell].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (other.min < seen &&
+         !min_.compare_exchange_weak(seen, other.min,
+                                     std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (other.max > seen &&
+         !max_.compare_exchange_weak(seen, other.max,
+                                     std::memory_order_relaxed)) {
   }
 }
 
@@ -160,6 +195,78 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     out.values.push_back(std::move(v));
   }
   return out;
+}
+
+void MetricsRegistry::write_state(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "dlb-metrics 1\n";
+  for (const auto& [name, c] : cells_) {
+    DLB_REQUIRE(name.find_first_of(" \t\n") == std::string::npos,
+                "metric name must be whitespace-free for state dumps: " +
+                    name);
+    switch (c.kind) {
+      case Kind::Counter:
+        os << "c " << name << ' ' << c.counter->value() << '\n';
+        break;
+      case Kind::Gauge:
+        os << "g " << name << ' ' << c.gauge->value() << '\n';
+        break;
+      case Kind::Histogram: {
+        const Histogram::State s = c.histogram->state();
+        os << "h " << name << ' ' << s.count << ' ' << s.sum << ' ' << s.min
+           << ' ' << s.max << ' ' << s.cells.size();
+        for (const auto& [cell, n] : s.cells) os << ' ' << cell << ' ' << n;
+        os << '\n';
+        break;
+      }
+    }
+  }
+}
+
+void merge_state(std::istream& is, MetricsRegistry& into,
+                 const std::string& prefix) {
+  std::string header;
+  std::getline(is, header);
+  DLB_REQUIRE(header == "dlb-metrics 1",
+              "metrics state dump: bad header: " + header);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag, name;
+    ls >> tag >> name;
+    DLB_REQUIRE(!name.empty(), "metrics state dump: bad record: " + line);
+    const std::string full = prefix + name;
+    if (tag == "c") {
+      std::uint64_t v = 0;
+      ls >> v;
+      DLB_REQUIRE(!ls.fail(), "metrics state dump: bad counter: " + line);
+      into.counter(full).add(v);
+    } else if (tag == "g") {
+      std::int64_t v = 0;
+      ls >> v;
+      DLB_REQUIRE(!ls.fail(), "metrics state dump: bad gauge: " + line);
+      into.gauge(full).add(v);
+    } else if (tag == "h") {
+      Histogram::State s;
+      std::size_t ncells = 0;
+      ls >> s.count >> s.sum >> s.min >> s.max >> ncells;
+      DLB_REQUIRE(!ls.fail() && ncells <= Histogram::kCells,
+                  "metrics state dump: bad histogram: " + line);
+      s.cells.reserve(ncells);
+      for (std::size_t i = 0; i < ncells; ++i) {
+        std::size_t cell = 0;
+        std::uint64_t n = 0;
+        ls >> cell >> n;
+        DLB_REQUIRE(!ls.fail() && cell < Histogram::kCells,
+                    "metrics state dump: bad histogram cell: " + line);
+        s.cells.emplace_back(cell, n);
+      }
+      into.histogram(full).merge(s);
+    } else {
+      DLB_REQUIRE(false, "metrics state dump: unknown record: " + line);
+    }
+  }
 }
 
 const MetricValue* MetricsSnapshot::find(const std::string& name) const {

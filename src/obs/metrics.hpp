@@ -110,6 +110,25 @@ class Histogram {
 
   void record(std::uint64_t value);
 
+  /// Transportable copy of the histogram: summary scalars plus the
+  /// sparse non-zero fine cells.  min/max are meaningful only when
+  /// count > 0.
+  struct State {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::vector<std::pair<std::size_t, std::uint64_t>> cells;
+  };
+  State state() const;
+
+  /// Folds another histogram's recordings into this one cell-wise, so
+  /// the merged percentiles equal percentiles of the concatenated
+  /// sample sets up to the usual sub-bucket error.  Thread-safe like
+  /// record().
+  void merge(const State& other);
+  void merge(const Histogram& other) { merge(other.state()); }
+
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   /// Smallest / largest recorded value (0 when empty).
@@ -181,6 +200,18 @@ class MetricsRegistry {
 
   MetricsSnapshot snapshot() const;
 
+  /// Line-oriented machine dump of every instrument — the unit of
+  /// cross-process metrics transport (each forked rank writes one next
+  /// to its journal; the parent folds them back with merge_state):
+  ///
+  ///   dlb-metrics 1
+  ///   c <name> <value>
+  ///   g <name> <value>
+  ///   h <name> <count> <sum> <min> <max> <ncells> (<cell> <count>)*
+  ///
+  /// Instrument names must be whitespace-free (enforced).
+  void write_state(std::ostream& os) const;
+
  private:
   enum class Kind { Counter, Gauge, Histogram };
   struct Cell {
@@ -194,6 +225,14 @@ class MetricsRegistry {
   mutable std::mutex mutex_;
   std::map<std::string, Cell> cells_;
 };
+
+/// Parses a write_state() dump and folds it into `into`, prepending
+/// `prefix` to every instrument name: counters and gauges add,
+/// histograms merge cell-wise.  A name already registered in `into`
+/// under a different kind trips the registry's kind contract; a
+/// malformed dump (bad header or record) throws.
+void merge_state(std::istream& is, MetricsRegistry& into,
+                 const std::string& prefix = "");
 
 /// Escapes `s` for embedding in a JSON string literal (shared by the
 /// metrics/trace exporters and the bench JSON-row emitter).

@@ -63,11 +63,22 @@ void TraceBuffer::write_chrome_json(std::ostream& os,
     const double ts = static_cast<double>(e.ts_ns) / 1000.0;
     os << "{\"name\": \"" << json_escape(e.name) << "\", \"cat\": \""
        << json_escape(e.cat) << "\", ";
-    if (e.dur_ns == 0) {
-      os << R"("ph": "i", "s": "t", )";
-    } else {
-      os << "\"ph\": \"X\", \"dur\": "
-         << static_cast<double>(e.dur_ns) / 1000.0 << ", ";
+    switch (e.phase) {
+      case TracePhase::Instant:
+        os << R"("ph": "i", "s": "t", )";
+        break;
+      case TracePhase::Span:
+        os << "\"ph\": \"X\", \"dur\": "
+           << static_cast<double>(e.dur_ns) / 1000.0 << ", ";
+        break;
+      case TracePhase::FlowStart:
+        os << "\"ph\": \"s\", \"id\": " << e.flow_id << ", ";
+        break;
+      case TracePhase::FlowEnd:
+        // "bp": "e" binds the finish to the enclosing slice, which is
+        // how the receive arrow lands on the ingest span.
+        os << "\"ph\": \"f\", \"bp\": \"e\", \"id\": " << e.flow_id << ", ";
+        break;
     }
     os << "\"ts\": " << ts << ", \"pid\": 0, \"tid\": " << e.tid
        << ", \"args\": {\"v\": " << e.arg << "}}";

@@ -30,15 +30,29 @@
 
 namespace dlb::obs {
 
+/// Event shape.  Span/Instant cover the single-process cases (and
+/// record() keeps inferring them from dur_ns, so existing callers are
+/// untouched); FlowStart/FlowEnd are the cross-process arrows — a
+/// started flow binds to the finishing event carrying the same flow id,
+/// which Perfetto renders as an arc between the two tracks.
+enum class TracePhase : std::uint8_t {
+  Span = 0,
+  Instant = 1,
+  FlowStart = 2,
+  FlowEnd = 3,
+};
+
 /// One recorded event.  `name` and `cat` must be string literals (or
 /// otherwise outlive the buffer): recording must not allocate.
 struct TraceEvent {
   const char* name = "";
   const char* cat = "";
   std::uint64_t ts_ns = 0;   // span start, ns since the buffer epoch
-  std::uint64_t dur_ns = 0;  // 0 => instant event
+  std::uint64_t dur_ns = 0;  // 0 => instant event (Span/Instant only)
   std::uint32_t tid = 0;     // track id (shard / rank / 0 = main)
-  std::uint64_t arg = 0;     // free-form payload (step, txn id, ...)
+  std::uint64_t arg = 0;     // free-form payload (step, txn id, tag, ...)
+  TracePhase phase = TracePhase::Instant;
+  std::uint64_t flow_id = 0;  // binds FlowStart to FlowEnd
 };
 
 class TraceBuffer {
@@ -65,13 +79,22 @@ class TraceBuffer {
   void record(const char* name, const char* cat, std::uint64_t ts_ns,
               std::uint64_t dur_ns, std::uint32_t tid,
               std::uint64_t arg = 0) {
-    if (!enabled()) return;
-    const std::size_t slot = next_.fetch_add(1, std::memory_order_relaxed);
-    if (slot >= ring_.size()) {
-      dropped_.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-    ring_[slot] = TraceEvent{name, cat, ts_ns, dur_ns, tid, arg};
+    const TracePhase phase =
+        dur_ns == 0 ? TracePhase::Instant : TracePhase::Span;
+    record_event(TraceEvent{name, cat, ts_ns, dur_ns, tid, arg, phase, 0});
+  }
+
+  /// Records a flow endpoint: `start` marks the producing side (a send),
+  /// `!start` the consuming side (the matching recv).  Both halves must
+  /// carry the same `flow_id` (and the same name/cat — Chrome binds
+  /// flows by (cat, id, name)).  Wait-free like record().
+  void record_flow(const char* name, const char* cat, std::uint64_t ts_ns,
+                   std::uint32_t tid, std::uint64_t flow_id, bool start,
+                   std::uint64_t arg = 0) {
+    record_event(TraceEvent{name, cat, ts_ns, 0, tid, arg,
+                            start ? TracePhase::FlowStart
+                                  : TracePhase::FlowEnd,
+                            flow_id});
   }
 
   /// Convenience: a complete span ending now.
@@ -90,6 +113,14 @@ class TraceBuffer {
 
   /// Labels a track in the exported trace (Perfetto shows the name).
   void set_thread_name(std::uint32_t tid, const std::string& name);
+
+  /// Moves the epoch back by `delta_ns`, so every later now_ns() reads
+  /// `delta_ns` higher (negative shifts read lower).  Tests inject an
+  /// artificial clock offset this way to exercise the cross-process
+  /// offset estimator; production code never calls it.
+  void shift_epoch(std::int64_t delta_ns) {
+    epoch_ -= std::chrono::nanoseconds(delta_ns);
+  }
 
   std::size_t capacity() const { return ring_.size(); }
   std::size_t size() const;
@@ -110,6 +141,16 @@ class TraceBuffer {
                          const std::string& process_name = "dlb") const;
 
  private:
+  void record_event(const TraceEvent& e) {
+    if (!enabled()) return;
+    const std::size_t slot = next_.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= ring_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ring_[slot] = e;
+  }
+
   std::vector<TraceEvent> ring_;
   std::atomic<std::size_t> next_{0};
   std::atomic<std::uint64_t> dropped_{0};

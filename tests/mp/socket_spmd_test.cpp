@@ -13,10 +13,17 @@
 #include <gtest/gtest.h>
 #include <signal.h>
 
+#include <chrono>
 #include <fstream>
+#include <sstream>
+#include <thread>
 
+#include "mp/clock_sync.hpp"
 #include "mp/journal_io.hpp"
 #include "mp/process_group.hpp"
+#include "mp/socket_transport.hpp"
+#include "obs/merge.hpp"
+#include "obs/trace.hpp"
 #include "workload/trace.hpp"
 
 namespace dlb {
@@ -96,6 +103,133 @@ TEST(SocketSpmdTest, RestartedRankRecoversItsJournaledLoad) {
   // Kill at step 40 with boundary interval 25: the journal's committed
   // value is the step-25 boundary, and the drift past it is crash loss.
   EXPECT_GE(run.report.crash_lost, 0);
+}
+
+// The crash-path observability regression: a SIGKILLed rank must not
+// lose its in-memory counters — the per-journal durable flush has to
+// cover every message it ever sent, so the machine-level merge still
+// accounts for traffic whose sender no longer exists.
+TEST(SocketSpmdTest, KilledRankMetricsSurviveInMergedSnapshot) {
+  const std::string out_dir = ProcessGroup::make_rendezvous_dir();
+  SocketRunOptions opts;
+  opts.ranks = 4;
+  opts.restart_dead = true;
+  opts.collect_obs = true;
+  opts.trace_out = out_dir + "/merged_trace.json";
+  opts.plan.seed = 7;
+  opts.plan.journal_interval = 25;
+  opts.plan.kill(2, 40);
+  const SocketRunResult run =
+      run_spmd_balancer_socket(make_trace(4, 100), opts);
+  expect_ledger_closes(run.report);
+  ASSERT_TRUE(run.killed[2]);
+
+  const obs::MetricsSnapshot& m = run.merged_metrics;
+  // The dead rank's instruments made it out through the journal-side
+  // flush: its sends are present under its own prefix...
+  const auto* rank2_sent = m.find("rank2.mp.sent");
+  ASSERT_NE(rank2_sent, nullptr);
+  EXPECT_GT(rank2_sent->value, 0);
+  // ...and the machine aggregate stays consistent: nothing was
+  // delivered that nobody sent (in particular the survivors' receipts
+  // from rank 2 are covered by rank 2's flushed send counters).
+  const auto* sent = m.find("mp.sent");
+  const auto* delivered = m.find("mp.delivered");
+  ASSERT_NE(sent, nullptr);
+  ASSERT_NE(delivered, nullptr);
+  std::int64_t survivors_delivered = 0;
+  for (int r = 0; r < 4; ++r) {
+    if (r == 2) continue;
+    const auto* d =
+        m.find("rank" + std::to_string(r) + ".mp.delivered");
+    ASSERT_NE(d, nullptr) << r;
+    survivors_delivered += d->value;
+  }
+  EXPECT_GE(sent->value, survivors_delivered);
+  EXPECT_GE(sent->value, delivered->value);
+  // Gauges sum across ranks, so the aggregate final load is the
+  // machine total the report assembled.
+  const auto* total = m.find("spmd.final_load");
+  ASSERT_NE(total, nullptr);
+
+  // Cross-rank flows matched (send on one rank, recv on another) and
+  // the merged Perfetto file shows the kill where it happened.
+  EXPECT_GE(run.matched_flow_pairs, 1u);
+  std::ifstream in(opts.trace_out);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("\"rank 2\""), std::string::npos);
+  EXPECT_NE(json.find("\"crash\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+  ProcessGroup::remove_rendezvous_dir(out_dir);
+}
+
+// The clock-offset estimator under a large injected skew: rank 1's
+// trace clock runs 50 ms ahead, yet after sync_clocks correction every
+// matched send->recv flow in the merged trace is monotone (recv >=
+// send, within the estimator's error bound — slack far below the
+// injected skew, so a broken or dropped correction fails loudly).
+TEST(SocketSpmdTest, ClockOffsetCorrectionKeepsFlowsMonotone) {
+  const std::string dir = ProcessGroup::make_rendezvous_dir();
+  constexpr std::int64_t kSkewNs = 50'000'000;  // +50 ms on rank 1
+  constexpr int kPings = 25;
+  auto group = ProcessGroup::spawn(2, [&dir](int r) {
+    obs::TraceBuffer trace(std::size_t{1} << 12);
+    if (r == 1) trace.shift_epoch(kSkewNs);
+    SocketOptions so;
+    so.dir = dir;
+    SocketTransport t(r, 2, so);
+    t.attach_obs(SocketObs{&trace, nullptr});
+    const std::int64_t offset =
+        sync_clocks(t, trace).offset_ns;  // collective, both ranks
+    const std::int64_t word[1] = {1};
+    for (int i = 0; i < kPings; ++i) {
+      if (r == 0) {
+        t.send(1, 5, word, 1);
+        t.recv(1, 6);
+      } else {
+        // Let the inbound frame sit in the kernel buffer for a moment
+        // before pumping: the recv timestamp then dominates the
+        // estimator error, keeping the monotonicity margin wide.
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        t.recv(0, 5);
+        t.send(0, 6, word, 1);
+      }
+    }
+    std::ofstream os(dir + "/trace." + std::to_string(r));
+    obs::write_rank_trace(os, trace, r, r == 0 ? 0 : offset);
+    t.close();
+    return 0;
+  });
+  ASSERT_TRUE(group.wait_all(std::chrono::milliseconds(120000)));
+  for (int r = 0; r < 2; ++r) {
+    ASSERT_TRUE(group.exited(r)) << r;
+    ASSERT_EQ(group.exit_code(r), 0) << r;
+  }
+
+  obs::TraceMerger merger;
+  merger.add_rank_file(dir + "/trace.0");
+  merger.add_rank_file(dir + "/trace.1");
+  ASSERT_EQ(merger.ranks(), 2);
+
+  int fwd = 0, back = 0;
+  for (const obs::FlowPair& f : merger.matched_flows()) {
+    // Uncorrected, one direction would be ~50 ms out of order; the
+    // 5 ms slack only absorbs the estimator error (<= min-rtt / 2,
+    // tens of us on an idle box, generous here for loaded CI).
+    const auto send = static_cast<std::int64_t>(f.send_ts_ns);
+    const auto recv = static_cast<std::int64_t>(f.recv_ts_ns);
+    EXPECT_GE(recv - send, -5'000'000)
+        << f.src_rank << "->" << f.dst_rank << " flow " << f.id;
+    if (f.src_rank == 0 && f.dst_rank == 1) ++fwd;
+    if (f.src_rank == 1 && f.dst_rank == 0) ++back;
+  }
+  EXPECT_GE(fwd, kPings);  // app pings + clock-sync ctrl traffic
+  EXPECT_GE(back, kPings);
+  ProcessGroup::remove_rendezvous_dir(dir);
 }
 
 TEST(SocketSpmdTest, JournalRoundtripAndTornTailRecovery) {

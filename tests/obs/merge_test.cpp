@@ -1,0 +1,286 @@
+// Unit tests for the cross-process observability plumbing (src/obs):
+// histogram merging against the sorted-sample oracle, the line-format
+// registry state transport (write_state / merge_state), and the
+// rank-trace format + TraceMerger (offset correction, rebasing, flow
+// matching, detector rerouting, Chrome JSON shape).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/merge.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace dlb {
+namespace {
+
+// ---- Histogram merge --------------------------------------------------
+
+// The merge contract: percentiles of (h1 merged h2) equal percentiles
+// of one histogram that recorded the concatenated samples — exactly,
+// because merging is cell-wise addition — and both sit within the fine
+// cell of the true sorted-order statistic.
+TEST(HistogramMerge, MatchesConcatenatedSampleOracle) {
+  Rng rng(20260809);
+  obs::Histogram left, right, direct;
+  std::vector<std::uint64_t> all;
+  for (int i = 0; i < 4000; ++i) {
+    // Latency-like spread over ~16 binary orders of magnitude.
+    const std::uint64_t v = rng.next() >> (48 + rng.below(16));
+    (i % 3 == 0 ? left : right).record(v);
+    direct.record(v);
+    all.push_back(v);
+  }
+  left.merge(right);
+
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(left.count(), all.size());
+  EXPECT_EQ(left.sum(), direct.sum());
+  EXPECT_EQ(left.min(), all.front());
+  EXPECT_EQ(left.max(), all.back());
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    // Merging loses nothing: bit-identical to the direct histogram.
+    EXPECT_DOUBLE_EQ(left.percentile(q), direct.percentile(q)) << q;
+    // And the usual sub-bucket guarantee holds against the sorted
+    // concatenated samples (cell bounds, clamped to the true extremes
+    // like the single-histogram oracle test).
+    const std::size_t n = all.size();
+    std::size_t rank =
+        static_cast<std::size_t>(q * static_cast<double>(n) + 0.5);
+    rank = std::min(std::max<std::size_t>(rank, 1), n);
+    const std::size_t cell = obs::Histogram::cell_of(all[rank - 1]);
+    EXPECT_GE(left.percentile(q),
+              std::min(obs::Histogram::cell_lo(cell),
+                       static_cast<double>(all.front())))
+        << q;
+    EXPECT_LE(left.percentile(q),
+              std::max(obs::Histogram::cell_hi(cell),
+                       static_cast<double>(all.back())))
+        << q;
+  }
+}
+
+TEST(HistogramMerge, EmptySidesAreIdentity) {
+  obs::Histogram a, b;
+  a.record(7);
+  a.record(900);
+  const auto before = a.state();
+  a.merge(b);  // empty right side: no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 7u);
+  EXPECT_EQ(a.max(), 900u);
+  b.merge(before);  // empty left side: becomes a copy
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.sum(), 907u);
+  EXPECT_EQ(b.min(), 7u);
+  EXPECT_EQ(b.max(), 900u);
+  EXPECT_DOUBLE_EQ(b.percentile(0.5), a.percentile(0.5));
+}
+
+TEST(HistogramMerge, StateRoundTripsSparseCells) {
+  obs::Histogram h;
+  for (std::uint64_t v : {1u, 1u, 64u, 100000u}) h.record(v);
+  const auto s = h.state();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.cells.size(), 3u);  // 1 twice -> one cell
+  obs::Histogram copy;
+  copy.merge(s);
+  EXPECT_EQ(copy.count(), h.count());
+  EXPECT_EQ(copy.cells(), h.cells());
+}
+
+// ---- Registry state transport ----------------------------------------
+
+TEST(MergeState, RoundTripAndPrefix) {
+  obs::MetricsRegistry src;
+  src.counter("mp.sent").add(41);
+  src.gauge("spmd.final_load").set(-3);
+  for (std::uint64_t v : {10u, 20u, 4000u})
+    src.histogram("rtt_ns").record(v);
+
+  std::ostringstream dump;
+  src.write_state(dump);
+
+  obs::MetricsRegistry dst;
+  std::istringstream plain(dump.str());
+  obs::merge_state(plain, dst);
+  std::istringstream prefixed(dump.str());
+  obs::merge_state(prefixed, dst, "rank2.");
+
+  const auto snap = dst.snapshot();
+  ASSERT_NE(snap.find("mp.sent"), nullptr);
+  EXPECT_EQ(snap.find("mp.sent")->value, 41);
+  ASSERT_NE(snap.find("rank2.mp.sent"), nullptr);
+  EXPECT_EQ(snap.find("rank2.mp.sent")->value, 41);
+  EXPECT_EQ(snap.find("spmd.final_load")->value, -3);
+  EXPECT_EQ(snap.find("rank2.rtt_ns")->count, 3u);
+  EXPECT_EQ(snap.find("rank2.rtt_ns")->min, 10u);
+  EXPECT_EQ(snap.find("rank2.rtt_ns")->max, 4000u);
+}
+
+TEST(MergeState, RepeatedMergesAccumulate) {
+  obs::MetricsRegistry src;
+  src.counter("c").add(5);
+  src.gauge("g").set(2);
+  src.histogram("h").record(16);
+  std::ostringstream dump;
+  src.write_state(dump);
+
+  obs::MetricsRegistry dst;
+  for (int i = 0; i < 3; ++i) {
+    std::istringstream is(dump.str());
+    obs::merge_state(is, dst);
+  }
+  const auto snap = dst.snapshot();
+  EXPECT_EQ(snap.find("c")->value, 15);
+  EXPECT_EQ(snap.find("g")->value, 6);  // gauges add across ranks
+  EXPECT_EQ(snap.find("h")->count, 3u);
+}
+
+TEST(MergeState, KindMismatchTripsContract) {
+  obs::MetricsRegistry src;
+  src.counter("x").add(1);
+  std::ostringstream dump;
+  src.write_state(dump);
+
+  obs::MetricsRegistry dst;
+  dst.gauge("x").set(9);  // same name, different kind
+  std::istringstream is(dump.str());
+  EXPECT_THROW(obs::merge_state(is, dst), contract_error);
+}
+
+TEST(MergeState, MalformedDumpsThrow) {
+  obs::MetricsRegistry dst;
+  for (const char* bad :
+       {"not-a-dump 1\n", "dlb-metrics 2\n", "dlb-metrics 1\nz q 4\n",
+        "dlb-metrics 1\nc only_name\n",
+        "dlb-metrics 1\nh h 1 1 1 1 99999 0 1\n"}) {
+    std::istringstream is(bad);
+    EXPECT_THROW(obs::merge_state(is, dst), contract_error) << bad;
+  }
+}
+
+// ---- Rank-trace format + TraceMerger ---------------------------------
+
+TEST(TraceMerger, OffsetCorrectionRebasingAndFlowMatching) {
+  obs::TraceBuffer b0(64), b1(64);
+  // Rank 0 (reference): a send at local t=1000, within a span.
+  b0.record("step", "spmd", 500, 2000, 0, 7);
+  b0.record_flow("mp.msg", "transfer", 1000, 0, 42, /*start=*/true, 3);
+  // Rank 1: clock runs 1_000_000 ns behind the reference; its local
+  // t=4000 is reference t=4000 + offset.
+  const std::int64_t offset = 1'000'000;
+  b1.record_flow("mp.msg", "transfer", 4000, 0, 42, /*start=*/false, 3);
+  b1.instant("crash", "crash", 0, 11);
+
+  std::stringstream f0, f1;
+  obs::write_rank_trace(f0, b0, 0, 0);
+  obs::write_rank_trace(f1, b1, 1, offset);
+
+  obs::TraceMerger m;
+  m.add_rank(f0);
+  m.add_rank(f1);
+  EXPECT_EQ(m.ranks(), 2);
+  EXPECT_TRUE(m.has_rank(1));
+  EXPECT_EQ(m.offset_ns(1), offset);
+  EXPECT_EQ(m.dropped(0), 0u);
+
+  const auto events = m.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Earliest corrected event (rank 0's span at 500) rebases to 0.
+  EXPECT_EQ(events.front().ts_ns, 0u);
+  EXPECT_TRUE(std::is_sorted(
+      events.begin(), events.end(),
+      [](const auto& a, const auto& b) { return a.ts_ns < b.ts_ns; }));
+
+  const auto flows = m.matched_flows();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].id, 42u);
+  EXPECT_EQ(flows[0].src_rank, 0);
+  EXPECT_EQ(flows[0].dst_rank, 1);
+  EXPECT_EQ(flows[0].arg, 3u);
+  // Corrected recv = 4000 + 1_000_000, rebased by 500.
+  EXPECT_EQ(flows[0].send_ts_ns, 500u);
+  EXPECT_EQ(flows[0].recv_ts_ns, 4000u + 1'000'000u - 500u);
+  EXPECT_GE(flows[0].recv_ts_ns, flows[0].send_ts_ns);
+}
+
+TEST(TraceMerger, HalfFlowsAreSkippedNotMatched) {
+  obs::TraceBuffer b0(16);
+  b0.record_flow("mp.msg", "transfer", 10, 0, 1, true);
+  b0.record_flow("mp.msg", "transfer", 20, 0, 2, true);
+  obs::TraceBuffer b1(16);
+  b1.record_flow("mp.msg", "transfer", 30, 0, 2, false);
+  std::stringstream f0, f1;
+  obs::write_rank_trace(f0, b0, 0, 0);
+  obs::write_rank_trace(f1, b1, 1, 0);
+  obs::TraceMerger m;
+  m.add_rank(f0);
+  m.add_rank(f1);
+  const auto flows = m.matched_flows();
+  ASSERT_EQ(flows.size(), 1u);  // flow 1's recv never arrived
+  EXPECT_EQ(flows[0].id, 2u);
+}
+
+TEST(TraceMerger, ChromeJsonCarriesTracksFlowsAndDetectorRerouting) {
+  obs::TraceBuffer b0(32), b1(32);
+  b0.record("step", "spmd", 100, 50, 0, 1);
+  b0.record_flow("mp.msg", "transfer", 120, 0, 9, true);
+  // Rank 0 notices rank 1 dying: detector events reroute to pid 1.
+  b0.instant("eof", "detector", 0, /*indicted rank=*/1);
+  b1.record_flow("mp.msg", "transfer", 300, 0, 9, false);
+  std::stringstream f0, f1;
+  obs::write_rank_trace(f0, b0, 0, 0);
+  obs::write_rank_trace(f1, b1, 1, -777);
+  obs::TraceMerger m;
+  m.add_rank(f0);
+  m.add_rank(f1);
+
+  std::ostringstream os;
+  m.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"rank 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"rank 1\""), std::string::npos);
+  EXPECT_NE(json.find("clock_offset_ns=-777"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\": \"e\""), std::string::npos);
+  // The detector verdict lives on the indicted rank's track with the
+  // noticing rank recorded in its args.
+  EXPECT_NE(json.find("\"eof\""), std::string::npos);
+  EXPECT_NE(json.find("\"by\": 0"), std::string::npos);
+}
+
+TEST(TraceMerger, RejectsMalformedAndDuplicateInputs) {
+  obs::TraceMerger m;
+  std::istringstream bad_magic("not-a-trace 1 0 0 0\n");
+  EXPECT_THROW(m.add_rank(bad_magic), contract_error);
+  std::istringstream bad_phase("dlb-rank-trace 1 0 0 0\ne 9 0 0 0 0 0 a b\n");
+  EXPECT_THROW(m.add_rank(bad_phase), contract_error);
+
+  obs::TraceBuffer b(8);
+  b.instant("x", "y", 0);
+  std::stringstream f0, f0_again;
+  obs::write_rank_trace(f0, b, 0, 0);
+  obs::write_rank_trace(f0_again, b, 0, 0);
+  obs::TraceMerger m2;
+  m2.add_rank(f0);
+  EXPECT_THROW(m2.add_rank(f0_again), contract_error);
+}
+
+TEST(WriteRankTrace, RefusesNamesWithWhitespace) {
+  obs::TraceBuffer b(8);
+  b.instant("has space", "cat", 0);
+  std::ostringstream os;
+  EXPECT_THROW(obs::write_rank_trace(os, b, 0, 0), contract_error);
+}
+
+}  // namespace
+}  // namespace dlb

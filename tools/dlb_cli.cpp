@@ -10,6 +10,10 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
+
+#include "obs/merge.hpp"
+#include "obs/metrics.hpp"
 
 #include "baselines/adapter.hpp"
 #include "baselines/diffusion.hpp"
@@ -268,14 +272,73 @@ int cmd_trace(int argc, char** argv) {
   return 0;
 }
 
+int cmd_merge_trace(int argc, char** argv) {
+  CliOptions opts;
+  opts.add_string("dir", "",
+                  "rendezvous dir holding trace.<rank> / metrics.<rank> "
+                  "files (e.g. a kept post-mortem dir)")
+      .add_string("out", "merged_trace.json",
+                  "write the merged Perfetto trace here")
+      .add_string("metrics_out", "",
+                  "also merge metrics.<rank> files into this JSON")
+      .add_int("max_ranks", 256, "highest rank index probed in --dir");
+  if (!opts.parse(argc, argv)) return 1;
+  const std::string dir = opts.get_string("dir");
+  DLB_REQUIRE(!dir.empty(), "merge-trace needs --dir");
+
+  obs::TraceMerger merger;
+  obs::MetricsRegistry merged;
+  int metric_files = 0;
+  const int max_ranks = static_cast<int>(opts.get_int("max_ranks"));
+  for (int r = 0; r < max_ranks; ++r) {
+    const std::string tpath = dir + "/trace." + std::to_string(r);
+    if (std::ifstream(tpath).is_open()) merger.add_rank_file(tpath);
+    std::ifstream min(dir + "/metrics." + std::to_string(r));
+    if (min.is_open()) {
+      std::stringstream buf;
+      buf << min.rdbuf();
+      std::istringstream per_rank(buf.str());
+      obs::merge_state(per_rank, merged, "rank" + std::to_string(r) + ".");
+      std::istringstream aggregate(buf.str());
+      obs::merge_state(aggregate, merged);
+      ++metric_files;
+    }
+  }
+  DLB_REQUIRE(merger.ranks() > 0,
+              "no trace.<rank> files found under " + dir);
+
+  const std::string out = opts.get_string("out");
+  {
+    std::ofstream os(out);
+    DLB_REQUIRE(os.good(), "cannot write trace: " + out);
+    merger.write_chrome_json(os);
+  }
+  const auto flows = merger.matched_flows();
+  std::cout << "merged " << merger.ranks() << " rank traces ("
+            << merger.events().size() << " events, " << flows.size()
+            << " matched send->recv flows) into " << out << "\n";
+  if (const std::string& mpath = opts.get_string("metrics_out");
+      !mpath.empty()) {
+    DLB_REQUIRE(metric_files > 0,
+                "no metrics.<rank> files found under " + dir);
+    std::ofstream os(mpath);
+    DLB_REQUIRE(os.good(), "cannot write metrics: " + mpath);
+    merged.snapshot().write_json(os);
+    std::cout << "merged " << metric_files << " rank metric dumps into "
+              << mpath << "\n";
+  }
+  return 0;
+}
+
 void print_usage() {
   std::cerr
       << "usage: dlb <command> [options]\n"
          "commands:\n"
-         "  simulate   run the balancer on a synthetic workload\n"
-         "  theory     print FIX, bounds and variation density\n"
-         "  compare    run every strategy on one recorded demand trace\n"
-         "  trace      generate or inspect a demand trace file\n"
+         "  simulate     run the balancer on a synthetic workload\n"
+         "  theory       print FIX, bounds and variation density\n"
+         "  compare      run every strategy on one recorded demand trace\n"
+         "  trace        generate or inspect a demand trace file\n"
+         "  merge-trace  stitch per-rank socket-run trace/metrics files\n"
          "run `dlb <command> --help` for the command's options.\n";
 }
 
@@ -292,6 +355,7 @@ int main(int argc, char** argv) {
     if (command == "theory") return cmd_theory(argc - 1, argv + 1);
     if (command == "compare") return cmd_compare(argc - 1, argv + 1);
     if (command == "trace") return cmd_trace(argc - 1, argv + 1);
+    if (command == "merge-trace") return cmd_merge_trace(argc - 1, argv + 1);
     std::cerr << "unknown command: " << command << "\n";
     print_usage();
     return 1;

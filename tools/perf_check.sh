@@ -123,6 +123,30 @@ if alloc_failures:
           "steady state (allocs_per_step != 0)", file=sys.stderr)
     sys.exit(1)
 
+# Wire-overhead gate: the socket rows' wire_bytes_per_msg is a pure
+# framing constant (header + fixed body + payload words on the bench's
+# fixed traffic shape), so like the alloc gate it is compared exactly
+# (1e-6 relative slack for float round-trip), not ratio-normalized.
+# Any drift means the wire format or the bench's message mix changed —
+# that must be a deliberate baseline update, never silent.
+wire_failures = []
+for row in fresh["results"]:
+    ref = baseline.get(key(row))
+    if ref is None:
+        continue
+    m = "wire_bytes_per_msg"
+    if m in ref and m in row:
+        ok = abs(row[m] - ref[m]) <= 1e-6 * max(ref[m], 1.0)
+        status = "ok" if ok else "FAIL"
+        print(f"  [{status:>4}] {row['workload']}/n={row['n']} {m}: "
+              f"{row[m]:.4f} vs baseline {ref[m]:.4f}")
+        if not ok:
+            wire_failures.append((key(row), m))
+if wire_failures:
+    print(f"perf_check: {len(wire_failures)} socket row(s) changed their "
+          "per-message wire overhead", file=sys.stderr)
+    sys.exit(1)
+
 machine = statistics.median(r for _, _, r in ratios.values())
 limit = machine * (1.0 + tol_pct / 100.0)
 print(f"  machine-speed factor (median fresh/baseline): {machine:.2f}, "
